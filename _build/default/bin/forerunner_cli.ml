@@ -1,0 +1,137 @@
+(* Command-line front end: simulate DiCE traffic, replay it under any
+   execution policy, inspect per-kind outcomes, or disassemble the bundled
+   contracts.
+
+     forerunner run --seed 7 --duration 300 --policy forerunner
+     forerunner compare --seed 7 --duration 300
+     forerunner contracts *)
+
+open Cmdliner
+
+let policy_conv =
+  let parse = function
+    | "baseline" -> Ok Core.Node.Baseline
+    | "forerunner" -> Ok Core.Node.Forerunner
+    | "perfect" -> Ok Core.Node.Perfect_match
+    | "perfect-multi" -> Ok Core.Node.Perfect_multi
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Core.Node.policy_name p))
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic random seed.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated traffic duration.")
+
+let rate_arg =
+  Arg.(value & opt float 12.0 & info [ "rate" ] ~docv:"TPS" ~doc:"Transaction rate per second.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Core.Node.Forerunner
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Execution policy: baseline, forerunner, perfect, perfect-multi.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"Cross-check every AP hit against a full EVM execution.")
+
+let simulate ~seed ~duration ~rate =
+  let params =
+    { Netsim.Sim.default_params with seed; duration; tx_rate = rate }
+  in
+  Printf.printf "simulating %.0fs of traffic (seed %d, %.0f tx/s)...\n%!" duration seed rate;
+  let record = Netsim.Sim.run ~params () in
+  let total, heard, _ = Netsim.Record.heard_stats record in
+  Printf.printf "-> %d blocks, %d txs, %.2f%% heard\n%!" record.n_blocks record.n_txs
+    (100.0 *. float_of_int heard /. float_of_int (max 1 total));
+  record
+
+let print_outcomes (r : Core.Node.result) =
+  let count o = List.length (List.filter (fun (t : Core.Node.tx_record) -> t.outcome = o) r.txs) in
+  Printf.printf
+    "outcomes: perfect=%d imperfect=%d missed=%d unheard=%d (of %d txs)\n"
+    (count Core.Node.O_perfect) (count Core.Node.O_imperfect) (count Core.Node.O_missed)
+    (count Core.Node.O_unheard) (List.length r.txs);
+  Printf.printf "all %d block state roots validated.\n" (List.length r.blocks)
+
+let run_cmd =
+  let run seed duration rate policy validate =
+    let record = simulate ~seed ~duration ~rate in
+    let config = { Core.Node.default_config with validate_hits = validate } in
+    let r = Core.Node.replay ~config ~policy record in
+    print_outcomes r;
+    (* per-kind table *)
+    let kinds = Hashtbl.create 8 in
+    List.iter
+      (fun (t : Core.Node.tx_record) ->
+        match t.kind with
+        | Some k ->
+          let name = Workload.Gen.kind_name k in
+          let hit, total =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt kinds name)
+          in
+          let is_hit =
+            t.outcome = Core.Node.O_perfect || t.outcome = Core.Node.O_imperfect
+          in
+          Hashtbl.replace kinds name ((hit + if is_hit then 1 else 0), total + 1)
+        | None -> ())
+      r.txs;
+    Printf.printf "\n%-16s %10s %10s\n" "kind" "satisfied" "txs";
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+    |> List.sort compare
+    |> List.iter (fun (k, (hit, total)) ->
+           Printf.printf "%-16s %9.1f%% %10d\n"
+             k (100.0 *. float_of_int hit /. float_of_int (max 1 total)) total)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate traffic and replay it under one policy.")
+    Term.(const run $ seed_arg $ duration_arg $ rate_arg $ policy_arg $ validate_arg)
+
+let compare_cmd =
+  let run seed duration rate =
+    let record = simulate ~seed ~duration ~rate in
+    let baseline = Core.Node.replay ~policy:Core.Node.Baseline record in
+    Printf.printf "%-15s %10s %12s %12s\n" "policy" "speedup" "e2e" "%satisfied";
+    List.iter
+      (fun policy ->
+        let r =
+          if policy = Core.Node.Baseline then baseline else Core.Node.replay ~policy record
+        in
+        let s = Core.Metrics.summarize ~baseline r in
+        Printf.printf "%-15s %9.2fx %11.2fx %11.2f%%\n%!" s.name s.effective_speedup
+          s.e2e_speedup s.satisfied_pct)
+      [ Core.Node.Baseline; Core.Node.Perfect_match; Core.Node.Perfect_multi;
+        Core.Node.Forerunner ]
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Replay the same traffic under all four policies (Table 2).")
+    Term.(const run $ seed_arg $ duration_arg $ rate_arg)
+
+let contracts_cmd =
+  let run () =
+    List.iter
+      (fun (name, code) ->
+        Printf.printf "=== %s (%d bytes) ===\n%s\n" name (String.length code)
+          (Evm.Asm.disassemble code))
+      [ ("counter", Contracts.Counter.code); ("pricefeed", Contracts.Pricefeed.code);
+        ("erc20", Contracts.Erc20.code); ("amm", Contracts.Amm.code);
+        ("registry", Contracts.Registry.code); ("auction", Contracts.Auction.code);
+        ("worker", Contracts.Worker.code) ]
+  in
+  Cmd.v
+    (Cmd.info "contracts" ~doc:"Disassemble the bundled workload contracts.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "forerunner" ~version:"1.0.0"
+       ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
+    [ run_cmd; compare_cmd; contracts_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/defi_day.ml: Address Ap Array Contracts Evm Printf Sevm State Statedb String U256

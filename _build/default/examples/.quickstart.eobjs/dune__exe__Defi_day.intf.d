@@ -1,0 +1,1 @@
+examples/defi_day.mli:

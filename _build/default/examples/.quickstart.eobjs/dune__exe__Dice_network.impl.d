@@ -1,0 +1,1 @@
+examples/dice_network.ml: Array Core List Netsim Printf Sys

@@ -1,0 +1,1 @@
+examples/dice_network.mli:

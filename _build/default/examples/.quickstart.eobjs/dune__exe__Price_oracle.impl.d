@@ -1,0 +1,1 @@
+examples/price_oracle.ml: Address Ap Contracts Evm Fmt Khash List Printf Sevm State Statedb U256

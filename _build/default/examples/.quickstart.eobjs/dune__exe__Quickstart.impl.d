@@ -1,0 +1,1 @@
+examples/quickstart.ml: Address Ap Array Contracts Evm Fmt Printf Sevm State Statedb U256 Unix

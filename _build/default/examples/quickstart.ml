@@ -1,0 +1,106 @@
+(* Quickstart: speculatively execute one transaction and run its
+   Accelerated Program on the critical path.
+
+     dune exec examples/quickstart.exe *)
+
+open State
+
+let u = U256.of_int
+
+let () =
+  (* 1. A world: one funded account and a counter contract. *)
+  let bk = Statedb.Backend.create () in
+  let st0 = Statedb.create bk ~root:Statedb.empty_root in
+  let alice = Address.of_int 0xA11CE in
+  let counter = Address.of_int 0xC0C0 in
+  Statedb.set_balance st0 alice (U256.of_string "1000000000000000000");
+  Contracts.Deploy.install_code st0 counter Contracts.Counter.code;
+  let root = Statedb.commit st0 in
+
+  (* 2. A pending transaction we just heard about. *)
+  let tx : Evm.Env.tx =
+    {
+      sender = alice;
+      to_ = Some counter;
+      nonce = 0;
+      value = U256.zero;
+      data = Contracts.Counter.increment_call;
+      gas_limit = 100_000;
+      gas_price = u 50;
+    }
+  in
+
+  (* 3. Speculate: execute it in a predicted future context with tracing. *)
+  let predicted_env : Evm.Env.block_env =
+    {
+      coinbase = Address.of_int 0xC01;
+      timestamp = 1_700_000_013L;
+      number = 101L;
+      difficulty = U256.one;
+      gas_limit = 12_000_000;
+      chain_id = 1;
+      block_hash = (fun n -> U256.of_int64 n);
+    }
+  in
+  let spec_st = Statedb.create bk ~root in
+  let snap = Statedb.snapshot spec_st in
+  let sink, get_trace = Evm.Trace.collector () in
+  let receipt = Evm.Processor.execute_tx ~trace:sink spec_st predicted_env tx in
+  Statedb.revert spec_st snap;
+  Printf.printf "speculated: status=%s gas=%d, trace of %d EVM steps\n"
+    (Fmt.str "%a" Evm.Processor.pp_status receipt.status)
+    receipt.gas_used
+    (Sevm.Builder.count_trace_len (get_trace ()));
+
+  (* 4. Synthesize the Accelerated Program. *)
+  let path =
+    match Sevm.Builder.build tx predicted_env (get_trace ()) receipt spec_st with
+    | Ok p -> p
+    | Error e -> failwith ("AP synthesis failed: " ^ e)
+  in
+  Printf.printf "AP path: %d S-EVM instructions (%d constraint checks + %d fast path)\n"
+    (Array.length path.instrs) path.first_fast
+    (Array.length path.instrs - path.first_fast);
+  Fmt.pr "%a" Sevm.Ir.pp_path path;
+
+  let ap = Ap.Program.create () in
+  Ap.Program.add_path ap path;
+
+  (* 5. The block arrives with a *different* context (other timestamp and
+     miner) — the constraints still hold, so the AP fast path commits. *)
+  let actual_env =
+    { predicted_env with timestamp = 1_700_000_021L; coinbase = Address.of_int 0xDEAD }
+  in
+  let exec_st = Statedb.create bk ~root in
+  (match Ap.Exec.execute ap exec_st actual_env tx with
+  | Ap.Exec.Hit (r, stats) ->
+    Printf.printf
+      "\nAP HIT in the actual context: gas=%d, %d instructions executed, %d skipped via shortcuts\n"
+      r.gas_used stats.executed stats.skipped
+  | Ap.Exec.Violation -> print_endline "violation (unexpected here)");
+
+  (* 6. Timing comparison against plain EVM execution on a fresh state. *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let iters = 2000 in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  let evm_st = Statedb.create bk ~root in
+  let evm_us =
+    time (fun () ->
+        let s = Statedb.snapshot evm_st in
+        ignore (Evm.Processor.execute_tx evm_st actual_env tx);
+        Statedb.revert evm_st s)
+  in
+  let ap_st = Statedb.create bk ~root in
+  let ap_us =
+    time (fun () ->
+        let s = Statedb.snapshot ap_st in
+        ignore (Ap.Exec.execute ap ap_st actual_env tx);
+        Statedb.revert ap_st s)
+  in
+  Printf.printf "\nEVM execution: %.1f us/tx | AP execution: %.1f us/tx | speedup %.1fx\n"
+    evm_us ap_us (evm_us /. ap_us)

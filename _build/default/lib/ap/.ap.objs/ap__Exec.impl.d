@@ -1,0 +1,1 @@
+lib/ap/exec.ml: Address Array Evm Int64 Khash List Program Sevm State Statedb String U256

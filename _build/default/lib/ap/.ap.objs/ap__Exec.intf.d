@@ -1,0 +1,1 @@
+lib/ap/exec.mli: Evm Program Sevm State U256

@@ -1,0 +1,1 @@
+lib/ap/program.ml: Array Evm Hashtbl List Sevm U256

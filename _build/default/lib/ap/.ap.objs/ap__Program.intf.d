@@ -1,0 +1,1 @@
+lib/ap/program.mli: Evm Sevm U256

@@ -1,0 +1,153 @@
+(* The transaction execution accelerator: runs an AP against the actual
+   context on the critical path.  Guard nodes check-and-branch; memoization
+   shortcuts skip whole blocks when register inputs repeat values seen
+   during speculation; on constraint violation the caller falls back to full
+   EVM execution (rollback-free: no state was written). *)
+
+open State
+module I = Sevm.Ir
+
+type stats = {
+  mutable executed : int; (* instructions actually run *)
+  mutable skipped : int; (* instructions bypassed by shortcuts *)
+  mutable guards : int;
+  mutable memo_hits : int;
+}
+
+type outcome = Hit of Evm.Processor.receipt * stats | Violation
+
+let value_of regs = function I.Const v -> v | I.Reg r -> regs.(r)
+
+let eval_read st (benv : Evm.Env.block_env) regs = function
+  | I.R_timestamp -> U256.of_int64 benv.timestamp
+  | I.R_number -> U256.of_int64 benv.number
+  | I.R_coinbase -> Address.to_u256 benv.coinbase
+  | I.R_difficulty -> benv.difficulty
+  | I.R_gaslimit -> U256.of_int benv.gas_limit
+  | I.R_blockhash op -> (
+    let n = value_of regs op in
+    match U256.to_int_opt n with
+    | Some bn
+      when Int64.of_int bn < benv.number && Int64.sub benv.number (Int64.of_int bn) <= 256L
+      -> benv.block_hash (Int64.of_int bn)
+    | Some _ | None -> U256.zero)
+  | I.R_balance op -> Statedb.get_balance st (Address.of_u256 (value_of regs op))
+  | I.R_nonce addr -> U256.of_int (Statedb.get_nonce st addr)
+  | I.R_storage (addr, key) -> Statedb.get_storage st addr key
+  | I.R_extcodesize op ->
+    U256.of_int (String.length (Statedb.get_code st (Address.of_u256 (value_of regs op))))
+  | I.R_extcodehash op ->
+    let addr = Address.of_u256 (value_of regs op) in
+    if Statedb.is_empty_account st addr then U256.zero
+    else U256.of_bytes_be (Statedb.get_code_hash st addr)
+
+let exec_instr st benv regs stats ins =
+  stats.executed <- stats.executed + 1;
+  match ins with
+  | I.Compute (r, op, args) -> regs.(r) <- I.eval_compute op (Array.map (value_of regs) args)
+  | I.Keccak (r, pieces) ->
+    regs.(r) <- Khash.Keccak.digest_u256 (I.bytes_of_pieces regs pieces)
+  | I.Sha256 (r, pieces) ->
+    regs.(r) <- U256.of_bytes_be (Khash.Sha256.digest (I.bytes_of_pieces regs pieces))
+  | I.Pack (r, pieces) -> regs.(r) <- U256.of_bytes_be (I.bytes_of_pieces regs pieces)
+  | I.Read (r, src) -> regs.(r) <- eval_read st benv regs src
+  | I.Guard _ | I.Guard_size _ -> assert false
+
+(* Run a block, trying its memoization shortcuts first, then its halves,
+   then instruction by instruction.  [use_memos:false] disables shortcuts
+   (the no-memoization ablation). *)
+let rec exec_block ~use_memos st benv regs stats (b : Program.block) =
+  let try_memo (m : Program.memo) =
+    let n = Array.length m.in_regs in
+    let rec check i = i >= n || (U256.equal regs.(m.in_regs.(i)) m.in_vals.(i) && check (i + 1)) in
+    if check 0 then begin
+      Array.iteri (fun i r -> regs.(r) <- m.out_vals.(i)) m.out_regs;
+      true
+    end
+    else false
+  in
+  if use_memos && List.exists try_memo b.memos then begin
+    stats.memo_hits <- stats.memo_hits + 1;
+    stats.skipped <- stats.skipped + Array.length b.instrs
+  end
+  else
+    match b.sub with
+    | Some (l, r) ->
+      exec_block ~use_memos st benv regs stats l;
+      exec_block ~use_memos st benv regs stats r
+    | None -> Array.iter (exec_instr st benv regs stats) b.instrs
+
+(* Apply the deferred write set; returns the logs it committed. *)
+let apply_writes st regs writes =
+  let logs = ref [] in
+  List.iter
+    (fun w ->
+      match w with
+      | I.W_nonce_set (addr, n) -> Statedb.set_nonce st addr n
+      | I.W_code (addr, pieces) -> Statedb.set_code st addr (I.bytes_of_pieces regs pieces)
+      | I.W_balance_set (addr_op, v) ->
+        Statedb.set_balance st (Address.of_u256 (value_of regs addr_op)) (value_of regs v)
+      | I.W_balance_add (addr_op, v) ->
+        let a = Address.of_u256 (value_of regs addr_op) in
+        Statedb.set_balance st a (U256.add (Statedb.get_balance st a) (value_of regs v))
+      | I.W_balance_sub (addr_op, v) ->
+        let a = Address.of_u256 (value_of regs addr_op) in
+        Statedb.set_balance st a (U256.sub (Statedb.get_balance st a) (value_of regs v))
+      | I.W_storage (addr, key, v) -> Statedb.set_storage st addr key (value_of regs v)
+      | I.W_log (addr, topics, data) ->
+        logs :=
+          {
+            Evm.Env.log_address = addr;
+            topics = List.map (value_of regs) topics;
+            log_data = I.bytes_of_pieces regs data;
+          }
+          :: !logs)
+    writes;
+  List.rev !logs
+
+exception Violated
+
+let rec exec_node ~use_memos st benv regs stats tx = function
+  | Program.Seq (b, k) ->
+    exec_block ~use_memos st benv regs stats b;
+    exec_node ~use_memos st benv regs stats tx k
+  | Program.Branch (op, cases) -> (
+    stats.guards <- stats.guards + 1;
+    let v = value_of regs op in
+    match List.find_opt (fun (v', _) -> U256.equal v v') cases with
+    | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
+    | None -> raise Violated)
+  | Program.Branch_size (op, cases) -> (
+    stats.guards <- stats.guards + 1;
+    let n = U256.byte_size (value_of regs op) in
+    match List.find_opt (fun (n', _) -> n = n') cases with
+    | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
+    | None -> raise Violated)
+  | Program.Leaf leaf ->
+    List.iter (exec_block ~use_memos st benv regs stats) leaf.fast;
+    let sender_balance_before = Statedb.get_balance st tx.Evm.Env.sender in
+    let sender_nonce_before = Statedb.get_nonce st tx.Evm.Env.sender in
+    let logs = apply_writes st regs leaf.writes in
+    {
+      Evm.Processor.status = leaf.status;
+      gas_used = leaf.gas_used;
+      output = I.bytes_of_pieces regs leaf.output;
+      logs;
+      contract_address = None;
+      sender_balance_before;
+      sender_nonce_before;
+    }
+
+(* Execute [ap] for [tx] in the actual context.  On violation nothing has
+   been written (writes are deferred past every guard), so the caller can
+   fall back to the EVM directly. *)
+let execute ?(use_memos = true) (ap : Program.t) st benv (tx : Evm.Env.tx) : outcome =
+  let regs = Array.make (max ap.reg_count 1) U256.zero in
+  let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
+  let rec try_roots = function
+    | [] -> Violation
+    | root :: rest -> (
+      try Hit (exec_node ~use_memos st benv regs stats tx root, stats)
+      with Violated -> try_roots rest)
+  in
+  try_roots ap.roots

@@ -1,0 +1,37 @@
+(** The transaction execution accelerator: runs an Accelerated Program
+    against the actual context on the critical path (paper §4.1).
+
+    Guard nodes check constraints and case-branch between merged futures;
+    memoization shortcuts skip whole blocks when register inputs repeat
+    speculation-time values.  A {!Violation} leaves the state untouched
+    (writes are scheduled after every guard), so callers fall back to plain
+    EVM execution with nothing to roll back. *)
+
+type stats = {
+  mutable executed : int;  (** S-EVM instructions actually run *)
+  mutable skipped : int;  (** instructions bypassed by shortcuts *)
+  mutable guards : int;  (** guard nodes evaluated *)
+  mutable memo_hits : int;  (** shortcut matches *)
+}
+
+type outcome = Hit of Evm.Processor.receipt * stats | Violation
+
+val eval_read :
+  State.Statedb.t -> Evm.Env.block_env -> U256.t array -> Sevm.Ir.read_src -> U256.t
+(** Evaluate one context read against the actual state and block
+    environment (shared with the perfect-match policy). *)
+
+val apply_writes :
+  State.Statedb.t -> U256.t array -> Sevm.Ir.write list -> Evm.Env.log list
+(** Commit a deferred write set with the given register file; returns the
+    logs it emitted. *)
+
+val execute :
+  ?use_memos:bool ->
+  Program.t ->
+  State.Statedb.t ->
+  Evm.Env.block_env ->
+  Evm.Env.tx ->
+  outcome
+(** Run the AP for [tx] in the actual context.  [use_memos:false] disables
+    memoization shortcuts (ablation). *)

@@ -1,0 +1,294 @@
+(* Accelerated Programs (paper §4.3-4.4).
+
+   An AP is a DAG of straight-line blocks joined by guard nodes.  Each guard
+   node both checks a constraint and case-branches between the constraint
+   sets of the merged pre-executions, so executing an AP merged from N
+   futures costs the same as executing one.  Blocks carry memoization
+   shortcuts: remembered (input values -> output values) pairs from each
+   pre-execution, letting whole segments be skipped when the context repeats.
+
+   Register numbering is shared: paths synthesized from the same transaction
+   agree on register ids for their common prefix (the builder is
+   deterministic), and registers of divergent suffixes live in disjoint
+   parts of the register file. *)
+
+module I = Sevm.Ir
+
+type memo = {
+  in_regs : int array;
+  in_vals : U256.t array;
+  out_regs : int array;
+  out_vals : U256.t array;
+}
+
+type block = {
+  instrs : I.instr array; (* Compute/Keccak/Pack/Read only *)
+  mutable memos : memo list;
+  sub : (block * block) option; (* bisection for partial-match shortcuts *)
+}
+
+type leaf = {
+  fast : block list;
+  writes : I.write list;
+  status : Evm.Processor.status;
+  gas_used : int;
+  output : I.piece list;
+}
+
+type node =
+  | Seq of block * node
+  | Branch of I.operand * (U256.t * node) list
+  | Branch_size of I.operand * (int * node) list
+  | Leaf of leaf
+
+type t = {
+  mutable roots : node list; (* alternatives, tried in order; normally one *)
+  mutable reg_count : int;
+  mutable n_paths : int; (* distinct control/data paths merged *)
+  mutable n_futures : int; (* pre-executions incorporated *)
+  mutable shortcut_count : int;
+}
+
+let max_memo_alternatives = 4
+let max_roots = 8
+let min_block_for_memo = 2
+let bisect_threshold = 8
+
+(* ---- block construction ---- *)
+
+(* Registers read by [instrs] but defined before them, and registers
+   defined within. *)
+let block_io instrs =
+  let defined = Hashtbl.create 8 in
+  let inputs = ref [] in
+  Array.iter
+    (fun ins ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem defined r) && not (List.mem r !inputs) then
+            inputs := r :: !inputs)
+        (I.instr_uses ins);
+      match I.instr_def ins with Some r -> Hashtbl.replace defined r () | None -> ())
+    instrs;
+  let outputs = Hashtbl.fold (fun r () acc -> r :: acc) defined [] in
+  (Array.of_list (List.rev !inputs), Array.of_list (List.sort compare outputs))
+
+let memo_of instrs reg_values =
+  let in_regs, out_regs = block_io instrs in
+  {
+    in_regs;
+    in_vals = Array.map (fun r -> reg_values.(r)) in_regs;
+    out_regs;
+    out_vals = Array.map (fun r -> reg_values.(r)) out_regs;
+  }
+
+(* A block is worth memoizing when checking its inputs is cheaper than
+   running it. *)
+let worth_memoizing instrs in_regs =
+  Array.length instrs >= min_block_for_memo && Array.length in_regs <= Array.length instrs
+
+let rec make_block instrs reg_values depth =
+  let in_regs, _ = block_io instrs in
+  let memos =
+    if worth_memoizing instrs in_regs then [ memo_of instrs reg_values ] else []
+  in
+  let sub =
+    if depth < 2 && Array.length instrs >= bisect_threshold then begin
+      let half = Array.length instrs / 2 in
+      Some
+        ( make_block (Array.sub instrs 0 half) reg_values (depth + 1),
+          make_block (Array.sub instrs half (Array.length instrs - half)) reg_values
+            (depth + 1) )
+    end
+    else None
+  in
+  { instrs; memos; sub }
+
+let rec count_memos b =
+  List.length b.memos
+  + match b.sub with Some (l, r) -> count_memos l + count_memos r | None -> 0
+
+(* Chop an instruction run into blocks: Reads always start a fresh block so
+   segments between context reads get their own shortcuts (paper's
+   m1..m5 structure). *)
+let blocks_of_run instrs reg_values =
+  let groups = ref [] in
+  let current = ref [] in
+  let flush () =
+    if !current <> [] then begin
+      groups := Array.of_list (List.rev !current) :: !groups;
+      current := []
+    end
+  in
+  List.iter
+    (fun ins ->
+      match ins with
+      | I.Read _ ->
+        flush ();
+        groups := [| ins |] :: !groups
+      | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ -> current := ins :: !current
+      | I.Guard _ | I.Guard_size _ -> assert false)
+    instrs;
+  flush ();
+  List.rev_map (fun g -> make_block g reg_values 0) !groups
+
+(* ---- path -> node chain ---- *)
+
+let of_path (p : I.path) : node =
+  (* constraint section: runs of plain instrs separated by guards *)
+  let rec build i pending =
+    if i >= p.first_fast then begin
+      let blocks = blocks_of_run (List.rev pending) p.reg_values in
+      let fast_instrs = Array.to_list (Array.sub p.instrs p.first_fast (Array.length p.instrs - p.first_fast)) in
+      let fast = blocks_of_run fast_instrs p.reg_values in
+      let leaf =
+        Leaf
+          {
+            fast;
+            writes = p.writes;
+            status = p.status;
+            gas_used = p.gas_used;
+            output = p.output;
+          }
+      in
+      List.fold_right (fun b acc -> Seq (b, acc)) blocks leaf
+    end
+    else
+      match p.instrs.(i) with
+      | I.Guard (op, v) ->
+        let blocks = blocks_of_run (List.rev pending) p.reg_values in
+        let rest = build (i + 1) [] in
+        List.fold_right (fun b acc -> Seq (b, acc)) blocks (Branch (op, [ (v, rest) ]))
+      | I.Guard_size (op, n) ->
+        let blocks = blocks_of_run (List.rev pending) p.reg_values in
+        let rest = build (i + 1) [] in
+        List.fold_right (fun b acc -> Seq (b, acc)) blocks (Branch_size (op, [ (n, rest) ]))
+      | (I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _) as ins ->
+        build (i + 1) (ins :: pending)
+  in
+  build 0 []
+
+(* ---- merging ---- *)
+
+let memo_equal a b = a.in_vals = b.in_vals && a.in_regs = b.in_regs
+
+let merge_memos m1 m2 =
+  let extra = List.filter (fun m -> not (List.exists (memo_equal m) m1)) m2 in
+  let all = m1 @ extra in
+  if List.length all > max_memo_alternatives then
+    List.filteri (fun i _ -> i < max_memo_alternatives) all
+  else all
+
+let rec merge_block b1 b2 =
+  if b1.instrs <> b2.instrs then None
+  else begin
+    let sub =
+      match (b1.sub, b2.sub) with
+      | Some (l1, r1), Some (l2, r2) -> (
+        match (merge_block l1 l2, merge_block r1 r2) with
+        | Some l, Some r -> Some (l, r)
+        | (Some _ | None), _ -> b1.sub)
+      | (Some _ | None), _ -> b1.sub
+    in
+    Some { instrs = b1.instrs; memos = merge_memos b1.memos b2.memos; sub }
+  end
+
+let writes_equal w1 w2 = w1 = w2
+
+let rec merge_node n1 n2 : node option =
+  match (n1, n2) with
+  | Seq (b1, k1), Seq (b2, k2) -> (
+    match merge_block b1 b2 with
+    | Some b -> ( match merge_node k1 k2 with Some k -> Some (Seq (b, k)) | None -> None)
+    | None -> None)
+  | Branch (op1, cases1), Branch (op2, cases2) when op1 = op2 ->
+    let merged =
+      List.fold_left
+        (fun acc (v, sub) ->
+          match List.partition (fun (v', _) -> U256.equal v v') acc with
+          | [ (_, sub') ], others -> (
+            match merge_node sub' sub with
+            | Some m -> (v, m) :: others
+            | None -> acc (* keep the existing branch; drop the duplicate *))
+          | [], others -> (v, sub) :: others
+          | _ :: _ :: _, _ -> acc)
+        cases1 cases2
+    in
+    Some (Branch (op1, merged))
+  | Branch_size (op1, cases1), Branch_size (op2, cases2) when op1 = op2 ->
+    let merged =
+      List.fold_left
+        (fun acc (n, sub) ->
+          match List.partition (fun (n', _) -> n = n') acc with
+          | [ (_, sub') ], others -> (
+            match merge_node sub' sub with Some m -> (n, m) :: others | None -> acc)
+          | [], others -> (n, sub) :: others
+          | _ :: _ :: _, _ -> acc)
+        cases1 cases2
+    in
+    Some (Branch_size (op1, merged))
+  | Leaf l1, Leaf l2 ->
+    if
+      l1.status = l2.status && l1.gas_used = l2.gas_used && writes_equal l1.writes l2.writes
+      && l1.output = l2.output
+    then begin
+      let fast =
+        if List.length l1.fast = List.length l2.fast then
+          List.map2
+            (fun b1 b2 -> match merge_block b1 b2 with Some b -> b | None -> b1)
+            l1.fast l2.fast
+        else l1.fast
+      in
+      Some (Leaf { l1 with fast })
+    end
+    else None
+  | (Seq _ | Branch _ | Branch_size _ | Leaf _), _ -> None
+
+let rec count_shortcuts = function
+  | Seq (b, k) -> count_memos b + count_shortcuts k
+  | Branch (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_shortcuts n) 0 cases
+  | Branch_size (_, cases) ->
+    List.fold_left (fun acc (_, n) -> acc + count_shortcuts n) 0 cases
+  | Leaf l -> List.fold_left (fun acc b -> acc + count_memos b) 0 l.fast
+
+let rec count_paths = function
+  | Seq (_, k) -> count_paths k
+  | Branch (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_paths n) 0 cases
+  | Branch_size (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_paths n) 0 cases
+  | Leaf _ -> 1
+
+let create () = { roots = []; reg_count = 0; n_paths = 0; n_futures = 0; shortcut_count = 0 }
+
+let refresh_counts ap =
+  ap.n_paths <- List.fold_left (fun acc n -> acc + count_paths n) 0 ap.roots;
+  ap.shortcut_count <- List.fold_left (fun acc n -> acc + count_shortcuts n) 0 ap.roots
+
+(* Incorporate one more synthesized path (from one more pre-execution). *)
+let add_path ap (p : I.path) =
+  ap.n_futures <- ap.n_futures + 1;
+  ap.reg_count <- max ap.reg_count p.reg_count;
+  let node = of_path p in
+  let rec try_merge = function
+    | [] -> None
+    | root :: rest -> (
+      match merge_node root node with
+      | Some merged -> Some (merged :: rest)
+      | None -> (
+        match try_merge rest with Some rest' -> Some (root :: rest') | None -> None))
+  in
+  (match try_merge ap.roots with
+  | Some roots -> ap.roots <- roots
+  | None -> if List.length ap.roots < max_roots then ap.roots <- ap.roots @ [ node ]);
+  refresh_counts ap
+
+let instr_count ap =
+  let rec block_len b = Array.length b.instrs
+  and node_len = function
+    | Seq (b, k) -> block_len b + node_len k
+    | Branch (_, cases) ->
+      1 + List.fold_left (fun acc (_, n) -> acc + node_len n) 0 cases
+    | Branch_size (_, cases) ->
+      1 + List.fold_left (fun acc (_, n) -> acc + node_len n) 0 cases
+    | Leaf l -> List.fold_left (fun acc b -> acc + block_len b) 0 l.fast
+  in
+  List.fold_left (fun acc n -> acc + node_len n) 0 ap.roots

@@ -1,0 +1,74 @@
+(** Accelerated Programs (paper §4.3–4.4): merged constraint sets, fast
+    paths and memoization shortcuts.
+
+    An AP is a DAG of straight-line {!block}s joined by guard nodes; each
+    guard both checks a constraint and case-branches between the futures
+    merged into the program, so running an AP merged from N futures costs
+    the same as running one.  Blocks carry {!memo} shortcuts — remembered
+    (input values → output values) pairs from each pre-execution — that let
+    the executor skip whole segments when context values repeat. *)
+
+module I = Sevm.Ir
+
+type memo = {
+  in_regs : int array;  (** registers the segment depends on *)
+  in_vals : U256.t array;  (** values remembered from a pre-execution *)
+  out_regs : int array;
+  out_vals : U256.t array;  (** outputs committed when the inputs match *)
+}
+
+type block = {
+  instrs : I.instr array;  (** compute/read instructions, no guards *)
+  mutable memos : memo list;  (** shortcut alternatives, one per future *)
+  sub : (block * block) option;  (** bisection for partial-match shortcuts *)
+}
+
+type leaf = {
+  fast : block list;  (** the fast path: everything no guard depends on *)
+  writes : I.write list;  (** deferred effects, committed on completion *)
+  status : Evm.Processor.status;
+  gas_used : int;
+  output : I.piece list;
+}
+
+type node =
+  | Seq of block * node
+  | Branch of I.operand * (U256.t * node) list
+      (** guard + case-branch; no matching case = constraint violation *)
+  | Branch_size of I.operand * (int * node) list
+      (** byte-size data constraint (EXP gas), same dual role *)
+  | Leaf of leaf
+
+type t = {
+  mutable roots : node list;
+      (** alternative merged trees, tried in order; normally a single one *)
+  mutable reg_count : int;
+  mutable n_paths : int;  (** distinct control/data paths merged *)
+  mutable n_futures : int;  (** pre-executions incorporated *)
+  mutable shortcut_count : int;  (** memoization nodes across the program *)
+}
+
+val create : unit -> t
+
+val add_path : t -> I.path -> unit
+(** Incorporate one more synthesized path: merge it into an existing root
+    where the instruction streams agree (they diverge only at guards), or
+    keep it as an alternative root. *)
+
+val of_path : I.path -> node
+(** The single-future tree for one path (used by [add_path]). *)
+
+val merge_node : node -> node -> node option
+(** Structural merge; [None] when the trees are incompatible. *)
+
+val merge_block : block -> block -> block option
+(** Merge identical instruction blocks, pooling their memo alternatives
+    (capped at {!max_memo_alternatives}). *)
+
+val max_memo_alternatives : int
+
+val instr_count : t -> int
+(** Total S-EVM instructions across the program (for Fig. 15-style stats). *)
+
+val count_paths : node -> int
+val count_shortcuts : node -> int

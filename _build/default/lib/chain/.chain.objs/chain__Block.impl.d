@@ -1,0 +1,1 @@
+lib/chain/block.ml: Address Evm Fmt Int64 Khash List Rlp State String U256

@@ -1,0 +1,1 @@
+lib/chain/block.mli: Address Evm Format Rlp State U256

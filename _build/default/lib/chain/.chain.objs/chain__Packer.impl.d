@@ -1,0 +1,1 @@
+lib/chain/packer.ml: Address Evm List Random State U256

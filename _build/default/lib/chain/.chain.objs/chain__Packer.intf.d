@@ -1,0 +1,1 @@
+lib/chain/packer.mli: Evm Random State U256

@@ -1,0 +1,1 @@
+lib/chain/stf.ml: Block Evm List Printf State Statedb

@@ -1,0 +1,1 @@
+lib/chain/stf.mli: Block Evm State Statedb U256

@@ -1,0 +1,42 @@
+(* The block-level state transition function: execute a block's transactions
+   in order against a Statedb and commit.  Used by miners to fill in the
+   state root and by every node to validate it. *)
+
+open State
+
+type block_result = {
+  state_root : string;
+  receipts : Evm.Processor.receipt list;
+  gas_used : int;
+}
+
+let block_env_of_header (h : Block.header) ~block_hash : Evm.Env.block_env =
+  {
+    coinbase = h.coinbase;
+    timestamp = h.timestamp;
+    number = h.number;
+    difficulty = h.difficulty;
+    gas_limit = h.gas_limit;
+    chain_id = 1;
+    block_hash;
+  }
+
+(* Execute all transactions of [b] against [st] (which must be at the parent
+   state), committing at the end.  Raises [Invalid_argument] if any
+   transaction is invalid — a correctly mined block never contains one. *)
+let apply_block st ~block_hash (b : Block.t) =
+  let benv = block_env_of_header b.header ~block_hash in
+  let receipts =
+    List.map
+      (fun tx ->
+        let r = Evm.Processor.execute_tx st benv tx in
+        (match r.status with
+        | Invalid reason ->
+          invalid_arg (Printf.sprintf "apply_block: invalid tx in block: %s" reason)
+        | Success | Reverted -> ());
+        r)
+      b.txs
+  in
+  let state_root = Statedb.commit st in
+  let gas_used = List.fold_left (fun acc (r : Evm.Processor.receipt) -> acc + r.gas_used) 0 receipts in
+  { state_root; receipts; gas_used }

@@ -1,0 +1,18 @@
+(** The block-level state transition function. *)
+
+open State
+
+type block_result = {
+  state_root : string;
+  receipts : Evm.Processor.receipt list;
+  gas_used : int;
+}
+
+val block_env_of_header :
+  Block.header -> block_hash:(int64 -> U256.t) -> Evm.Env.block_env
+
+val apply_block : Statedb.t -> block_hash:(int64 -> U256.t) -> Block.t -> block_result
+(** Execute all of a block's transactions in order against [st] (which must
+    hold the parent state) and commit.
+    @raise Invalid_argument if a transaction is invalid — a correctly mined
+    block never contains one. *)

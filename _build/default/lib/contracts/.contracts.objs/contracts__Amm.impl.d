@@ -1,0 +1,1 @@
+lib/contracts/amm.ml: Abi Asm Erc20 Evm Khash Op U256

@@ -1,0 +1,1 @@
+lib/contracts/amm.mli: U256

@@ -1,0 +1,1 @@
+lib/contracts/auction.ml: Abi Asm Evm Khash Op

@@ -1,0 +1,1 @@
+lib/contracts/auction.mli: U256

@@ -1,0 +1,1 @@
+lib/contracts/counter.ml: Abi Asm Evm Op

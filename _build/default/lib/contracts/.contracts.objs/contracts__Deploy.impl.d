@@ -1,0 +1,1 @@
+lib/contracts/deploy.ml: Address Amm Erc20 Khash State Statedb U256

@@ -1,0 +1,1 @@
+lib/contracts/deploy.mli: Address State Statedb U256

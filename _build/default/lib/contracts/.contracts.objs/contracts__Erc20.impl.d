@@ -1,0 +1,1 @@
+lib/contracts/erc20.ml: Abi Asm Evm Khash Op State U256

@@ -1,0 +1,1 @@
+lib/contracts/erc20.mli: State U256

@@ -1,0 +1,1 @@
+lib/contracts/pricefeed.ml: Abi Asm Evm Int64 Op

@@ -1,0 +1,1 @@
+lib/contracts/registry.ml: Abi Asm Evm Khash Op

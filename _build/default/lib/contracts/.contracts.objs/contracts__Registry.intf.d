@@ -1,0 +1,1 @@
+lib/contracts/registry.mli: U256

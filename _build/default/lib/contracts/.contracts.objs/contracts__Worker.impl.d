@@ -1,0 +1,1 @@
+lib/contracts/worker.ml: Abi Asm Evm Op U256

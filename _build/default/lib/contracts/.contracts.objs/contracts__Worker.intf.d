@@ -1,0 +1,1 @@
+lib/contracts/worker.mli:

@@ -1,0 +1,138 @@
+(* A constant-product automated market maker (Uniswap-v2 style, 0.3% fee)
+   over two ERC-20 tokens.  Swaps make two external CALLs (transferFrom to
+   pull the input, transfer to push the output), exercising Forerunner's
+   cross-contract specialization.
+
+   Storage layout:
+     slot 0  token0 address        slot 2  reserve0
+     slot 1  token1 address        slot 3  reserve1
+
+   Liquidity shares are not modelled (DESIGN.md §6): addLiquidity simply
+   grows both reserves. *)
+
+open Evm
+open Asm
+
+let swap_sig = "swap(uint256,uint256)"
+let add_liquidity_sig = "addLiquidity(uint256,uint256)"
+let reserve0_sig = "reserve0()"
+let reserve1_sig = "reserve1()"
+let swap_event = Khash.Keccak.digest_u256 "Swap(address,uint256,uint256)"
+
+let selword signature = U256.shift_left (U256.of_int (Abi.selector signature)) 224
+
+(* CALL token.<transferFrom>(caller, this, amount) where the token address
+   sits in storage slot [token_slot] and [amount_item]s leave the amount on
+   the stack.  Consumes nothing; reverts on failure.  Uses mem[0..100] for
+   calldata and mem[100..132] for the returned bool. *)
+let pull_tokens ~token_slot ~amount_items ~ok1 ~ok2 =
+  [ push (selword Erc20.transfer_from_sig); push_int 0; op Op.MSTORE; op Op.CALLER;
+    push_int 4; op Op.MSTORE; op Op.ADDRESS; push_int 36; op Op.MSTORE ]
+  @ amount_items
+  @ [ push_int 68; op Op.MSTORE;
+      (* CALL(gas, to, 0, 0, 100, 100, 32) — push operands deepest-first *)
+      push_int 32; push_int 100; push_int 100; push_int 0; push_int 0;
+      push_int token_slot; op Op.SLOAD; op Op.GAS; op Op.CALL ]
+  @ jumpi ok1 @ revert_
+  @ [ label ok1; push_int 100; op Op.MLOAD ]
+  @ jumpi ok2 @ revert_ @ [ label ok2 ]
+
+(* CALL token.transfer(caller, amount) with amount left on the stack by
+   [amount_items] (which must not disturb anything beneath it). *)
+let push_tokens ~token_slot ~amount_items ~ok1 ~ok2 =
+  [ push (selword Erc20.transfer_sig); push_int 0; op Op.MSTORE; op Op.CALLER; push_int 4;
+    op Op.MSTORE ]
+  @ amount_items
+  @ [ push_int 36; op Op.MSTORE;
+      push_int 32; push_int 100; push_int 68; push_int 0; push_int 0;
+      push_int token_slot; op Op.SLOAD; op Op.GAS; op Op.CALL ]
+  @ jumpi ok1 @ revert_
+  @ [ label ok1; push_int 100; op Op.MLOAD ]
+  @ jumpi ok2 @ revert_ @ [ label ok2 ]
+
+let amount_in = [ push_int 4; op Op.CALLDATALOAD ]
+
+(* One direction of the swap.  [tin]/[tout] are token slots, [rin]/[rout]
+   reserve slots, [tag] a label suffix. *)
+let swap_body ~tin ~tout ~rin ~rout ~tag =
+  let l s = s ^ tag in
+  pull_tokens ~token_slot:tin ~amount_items:amount_in ~ok1:(l "pull1") ~ok2:(l "pull2")
+  @ [ (* reserves *)
+      push_int rin; op Op.SLOAD (* [rIn] *); push_int rout; op Op.SLOAD
+      (* [rOut, rIn] *) ]
+  @ amount_in
+  @ [ push_int 997; op Op.MUL;
+      (* [aIn997, rOut, rIn] *)
+      op (Op.DUP 1); op (Op.DUP 3); op Op.MUL;
+      (* [num, aIn997, rOut, rIn] *)
+      op (Op.DUP 4); push_int 1000; op Op.MUL;
+      (* [rIn1000, num, aIn997, rOut, rIn] *)
+      op (Op.DUP 3); op Op.ADD;
+      (* [den, num, aIn997, rOut, rIn] *)
+      op (Op.SWAP 1); op Op.DIV
+      (* [out, aIn997, rOut, rIn] *) ]
+  @ [ op (Op.DUP 1) ] @ jumpi (l "nonzero") @ revert_
+  @ [ label (l "nonzero");
+      (* out < rOut *)
+      op (Op.DUP 1); op (Op.DUP 4); op (Op.SWAP 1); op Op.LT
+      (* [out<rOut, out, aIn997, rOut, rIn] *) ]
+  @ jumpi (l "liquid") @ revert_
+  @ [ label (l "liquid");
+      (* reserve updates *)
+      op (Op.DUP 1); op (Op.DUP 4); op Op.SUB;
+      (* [rOut-out, out, aIn997, rOut, rIn] *)
+      push_int rout; op Op.SSTORE
+      (* [out, aIn997, rOut, rIn] *) ]
+  @ amount_in
+  @ [ op (Op.DUP 5); op Op.ADD;
+      (* [rIn+aIn, out, aIn997, rOut, rIn] *)
+      push_int rin; op Op.SSTORE
+      (* [out, aIn997, rOut, rIn] *) ]
+  @ push_tokens ~token_slot:tout ~amount_items:[ op (Op.DUP 1) ] ~ok1:(l "push1")
+      ~ok2:(l "push2")
+  @ (* Swap(caller, amountIn, out) event: data = amountIn ++ out *)
+  amount_in
+  @ [ push_int 0; op Op.MSTORE; op (Op.DUP 1); push_int 32; op Op.MSTORE; op Op.CALLER;
+      push swap_event; push_int 64; push_int 0; op (Op.LOG 2) ]
+  @ return_word
+
+let code =
+  assemble
+    (dispatch (Abi.selector swap_sig) "swap"
+    @ dispatch (Abi.selector add_liquidity_sig) "add_liquidity"
+    @ dispatch (Abi.selector reserve0_sig) "r0"
+    @ dispatch (Abi.selector reserve1_sig) "r1"
+    @ revert_
+    @ [ label "swap"; push_int 36; op Op.CALLDATALOAD ]
+    @ jumpi "swap_1_to_0"
+    @ swap_body ~tin:0 ~tout:1 ~rin:2 ~rout:3 ~tag:"_0"
+    @ [ label "swap_1_to_0" ]
+    @ swap_body ~tin:1 ~tout:0 ~rin:3 ~rout:2 ~tag:"_1"
+    (* ---- addLiquidity(a0, a1) ---- *)
+    @ [ label "add_liquidity" ]
+    @ pull_tokens ~token_slot:0 ~amount_items:[ push_int 4; op Op.CALLDATALOAD ]
+        ~ok1:"al_p1" ~ok2:"al_p2"
+    @ pull_tokens ~token_slot:1 ~amount_items:[ push_int 36; op Op.CALLDATALOAD ]
+        ~ok1:"al_p3" ~ok2:"al_p4"
+    @ [ push_int 2; op Op.SLOAD; push_int 4; op Op.CALLDATALOAD; op Op.ADD; push_int 2;
+        op Op.SSTORE; push_int 3; op Op.SLOAD; push_int 36; op Op.CALLDATALOAD;
+        op Op.ADD; push_int 3; op Op.SSTORE; op Op.STOP ]
+    @ [ label "r0"; push_int 2; op Op.SLOAD ]
+    @ return_word
+    @ [ label "r1"; push_int 3; op Op.SLOAD ]
+    @ return_word)
+
+let swap_call ~amount_in ~one_to_zero =
+  Abi.encode_call swap_sig [ Abi.W amount_in; Abi.N (if one_to_zero then 1 else 0) ]
+
+let add_liquidity_call ~amount0 ~amount1 =
+  Abi.encode_call add_liquidity_sig [ Abi.W amount0; Abi.W amount1 ]
+
+let reserve0_call = Abi.encode_call reserve0_sig []
+let reserve1_call = Abi.encode_call reserve1_sig []
+
+(* Expected output amount, mirroring the contract's integer arithmetic. *)
+let expected_out ~amount_in ~reserve_in ~reserve_out =
+  let open U256 in
+  let a997 = mul amount_in (of_int 997) in
+  div (mul a997 reserve_out) (add (mul reserve_in (of_int 1000)) a997)

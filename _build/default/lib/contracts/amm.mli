@@ -1,0 +1,24 @@
+(** A constant-product AMM pair (Uniswap-v2 style, 0.3% fee) over two ERC-20
+    tokens.  Swaps pull the input with [transferFrom] and push the output
+    with [transfer] — two external CALLs, exercising Forerunner's
+    cross-contract specialization.
+
+    Storage: slot 0/1 = token addresses, slot 2/3 = reserves.  Liquidity
+    shares are not modelled (DESIGN.md §6). *)
+
+val code : string
+
+val swap_sig : string
+val add_liquidity_sig : string
+val reserve0_sig : string
+val reserve1_sig : string
+val swap_event : U256.t
+
+val swap_call : amount_in:U256.t -> one_to_zero:bool -> string
+val add_liquidity_call : amount0:U256.t -> amount1:U256.t -> string
+val reserve0_call : string
+val reserve1_call : string
+
+val expected_out : amount_in:U256.t -> reserve_in:U256.t -> reserve_out:U256.t -> U256.t
+(** The contract's integer output formula:
+    [in*997*rOut / (rIn*1000 + in*997)]. *)

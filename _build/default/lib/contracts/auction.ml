@@ -1,0 +1,49 @@
+(* An English auction with immediate refunds: bid() is payable, and a higher
+   bid pushes the previous highest bid back to its bidder with a
+   value-bearing CALL.  This exercises the speculative-execution paths the
+   other contracts don't: mid-transaction ether transfers (symbolic balance
+   deltas), the balance-sufficiency control constraint, and calls whose
+   value is a register rather than a constant.
+
+   Storage layout: slot 0 = highest bidder, slot 1 = highest bid. *)
+
+open Evm
+open Asm
+
+let bid_sig = "bid()"
+let highest_bid_sig = "highestBid()"
+let highest_bidder_sig = "highestBidder()"
+let bid_event = Khash.Keccak.digest_u256 "HighestBidIncreased(address,uint256)"
+
+let code =
+  assemble
+    (dispatch (Abi.selector bid_sig) "bid"
+    @ dispatch (Abi.selector highest_bid_sig) "highest_bid"
+    @ dispatch (Abi.selector highest_bidder_sig) "highest_bidder"
+    @ revert_
+    (* ---- bid() payable ---- *)
+    @ [ label "bid";
+        (* require msg.value > highestBid *)
+        push_int 1; op Op.SLOAD; op Op.CALLVALUE; op Op.GT ]
+    @ jumpi "bid_ok" @ revert_
+    @ [ label "bid_ok";
+        (* refund the previous bidder, unless this is the first bid *)
+        push_int 0; op Op.SLOAD; op (Op.DUP 1); op Op.ISZERO ]
+    @ jumpi "no_refund"
+    @ [ (* [oldBidder] — CALL(gas, oldBidder, oldBid, 0, 0, 0, 0) *)
+        push_int 0; push_int 0; push_int 0; push_int 0; push_int 1; op Op.SLOAD;
+        op (Op.DUP 6); op Op.GAS; op Op.CALL; op Op.POP ]
+    @ [ label "no_refund"; op Op.POP;
+        (* record the new highest bid *)
+        op Op.CALLER; push_int 0; op Op.SSTORE; op Op.CALLVALUE; push_int 1; op Op.SSTORE;
+        (* HighestBidIncreased(bidder, amount) *)
+        op Op.CALLVALUE; push_int 0; op Op.MSTORE; op Op.CALLER; push bid_event;
+        push_int 32; push_int 0; op (Op.LOG 2); op Op.STOP ]
+    @ [ label "highest_bid"; push_int 1; op Op.SLOAD ]
+    @ return_word
+    @ [ label "highest_bidder"; push_int 0; op Op.SLOAD ]
+    @ return_word)
+
+let bid_call = Abi.encode_call bid_sig []
+let highest_bid_call = Abi.encode_call highest_bid_sig []
+let highest_bidder_call = Abi.encode_call highest_bidder_sig []

@@ -1,0 +1,20 @@
+(** An English auction with immediate refunds: [bid()] is payable and a
+    higher bid pushes the previous highest bid back to its bidder with a
+    value-bearing CALL — the workload's source of mid-transaction ether
+    transfers and balance-sufficiency constraints.
+
+    Storage: slot 0 = highest bidder, slot 1 = highest bid. *)
+
+val code : string
+
+val bid_sig : string
+val highest_bid_sig : string
+val highest_bidder_sig : string
+val bid_event : U256.t
+
+val bid_call : string
+(** Call data for [bid()]; the bid amount travels as the transaction
+    value. *)
+
+val highest_bid_call : string
+val highest_bidder_call : string

@@ -1,0 +1,21 @@
+(* The simplest stateful contract: one storage slot, incremented per call.
+   Used by the quickstart example and as the minimal AP test subject. *)
+
+open Evm
+open Asm
+
+let increment_sig = "increment()"
+let get_sig = "get()"
+
+let code =
+  assemble
+    (dispatch (Abi.selector increment_sig) "increment"
+    @ dispatch (Abi.selector get_sig) "get"
+    @ revert_
+    @ [ label "increment"; push_int 0; op Op.SLOAD; push_int 1; op Op.ADD; push_int 0;
+        op Op.SSTORE; op Op.STOP ]
+    @ [ label "get"; push_int 0; op Op.SLOAD ]
+    @ return_word)
+
+let increment_call = Abi.encode_call increment_sig []
+let get_call = Abi.encode_call get_sig []

@@ -1,0 +1,9 @@
+(** The simplest stateful contract: one storage slot, incremented per call —
+    the quickstart example's subject, and a source of globally interfering
+    (but CD-equivalent) transactions in the workload. *)
+
+val code : string
+val increment_sig : string
+val get_sig : string
+val increment_call : string
+val get_call : string

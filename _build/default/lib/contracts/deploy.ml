@@ -1,0 +1,36 @@
+(* Genesis helpers: install contracts and seed their storage directly into a
+   Statedb, the way a genesis block allocates state. *)
+
+open State
+
+let install_code st addr code = Statedb.set_code st addr code
+
+(* Give the ERC-20 at [token] a balance for [owner]. *)
+let seed_erc20_balance st ~token ~owner ~amount =
+  Statedb.set_storage st token (Erc20.balance_slot owner) amount;
+  (* keep totalSupply consistent *)
+  let total = Statedb.get_storage st token U256.zero in
+  Statedb.set_storage st token U256.zero (U256.add total amount)
+
+(* Allowance slot allowances[owner][spender] for mapping slot 2. *)
+let allowance_slot ~owner ~spender =
+  let inner =
+    Khash.Keccak.digest_u256
+      (U256.to_bytes_be (Address.to_u256 owner) ^ U256.to_bytes_be (U256.of_int 2))
+  in
+  Khash.Keccak.digest_u256
+    (U256.to_bytes_be (Address.to_u256 spender) ^ U256.to_bytes_be inner)
+
+let seed_erc20_allowance st ~token ~owner ~spender ~amount =
+  Statedb.set_storage st token (allowance_slot ~owner ~spender) amount
+
+(* Install an AMM pair over [token0]/[token1] with the given reserves; the
+   pair is given matching token balances so swaps can pay out. *)
+let install_amm st ~pair ~token0 ~token1 ~reserve0 ~reserve1 =
+  install_code st pair Amm.code;
+  Statedb.set_storage st pair U256.zero (Address.to_u256 token0);
+  Statedb.set_storage st pair U256.one (Address.to_u256 token1);
+  Statedb.set_storage st pair (U256.of_int 2) reserve0;
+  Statedb.set_storage st pair (U256.of_int 3) reserve1;
+  seed_erc20_balance st ~token:token0 ~owner:pair ~amount:reserve0;
+  seed_erc20_balance st ~token:token1 ~owner:pair ~amount:reserve1

@@ -1,0 +1,26 @@
+(** Genesis helpers: install contracts and seed their storage directly into
+    a {!State.Statedb}, the way a genesis block allocates state. *)
+
+open State
+
+val install_code : Statedb.t -> Address.t -> string -> unit
+
+val seed_erc20_balance :
+  Statedb.t -> token:Address.t -> owner:Address.t -> amount:U256.t -> unit
+(** Credit an ERC-20 balance and grow totalSupply consistently. *)
+
+val allowance_slot : owner:Address.t -> spender:Address.t -> U256.t
+
+val seed_erc20_allowance :
+  Statedb.t -> token:Address.t -> owner:Address.t -> spender:Address.t -> amount:U256.t -> unit
+
+val install_amm :
+  Statedb.t ->
+  pair:Address.t ->
+  token0:Address.t ->
+  token1:Address.t ->
+  reserve0:U256.t ->
+  reserve1:U256.t ->
+  unit
+(** Install the pair with reserves and matching token balances so swaps can
+    pay out. *)

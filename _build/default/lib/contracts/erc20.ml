@@ -1,0 +1,158 @@
+(* An ERC-20 token.
+
+   Storage layout:
+     slot 0           totalSupply
+     mapping slot 1   balances[owner]
+     mapping slot 2   allowances[owner][spender] (nested)
+
+   [mint] is unauthenticated — this token exists to generate realistic
+   workload traffic, not to hold value. *)
+
+open Evm
+open Asm
+
+let transfer_sig = "transfer(address,uint256)"
+let approve_sig = "approve(address,uint256)"
+let transfer_from_sig = "transferFrom(address,address,uint256)"
+let balance_of_sig = "balanceOf(address)"
+let mint_sig = "mint(address,uint256)"
+let total_supply_sig = "totalSupply()"
+
+(* Event topics. *)
+let transfer_event = Khash.Keccak.digest_u256 "Transfer(address,address,uint256)"
+let approval_event = Khash.Keccak.digest_u256 "Approval(address,address,uint256)"
+
+(* Nested mapping: expects owner on stack, leaves inner slot for
+   allowances[owner]; a second hash with the spender gives the final slot. *)
+
+(* Emit Transfer(from, to, amount): expects [amount, to, from] on the stack
+   top-first; consumes them. *)
+let log_transfer =
+  [ push_int 0; op Op.MSTORE (* mem[0..32] = amount *);
+    (* stack now [to, from] — topics pushed as t3=to? no: LOG3 pops
+       offset, len, t1, t2, t3; we want t1=sig t2=from t3=to *)
+    op (Op.SWAP 1);
+    (* [from, to] *)
+    push transfer_event;
+    (* [sig, from, to] *)
+    push_int 32; push_int 0;
+    (* [0, 32, sig, from, to] *)
+    op (Op.LOG 3) ]
+
+let return_true = push_int 1 :: return_word
+
+let code =
+  assemble
+    (dispatch (Abi.selector transfer_sig) "transfer"
+    @ dispatch (Abi.selector balance_of_sig) "balance_of"
+    @ dispatch (Abi.selector approve_sig) "approve"
+    @ dispatch (Abi.selector transfer_from_sig) "transfer_from"
+    @ dispatch (Abi.selector mint_sig) "mint"
+    @ dispatch (Abi.selector total_supply_sig) "total_supply"
+    @ revert_
+    (* ---- transfer(to, amount) ---- *)
+    @ [ label "transfer"; op Op.CALLER ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD;
+        (* [fromBal, fromSlot] *)
+        op (Op.DUP 1); push_int 36; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.LT;
+        op Op.ISZERO
+        (* [fromBal>=amount, fromBal, fromSlot] *) ]
+    @ jumpi "transfer_ok" @ revert_
+    @ [ label "transfer_ok";
+        (* [fromBal, fromSlot] *)
+        push_int 36; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.SUB;
+        (* [fromBal-amount, fromSlot] *)
+        op (Op.SWAP 1); op Op.SSTORE;
+        (* to side *)
+        push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD;
+        (* [toBal, toSlot] *)
+        push_int 36; op Op.CALLDATALOAD; op Op.ADD; op (Op.SWAP 1); op Op.SSTORE;
+        (* event: stack args [amount, to, from] *)
+        push_int 36; op Op.CALLDATALOAD ]
+    @ [ push_int 4; op Op.CALLDATALOAD; op (Op.SWAP 1) ]
+      (* [amount, to] — need [amount, to, from]: push from below *)
+    @ [ op Op.CALLER; op (Op.SWAP 2); op (Op.SWAP 1) ]
+    @ log_transfer @ return_true
+    (* ---- balanceOf(owner) ---- *)
+    @ [ label "balance_of"; push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op Op.SLOAD ]
+    @ return_word
+    (* ---- approve(spender, amount) ---- *)
+    @ [ label "approve"; op Op.CALLER ]
+    @ mapping_slot 2
+    @ [ push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot_dyn
+    @ [ push_int 36; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.SSTORE;
+        (* Approval event: mem[0]=amount; topics owner, spender *)
+        push_int 36; op Op.CALLDATALOAD; push_int 0; op Op.MSTORE;
+        push_int 4; op Op.CALLDATALOAD (* [spender] *); op Op.CALLER (* [owner, spender] *);
+        push approval_event; push_int 32; push_int 0; op (Op.LOG 3) ]
+    @ return_true
+    (* ---- transferFrom(from, to, amount) ---- *)
+    @ [ label "transfer_from";
+        (* allowance slot = alw[from][caller] *)
+        push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 2
+    @ [ op Op.CALLER ]
+    @ mapping_slot_dyn
+    @ [ op (Op.DUP 1); op Op.SLOAD;
+        (* [allow, aSlot] *)
+        op (Op.DUP 1); push_int 68; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.LT;
+        op Op.ISZERO ]
+    @ jumpi "tf_allow_ok" @ revert_
+    @ [ label "tf_allow_ok";
+        (* [allow, aSlot] *)
+        push_int 68; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.SUB; op (Op.SWAP 1);
+        op Op.SSTORE;
+        (* from balance *)
+        push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD;
+        op (Op.DUP 1); push_int 68; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.LT;
+        op Op.ISZERO ]
+    @ jumpi "tf_bal_ok" @ revert_
+    @ [ label "tf_bal_ok"; push_int 68; op Op.CALLDATALOAD; op (Op.SWAP 1); op Op.SUB;
+        op (Op.SWAP 1); op Op.SSTORE;
+        (* to balance *)
+        push_int 36; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD; push_int 68; op Op.CALLDATALOAD; op Op.ADD;
+        op (Op.SWAP 1); op Op.SSTORE;
+        (* event [amount, to, from] *)
+        push_int 68; op Op.CALLDATALOAD; push_int 36; op Op.CALLDATALOAD;
+        op (Op.SWAP 1); push_int 4; op Op.CALLDATALOAD; op (Op.SWAP 2); op (Op.SWAP 1) ]
+    @ log_transfer @ return_true
+    (* ---- mint(to, amount) ---- *)
+    @ [ label "mint"; push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD; push_int 36; op Op.CALLDATALOAD; op Op.ADD;
+        op (Op.SWAP 1); op Op.SSTORE;
+        (* totalSupply += amount *)
+        push_int 0; op Op.SLOAD; push_int 36; op Op.CALLDATALOAD; op Op.ADD;
+        push_int 0; op Op.SSTORE;
+        (* Transfer(0, to, amount) event *)
+        push_int 36; op Op.CALLDATALOAD; push_int 4; op Op.CALLDATALOAD; op (Op.SWAP 1);
+        push_int 0; op (Op.SWAP 2); op (Op.SWAP 1) ]
+    @ log_transfer @ return_true
+    (* ---- totalSupply() ---- *)
+    @ [ label "total_supply"; push_int 0; op Op.SLOAD ]
+    @ return_word)
+
+let transfer_call ~to_ ~amount = Abi.encode_call transfer_sig [ Abi.A to_; Abi.W amount ]
+let approve_call ~spender ~amount = Abi.encode_call approve_sig [ Abi.A spender; Abi.W amount ]
+
+let transfer_from_call ~from ~to_ ~amount =
+  Abi.encode_call transfer_from_sig [ Abi.A from; Abi.A to_; Abi.W amount ]
+
+let balance_of_call ~owner = Abi.encode_call balance_of_sig [ Abi.A owner ]
+let mint_call ~to_ ~amount = Abi.encode_call mint_sig [ Abi.A to_; Abi.W amount ]
+let total_supply_call = Abi.encode_call total_supply_sig []
+
+(* Storage slot of balances[owner] — used to seed genesis balances. *)
+let balance_slot owner =
+  Khash.Keccak.digest_u256
+    (U256.to_bytes_be (State.Address.to_u256 owner) ^ U256.to_bytes_be U256.one)

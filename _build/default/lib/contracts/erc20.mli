@@ -1,0 +1,30 @@
+(** An ERC-20 token (transfer / approve / transferFrom / balanceOf / mint /
+    totalSupply) assembled from the eDSL.
+
+    Storage: slot 0 = totalSupply, mapping slot 1 = balances, nested mapping
+    slot 2 = allowances.  [mint] is unauthenticated — this token generates
+    workload traffic, it does not guard value. *)
+
+val code : string
+
+val transfer_sig : string
+val approve_sig : string
+val transfer_from_sig : string
+val balance_of_sig : string
+val mint_sig : string
+val total_supply_sig : string
+
+val transfer_event : U256.t
+(** keccak256 of [Transfer(address,address,uint256)]. *)
+
+val approval_event : U256.t
+
+val transfer_call : to_:State.Address.t -> amount:U256.t -> string
+val approve_call : spender:State.Address.t -> amount:U256.t -> string
+val transfer_from_call : from:State.Address.t -> to_:State.Address.t -> amount:U256.t -> string
+val balance_of_call : owner:State.Address.t -> string
+val mint_call : to_:State.Address.t -> amount:U256.t -> string
+val total_supply_call : string
+
+val balance_slot : State.Address.t -> U256.t
+(** Storage slot of [balances[owner]] — used to seed genesis balances. *)

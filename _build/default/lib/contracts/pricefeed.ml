@@ -1,0 +1,89 @@
+(* The paper's running example (Fig. 4): a price oracle aggregating
+   submissions per 300-second round.
+
+   Storage layout:
+     slot 0               activeRoundID
+     mapping slot 1       prices[roundID]
+     mapping slot 2       submissionCounts[roundID]
+
+   submit(uint256 roundID, uint256 price):
+     curRound = timestamp - timestamp % 300
+     revert if roundID != curRound
+     if activeRoundID < roundID: start new round
+     else: aggregate into running average *)
+
+open Evm
+open Asm
+
+let submit_sig = "submit(uint256,uint256)"
+let latest_sig = "latestPrice()"
+let round_seconds = 300
+
+let code =
+  assemble
+    (dispatch (Abi.selector submit_sig) "submit"
+    @ dispatch (Abi.selector latest_sig) "latest"
+    @ revert_
+    (* ---- submit(roundID, price) ---- *)
+    @ [ label "submit";
+        (* curRound = ts - ts % 300 *)
+        op Op.TIMESTAMP; op (Op.DUP 1); push_int round_seconds; op (Op.SWAP 1);
+        op Op.MOD; op (Op.SWAP 1); op Op.SUB;
+        (* [curRound] *)
+        push_int 4; op Op.CALLDATALOAD;
+        (* [roundID, curRound] *)
+        op (Op.DUP 1); op (Op.SWAP 2); op Op.EQ
+        (* [curRound==roundID, roundID] *) ]
+    @ jumpi "round_ok" @ revert_
+    @ [ label "round_ok";
+        (* [roundID] — branch on activeRoundID < roundID *)
+        push_int 0; op Op.SLOAD;
+        (* [active, roundID] *)
+        op (Op.DUP 2); op (Op.SWAP 1);
+        (* [active, roundID, roundID] *)
+        op Op.LT
+        (* [active<roundID, roundID] *) ]
+    @ jumpi "new_round"
+    (* ---- aggregate branch: [roundID] ---- *)
+    @ [ op (Op.DUP 1) ]
+    @ mapping_slot 1
+    @ [ op Op.SLOAD (* [curPrice, roundID] *); op (Op.DUP 2) ]
+    @ mapping_slot 2
+    @ [ op Op.SLOAD;
+        (* [curCount, curPrice, roundID] *)
+        op (Op.DUP 1); op (Op.SWAP 2); op Op.MUL;
+        (* [curPrice*curCount, curCount, roundID] *)
+        push_int 36; op Op.CALLDATALOAD; op Op.ADD;
+        (* [newSum, curCount, roundID] *)
+        op (Op.SWAP 1); push_int 1; op Op.ADD;
+        (* [newCount, newSum, roundID] *)
+        op (Op.DUP 1); op (Op.DUP 4) ]
+    @ mapping_slot 2
+    @ [ op Op.SSTORE;
+        (* counts[roundID] = newCount; [newCount, newSum, roundID] *)
+        op (Op.SWAP 1); op Op.DIV;
+        (* [newSum/newCount, roundID] *)
+        op (Op.SWAP 1) ]
+    @ mapping_slot 1
+    @ [ op Op.SSTORE (* prices[roundID] = avg *); op Op.STOP ]
+    (* ---- new-round branch: [roundID] ---- *)
+    @ [ label "new_round"; op (Op.DUP 1); push_int 0; op Op.SSTORE;
+        (* activeRoundID = roundID; [roundID] *)
+        push_int 36; op Op.CALLDATALOAD; op (Op.DUP 2) ]
+    @ mapping_slot 1
+    @ [ op Op.SSTORE (* prices[roundID] = price; [roundID] *); push_int 1; op (Op.SWAP 1) ]
+    @ mapping_slot 2
+    @ [ op Op.SSTORE (* counts[roundID] = 1 *); op Op.STOP ]
+    (* ---- latestPrice() ---- *)
+    @ [ label "latest"; push_int 0; op Op.SLOAD ]
+    @ mapping_slot 1
+    @ [ op Op.SLOAD ]
+    @ return_word)
+
+(* Round id for a given unix timestamp, mirroring the contract's arithmetic. *)
+let round_of_timestamp ts = Int64.to_int ts / round_seconds * round_seconds
+
+let submit_call ~round_id ~price =
+  Abi.encode_call submit_sig [ Abi.N round_id; Abi.N price ]
+
+let latest_call = Abi.encode_call latest_sig []

@@ -1,0 +1,22 @@
+(** The paper's running example (§4.2, Fig. 4): a price oracle aggregating
+    submissions into a per-300-second-round running average.
+
+    Storage: slot 0 = activeRoundID, mapping slot 1 = prices,
+    mapping slot 2 = submissionCounts.  [submit] reverts unless the round id
+    matches the block-timestamp round; the first submission of a round takes
+    the new-round branch, later ones the aggregation branch — the control
+    split of the paper's Figs. 8–10. *)
+
+val code : string
+(** Assembled runtime bytecode. *)
+
+val submit_sig : string
+val latest_sig : string
+val round_seconds : int
+
+val round_of_timestamp : int64 -> int
+(** The round id a block with this timestamp accepts, mirroring the
+    contract's arithmetic. *)
+
+val submit_call : round_id:int -> price:int -> string
+val latest_call : string

@@ -1,0 +1,34 @@
+(* A first-come-first-served name registry: register(name) stores the caller
+   as owner and reverts if the name is taken.  Registrations of the same name
+   racing each other are exactly the "inter-dependent transactions ordered
+   differently" case that makes futures diverge. *)
+
+open Evm
+open Asm
+
+let register_sig = "register(uint256)"
+let owner_of_sig = "ownerOf(uint256)"
+let registered_event = Khash.Keccak.digest_u256 "Registered(uint256,address)"
+
+let code =
+  assemble
+    (dispatch (Abi.selector register_sig) "register"
+    @ dispatch (Abi.selector owner_of_sig) "owner_of"
+    @ revert_
+    @ [ label "register"; push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op (Op.DUP 1); op Op.SLOAD; op Op.ISZERO ]
+    @ jumpi "free" @ revert_
+    @ [ label "free";
+        (* [slot] *)
+        op Op.CALLER; op (Op.SWAP 1); op Op.SSTORE;
+        (* Registered(name, caller) event: topics name, data = caller *)
+        op Op.CALLER; push_int 0; op Op.MSTORE; push_int 4; op Op.CALLDATALOAD;
+        push registered_event; push_int 32; push_int 0; op (Op.LOG 2); op Op.STOP ]
+    @ [ label "owner_of"; push_int 4; op Op.CALLDATALOAD ]
+    @ mapping_slot 1
+    @ [ op Op.SLOAD ]
+    @ return_word)
+
+let register_call ~name = Abi.encode_call register_sig [ Abi.W name ]
+let owner_of_call ~name = Abi.encode_call owner_of_sig [ Abi.W name ]

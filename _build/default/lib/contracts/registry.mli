@@ -1,0 +1,11 @@
+(** A first-come-first-served name registry: racing registrations of the
+    same name are the workload's source of genuinely order-dependent control
+    flow (the case constraint-based speculation must cover with multiple
+    futures). *)
+
+val code : string
+val register_sig : string
+val owner_of_sig : string
+val registered_event : U256.t
+val register_call : name:U256.t -> string
+val owner_of_call : name:U256.t -> string

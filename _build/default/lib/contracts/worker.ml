@@ -1,0 +1,52 @@
+(* A compute-heavy contract: iterated Keccak hashing, the kind of batch
+   processing that produces the high-gas tail of Ethereum traffic (paper
+   Fig. 13 correlates speedup with gas used).
+
+   Storage layout: slot 0 = last pure result, slot 1 = rolling digest.
+
+   work(n):  acc := keccak-chain of length n seeded by a constant;
+             every loop quantity derives from calldata, so specialization
+             folds the entire loop away — the AP commits a constant
+             (the paper observed >1000x speedups on such transactions).
+   mix(n):   the chain is seeded from storage slot 1 and written back, so
+             the AP keeps n hash instructions in its fast path, all
+             skippable by memoization when the seed repeats. *)
+
+open Evm
+open Asm
+
+let work_sig = "work(uint256)"
+let mix_sig = "mix(uint256)"
+
+(* Shared loop: expects [acc; i; n] on the stack at "loop"; leaves [acc]. *)
+let hash_loop tag =
+  let l s = s ^ tag in
+  [ label (l "loop");
+    (* exit when i >= n *)
+    op (Op.DUP 2); op (Op.DUP 4); op (Op.SWAP 1); op Op.LT; op Op.ISZERO ]
+  @ jumpi (l "done")
+  @ [ (* acc = keccak(acc ++ i) *)
+      push_int 0; op Op.MSTORE; op (Op.DUP 1); push_int 32; op Op.MSTORE; push_int 64;
+      push_int 0; op Op.SHA3;
+      (* i = i + 1 *)
+      op (Op.SWAP 1); push_int 1; op Op.ADD; op (Op.SWAP 1) ]
+  @ jump (l "loop")
+  @ [ label (l "done"); op (Op.SWAP 1); op Op.POP; op (Op.SWAP 1); op Op.POP ]
+
+let code =
+  assemble
+    (dispatch (Abi.selector work_sig) "work"
+    @ dispatch (Abi.selector mix_sig) "mix"
+    @ revert_
+    (* ---- work(n): constant seed ---- *)
+    @ [ label "work"; push_int 4; op Op.CALLDATALOAD; push_int 0;
+        push (U256.of_hex "0x5eed") ]
+    @ hash_loop "_w"
+    @ [ push_int 0; op Op.SSTORE; op Op.STOP ]
+    (* ---- mix(n): seed from storage slot 1 ---- *)
+    @ [ label "mix"; push_int 4; op Op.CALLDATALOAD; push_int 0; push_int 1; op Op.SLOAD ]
+    @ hash_loop "_m"
+    @ [ push_int 1; op Op.SSTORE; op Op.STOP ])
+
+let work_call ~n = Abi.encode_call work_sig [ Abi.N n ]
+let mix_call ~n = Abi.encode_call mix_sig [ Abi.N n ]

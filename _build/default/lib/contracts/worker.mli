@@ -1,0 +1,13 @@
+(** A compute-heavy contract: iterated Keccak hashing, supplying the
+    high-gas tail of the workload (paper Fig. 13).
+
+    [work(n)] chains from a constant seed — specialization folds the whole
+    loop away, producing the paper's >1000x outliers; [mix(n)] chains from
+    storage slot 1, leaving n hash instructions in the fast path that
+    memoization skips whenever the seed repeats. *)
+
+val code : string
+val work_sig : string
+val mix_sig : string
+val work_call : n:int -> string
+val mix_call : n:int -> string

@@ -1,0 +1,1 @@
+lib/core/datasets.ml: Netsim Sys Workload

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Gc Hashtbl List Netsim Node Printf

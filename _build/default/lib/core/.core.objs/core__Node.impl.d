@@ -1,0 +1,1 @@
+lib/core/node.ml: Address Ap Array Chain Clock Evm Hashtbl Khash List Netsim Perfect Predictor Printf Speculator State Statedb String U256 Workload

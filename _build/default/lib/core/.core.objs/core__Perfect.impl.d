@@ -1,0 +1,1 @@
+lib/core/perfect.ml: Ap Array Evm List Sevm State Statedb U256

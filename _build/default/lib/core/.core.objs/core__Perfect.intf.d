@@ -1,0 +1,1 @@
+lib/core/perfect.mli: Evm Sevm State

@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Address Array Chain Evm Hashtbl Int64 List Random State String U256

@@ -1,0 +1,1 @@
+lib/core/speculator.ml: Ap Clock Evm List Sevm State Statedb

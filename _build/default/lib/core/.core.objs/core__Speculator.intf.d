@@ -1,0 +1,1 @@
+lib/core/speculator.mli: Ap Evm Sevm State

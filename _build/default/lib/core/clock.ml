@@ -1,0 +1,11 @@
+(* Monotonic wall-clock timing in nanoseconds (CLOCK_MONOTONIC via
+   bechamel's stub — the same clock the benchmarks use). *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Time a thunk; returns (result, elapsed nanoseconds as int). *)
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.to_int (Int64.sub t1 t0))

@@ -1,0 +1,6 @@
+(** Monotonic wall-clock timing (CLOCK_MONOTONIC, nanoseconds). *)
+
+val now_ns : unit -> int64
+
+val time : (unit -> 'a) -> 'a * int
+(** [time f] runs [f] and returns its result with the elapsed nanoseconds. *)

@@ -1,0 +1,77 @@
+(* The evaluation datasets (paper Table 1): one "live" period L1 and five
+   recorded periods R1-R5.  In this reproduction both modes run through the
+   simulator; L1 and R1 share a seed, mirroring the paper's use of R1 to
+   validate the recorder/emulator against the live run, while R2-R5 vary
+   seed, traffic mix, rate and network conditions.
+
+   Durations scale with the [FORERUNNER_SCALE] environment variable
+   (default 1.0) so the full harness can run quickly or thoroughly. *)
+
+let scale () =
+  match Sys.getenv_opt "FORERUNNER_SCALE" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | Some _ | None -> 1.0)
+  | None -> 1.0
+
+type def = { tag : string; live : bool; params : Netsim.Sim.params }
+
+let scaled d = { d with params = { d.params with duration = d.params.duration *. scale () } }
+
+let base = Netsim.Sim.default_params
+
+let l1 =
+  scaled { tag = "L1"; live = true; params = { base with seed = 101; duration = 450.0 } }
+
+let r1 =
+  scaled { tag = "R1"; live = false; params = { base with seed = 101; duration = 450.0 } }
+
+let r2 =
+  scaled
+    {
+      tag = "R2";
+      live = false;
+      params = { base with seed = 202; duration = 240.0; tx_rate = 9.0 };
+    }
+
+let r3 =
+  scaled
+    {
+      tag = "R3";
+      live = false;
+      params =
+        { base with seed = 303; duration = 240.0; mix = Workload.Gen.defi_mix; tx_rate = 10.0 };
+    }
+
+let r4 =
+  scaled
+    {
+      tag = "R4";
+      live = false;
+      params =
+        {
+          base with
+          seed = 404;
+          duration = 240.0;
+          tx_rate = 6.0;
+          n_miners = 20;
+          gossip_delay_mean = 0.9;
+        };
+    }
+
+let r5 =
+  scaled
+    {
+      tag = "R5";
+      live = false;
+      params =
+        {
+          base with
+          seed = 505;
+          duration = 240.0;
+          tx_rate = 15.0;
+          p_never_heard = 0.015;
+          observer_delay_mean = 0.4;
+        };
+    }
+
+let all = [ l1; r1; r2; r3; r4; r5 ]
+let record d = Netsim.Sim.run ~params:d.params ()

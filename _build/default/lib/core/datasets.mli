@@ -1,0 +1,19 @@
+(** The evaluation datasets (paper Table 1): one "live" period L1 and five
+    recorded periods R1–R5.  L1 and R1 share a seed (the paper uses R1 to
+    validate the emulator against the live run); R2–R5 vary seed, mix, rate
+    and network conditions.  Durations scale with the [FORERUNNER_SCALE]
+    environment variable. *)
+
+type def = { tag : string; live : bool; params : Netsim.Sim.params }
+
+val scale : unit -> float
+val l1 : def
+val r1 : def
+val r2 : def
+val r3 : def
+val r4 : def
+val r5 : def
+val all : def list
+
+val record : def -> Netsim.Record.t
+(** Run the simulation for a dataset (the "recorder"). *)

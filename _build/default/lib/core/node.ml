@@ -1,0 +1,388 @@
+(* The Forerunner node / emulator: replays a recorded observer feed (heard
+   transactions + arriving blocks) under an execution policy, measuring the
+   critical-path execution time of every transaction.
+
+   Policies implement the four rows of the paper's Table 2:
+   - [Baseline]: plain EVM execution, per-block StateDB with cold caches.
+   - [Perfect_match]: traditional speculative execution — commit memoized
+     results only when the actual context matches the (single) speculated
+     context exactly.
+   - [Perfect_multi]: perfect matching over all speculated futures.
+   - [Forerunner]: constraint-based APs with memoization + prefetching, EVM
+     fallback on violation.
+
+   State roots are validated against every block header (paper §5.2). *)
+
+open State
+
+type policy = Baseline | Forerunner | Perfect_match | Perfect_multi
+
+let policy_name = function
+  | Baseline -> "baseline"
+  | Forerunner -> "forerunner"
+  | Perfect_match -> "perfect"
+  | Perfect_multi -> "perfect+multi"
+
+type outcome =
+  | O_unheard
+  | O_missed (* heard, but no usable AP / constraints unsatisfied *)
+  | O_imperfect (* AP hit; context differed from every speculated one *)
+  | O_perfect (* AP hit; context identical to a speculated one *)
+
+type tx_record = {
+  hash : string;
+  kind : Workload.Gen.kind option;
+  gas_used : int;
+  heard : bool;
+  outcome : outcome;
+  exec_ns : int;
+  instrs_executed : int;
+  instrs_skipped : int;
+  ap_paths : int;
+  ap_futures : int;
+  ap_contexts : int;
+  ap_shortcuts : int;
+  block_number : int64;
+  canonical : bool; (* executed as part of the canonical chain *)
+}
+
+type block_record = {
+  number : int64;
+  n_txs : int;
+  gas_used : int;
+  gas_limit : int;
+  root_ok : bool;
+  canonical : bool;
+  exec_ns : int;
+}
+
+type result = {
+  policy : policy;
+  txs : tx_record list; (* execution order *)
+  blocks : block_record list;
+  spec_total_ns : int;
+  spec_base_exec_ns : int;
+  spec_contexts : int;
+  spec_build_errors : int;
+  reorgs : int; (* head switches onto a previously non-head branch *)
+  fork_blocks : int; (* side blocks processed *)
+  synth : Speculator.synth_acc; (* summed per-path synthesis stats *)
+}
+
+type config = {
+  max_contexts_initial : int;
+  max_contexts_respec : int;
+  max_respec_per_block : int;
+  validate_hits : bool; (* cross-check every AP hit against the EVM *)
+  use_memos : bool; (* ablation: disable memoization shortcuts *)
+  prefetch : bool; (* ablation: disable StateDB warming *)
+  seed : int;
+}
+
+let default_config =
+  {
+    max_contexts_initial = 4;
+    max_contexts_respec = 2;
+    max_respec_per_block = 64;
+    validate_hits = false;
+    use_memos = true;
+    prefetch = true;
+    seed = 7;
+  }
+
+(* Single-future ablation: the traditional one-prediction pipeline. *)
+let single_future_config =
+  {
+    default_config with
+    max_contexts_initial = 1;
+    max_contexts_respec = 1;
+    max_respec_per_block = 0;
+  }
+
+type pending_entry = { p : Predictor.pending; spec : Speculator.spec }
+
+let is_speculative = function
+  | Forerunner | Perfect_match | Perfect_multi -> true
+  | Baseline -> false
+
+let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : result =
+  let bk = record.backend in
+  let head_root = ref record.genesis_root in
+  let head_hash = ref record.genesis_hash in
+  let head_number = ref 0L in
+  let roots_by_hash : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace roots_by_hash record.genesis_hash record.genesis_root;
+  let reorgs = ref 0 in
+  let fork_blocks = ref 0 in
+  let predictor = Predictor.create ~seed:config.seed in
+  let pending : (string, pending_entry) Hashtbl.t = Hashtbl.create 1024 in
+  let included = Hashtbl.create 4096 in
+  let next_st = ref (Statedb.create bk ~root:!head_root) in
+  let txs = ref [] in
+  let blocks = ref [] in
+  let spec_total = ref 0 and spec_base = ref 0 and spec_ctxs = ref 0 and spec_errs = ref 0 in
+  let synth_global = Speculator.empty_acc () in
+  let pool () = Hashtbl.fold (fun _ e acc -> e.p :: acc) pending [] in
+
+  let speculate_tx now entry n_contexts =
+    let ctxs =
+      Predictor.contexts predictor ~pool:(pool ()) ~max_contexts:n_contexts
+        ~tx_hash:entry.p.hash entry.p.tx
+    in
+    Speculator.speculate entry.spec bk ~root:!head_root ~now ctxs entry.p.tx;
+    (* prefetch: warm the next execution StateDB with the read set *)
+    if config.prefetch then Statedb.warm !next_st entry.spec.touches
+  in
+
+  let exec_one st ~canonical benv t_block (tx : Evm.Env.tx) : tx_record * Evm.Processor.receipt =
+    let hash = Evm.Env.tx_hash tx in
+    let entry = Hashtbl.find_opt pending hash in
+    let heard = entry <> None in
+    let record_of receipt outcome exec_ns (stats : Ap.Exec.stats option) =
+      let executed, skipped =
+        match stats with Some s -> (s.executed, s.skipped) | None -> (0, 0)
+      in
+      let ap_paths, ap_futures, ap_contexts, ap_shortcuts =
+        match entry with
+        | Some e -> (e.spec.ap.n_paths, e.spec.ap.n_futures, e.spec.contexts, e.spec.ap.shortcut_count)
+        | None -> (0, 0, 0, 0)
+      in
+      ( {
+          hash;
+          kind = Hashtbl.find_opt record.tx_kinds hash;
+          gas_used = receipt.Evm.Processor.gas_used;
+          heard;
+          outcome;
+          exec_ns;
+          instrs_executed = executed;
+          instrs_skipped = skipped;
+          ap_paths;
+          ap_futures;
+          ap_contexts;
+          ap_shortcuts;
+          block_number = benv.Evm.Env.number;
+          canonical;
+        },
+        receipt )
+    in
+    let full_exec outcome =
+      let receipt, ns = Clock.time (fun () -> Evm.Processor.execute_tx st benv tx) in
+      record_of receipt outcome ns None
+    in
+    match policy with
+    | Baseline -> full_exec (if heard then O_missed else O_unheard)
+    | Perfect_match | Perfect_multi -> (
+      let paths =
+        match entry with
+        | Some e when e.spec.ready_at <= t_block ->
+          if policy = Perfect_match then
+            (match e.spec.paths with p :: _ -> [ p ] | [] -> [])
+          else e.spec.paths
+        | Some _ | None -> []
+      in
+      let res, ns = Clock.time (fun () ->
+          match Perfect.try_paths paths st benv tx with
+          | Some receipt -> `Hit receipt
+          | None -> `Miss (Evm.Processor.execute_tx st benv tx))
+      in
+      match res with
+      | `Hit receipt -> record_of receipt O_perfect ns None
+      | `Miss receipt ->
+        record_of receipt (if heard then O_missed else O_unheard) ns None)
+    | Forerunner -> (
+      let ap_usable =
+        match entry with
+        | Some e when e.spec.ready_at <= t_block && e.spec.ap.roots <> [] -> Some e
+        | Some _ | None -> None
+      in
+      match ap_usable with
+      | None -> full_exec (if heard then O_missed else O_unheard)
+      | Some e -> (
+        (* outcome classification (Table 3) must look at the pre-write
+           context; it runs before the timed execution and outside it *)
+        let was_perfect =
+          List.exists (fun p -> Perfect.context_matches p st benv) e.spec.paths
+        in
+        let reference =
+          if config.validate_hits then begin
+            (* shadow-execute on a journal snapshot for validation *)
+            let snap = Statedb.snapshot st in
+            let r = Evm.Processor.execute_tx st benv tx in
+            Statedb.revert st snap;
+            Some r
+          end
+          else None
+        in
+        let res, ns = Clock.time (fun () ->
+            match Ap.Exec.execute ~use_memos:config.use_memos e.spec.ap st benv tx with
+            | Ap.Exec.Hit (receipt, stats) -> `Hit (receipt, stats)
+            | Ap.Exec.Violation -> `Miss (Evm.Processor.execute_tx st benv tx))
+        in
+        match res with
+        | `Hit (receipt, stats) ->
+          (match reference with
+          | Some r ->
+            if
+              not
+                (Evm.Processor.status_equal r.status receipt.status
+                && r.gas_used = receipt.gas_used
+                && String.equal r.output receipt.output
+                && List.length r.logs = List.length receipt.logs
+                && List.for_all2 Evm.Env.log_equal r.logs receipt.logs)
+            then
+              invalid_arg
+                (Printf.sprintf "AP hit diverged from EVM for tx %s"
+                   (Khash.Keccak.to_hex hash))
+          | None -> ());
+          record_of receipt (if was_perfect then O_perfect else O_imperfect) ns (Some stats)
+        | `Miss receipt -> record_of receipt O_missed ns None))
+  in
+
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Netsim.Record.Heard (t, tx) ->
+        let hash = Evm.Env.tx_hash tx in
+        if (not (Hashtbl.mem included hash)) && not (Hashtbl.mem pending hash) then begin
+          let entry =
+            { p = { Predictor.tx; hash; heard_at = t }; spec = Speculator.create_spec () }
+          in
+          Hashtbl.replace pending hash entry;
+          if is_speculative policy then begin
+            speculate_tx t entry config.max_contexts_initial;
+            (* The new arrival may belong to the dependency group of already
+               pending transactions whose contexts are now stale: re-speculate
+               them (the paper's predictor continuously tracks the pool).
+               Same-sender higher-nonce txs always requalify (nonce order);
+               same-receiver txs requalify up to a small budget. *)
+            let same_sender = ref [] and same_to = ref [] in
+            Hashtbl.iter
+              (fun h (e : pending_entry) ->
+                if h <> hash then begin
+                  if
+                    Address.equal e.p.tx.sender tx.sender && e.p.tx.nonce > tx.nonce
+                  then same_sender := e :: !same_sender
+                  else
+                    match (e.p.tx.to_, tx.to_) with
+                    | Some a, Some b
+                      when Address.equal a b && U256.le e.p.tx.gas_price tx.gas_price ->
+                      same_to := e :: !same_to
+                    | (Some _ | None), _ -> ()
+                end)
+              pending;
+            List.iter (fun e -> speculate_tx t e config.max_contexts_respec) !same_sender;
+            let recent =
+              List.sort
+                (fun (a : pending_entry) b -> compare b.p.heard_at a.p.heard_at)
+                !same_to
+            in
+            List.iteri
+              (fun i e ->
+                if i < 3 then speculate_tx t e config.max_contexts_respec)
+              recent
+          end
+        end
+      | Netsim.Record.Block (t, b) -> (
+        match Hashtbl.find_opt roots_by_hash b.header.parent_hash with
+        | None -> () (* orphan: parent never seen; a real node would fetch it *)
+        | Some parent_root ->
+          let extends_head = String.equal b.header.parent_hash !head_hash in
+          let exec_st =
+            if extends_head then !next_st else Statedb.create bk ~root:parent_root
+          in
+          let canonical = Netsim.Record.is_canonical record b in
+          if not extends_head then incr fork_blocks;
+          let benv =
+            Chain.Stf.block_env_of_header b.header ~block_hash:(fun n -> U256.of_int64 n)
+          in
+          let block_ns = ref 0 in
+          let gas = ref 0 in
+          List.iter
+            (fun tx ->
+              let tr, _receipt = exec_one exec_st ~canonical benv t tx in
+              block_ns := !block_ns + tr.exec_ns;
+              gas := !gas + tr.gas_used;
+              txs := tr :: !txs)
+            b.txs;
+          let root = Statedb.commit exec_st in
+          let root_ok = String.equal root b.header.state_root in
+          if not root_ok then
+            invalid_arg
+              (Printf.sprintf "state root mismatch at block %Ld under policy %s"
+                 b.header.number (policy_name policy));
+          let bhash = Chain.Block.hash b in
+          Hashtbl.replace roots_by_hash bhash root;
+          blocks :=
+            {
+              number = b.header.number;
+              n_txs = List.length b.txs;
+              gas_used = !gas;
+              gas_limit = b.header.gas_limit;
+              root_ok;
+              canonical;
+              exec_ns = !block_ns;
+            }
+            :: !blocks;
+          (* head selection: strictly higher blocks win; the first block seen
+             at a given height keeps the head otherwise *)
+          if b.header.number > !head_number then begin
+            if not extends_head then incr reorgs;
+            head_number := b.header.number;
+            head_hash := bhash;
+            head_root := root;
+            Predictor.observe_block predictor b;
+            next_st := Statedb.create bk ~root;
+            (* account and retire the included pending txs *)
+            List.iter
+              (fun tx ->
+                let h = Evm.Env.tx_hash tx in
+                Hashtbl.replace included h ();
+                match Hashtbl.find_opt pending h with
+                | Some e ->
+                  spec_total := !spec_total + e.spec.spec_time_ns;
+                  spec_base := !spec_base + e.spec.base_exec_ns;
+                  spec_ctxs := !spec_ctxs + e.spec.contexts;
+                  spec_errs := !spec_errs + e.spec.build_errors;
+                  Speculator.acc_merge synth_global e.spec.synth;
+                  Hashtbl.remove pending h
+                | None -> ())
+              b.txs;
+            (* drop pending txs made stale by this block *)
+            let stale = ref [] in
+            Hashtbl.iter
+              (fun h (e : pending_entry) ->
+                if e.p.tx.nonce < Statedb.get_nonce !next_st e.p.tx.sender then
+                  stale := h :: !stale)
+              pending;
+            List.iter (Hashtbl.remove pending) !stale;
+            (* re-speculate the hottest pending txs against the new head *)
+            if is_speculative policy then begin
+              let entries = Hashtbl.fold (fun _ e acc -> e :: acc) pending [] in
+              let entries =
+                List.sort
+                  (fun (a : pending_entry) b ->
+                    U256.compare b.p.tx.gas_price a.p.tx.gas_price)
+                  entries
+              in
+              let entries =
+                List.filteri (fun i _ -> i < config.max_respec_per_block) entries
+              in
+              List.iter (fun e -> speculate_tx t e config.max_contexts_respec) entries;
+              (* warm the new StateDB with everything we believe is coming *)
+              if config.prefetch then
+                List.iter (fun e -> Statedb.warm !next_st e.spec.touches) entries
+            end
+          end))
+    record.events;
+  {
+    policy;
+    txs = List.rev !txs;
+    blocks = List.rev !blocks;
+    spec_total_ns = !spec_total;
+    spec_base_exec_ns = !spec_base;
+    spec_contexts = !spec_ctxs;
+    spec_build_errors = !spec_errs;
+    reorgs = !reorgs;
+    fork_blocks = !fork_blocks;
+    synth = synth_global;
+  }

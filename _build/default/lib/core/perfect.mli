@@ -1,0 +1,30 @@
+(** Traditional speculative execution, the paper's Table-2 baselines: a
+    speculated result commits only when the actual context matches a
+    speculated one perfectly — i.e. every context read returns exactly the
+    value seen during speculation (the transaction body is fixed, so the
+    reads determine everything else).
+
+    The COINBASE read that exists only to route the miner fee is exempt:
+    like geth's finalization, the fee transfer is applied against the actual
+    coinbase at commit time (cf. paper footnote 7). *)
+
+val try_path :
+  Sevm.Ir.path ->
+  State.Statedb.t ->
+  Evm.Env.block_env ->
+  Evm.Env.tx ->
+  Evm.Processor.receipt option
+(** Commit one speculated execution if the context matches it perfectly. *)
+
+val try_paths :
+  Sevm.Ir.path list ->
+  State.Statedb.t ->
+  Evm.Env.block_env ->
+  Evm.Env.tx ->
+  Evm.Processor.receipt option
+(** Multi-future perfect matching: the first matching future wins. *)
+
+val context_matches : Sevm.Ir.path -> State.Statedb.t -> Evm.Env.block_env -> bool
+(** Whether the actual context is identical to the one [path] was
+    speculated in — used to split AP hits into perfect vs imperfect
+    (Table 3). *)

@@ -1,0 +1,121 @@
+(* The speculator (paper §4.3): pre-execute a transaction in each predicted
+   future context with the instrumented EVM, synthesize one accelerated
+   path per trace, and merge them into the transaction's AP.  The read set
+   of each pre-execution feeds the prefetcher. *)
+
+open State
+
+(* Summed per-path synthesis statistics (for Fig. 15 / §5.5). *)
+type synth_acc = {
+  mutable paths_built : int;
+  mutable sum : Sevm.Ir.stats;
+}
+
+let empty_acc () = { paths_built = 0; sum = Sevm.Ir.empty_stats }
+
+let acc_add acc (s : Sevm.Ir.stats) =
+  let t = acc.sum in
+  acc.paths_built <- acc.paths_built + 1;
+  acc.sum <-
+    {
+      Sevm.Ir.evm_trace_len = t.evm_trace_len + s.evm_trace_len;
+      decomposed_added = t.decomposed_added + s.decomposed_added;
+      stack_eliminated = t.stack_eliminated + s.stack_eliminated;
+      mem_eliminated = t.mem_eliminated + s.mem_eliminated;
+      control_eliminated = t.control_eliminated + s.control_eliminated;
+      state_eliminated = t.state_eliminated + s.state_eliminated;
+      const_folded = t.const_folded + s.const_folded;
+      cse_removed = t.cse_removed + s.cse_removed;
+      dead_removed = t.dead_removed + s.dead_removed;
+      guards_added = t.guards_added + s.guards_added;
+      constraint_len = t.constraint_len + s.constraint_len;
+      fastpath_len = t.fastpath_len + s.fastpath_len;
+    }
+
+let acc_merge into from_ =
+  into.paths_built <- into.paths_built + from_.paths_built;
+  let a = into.sum and b = from_.sum in
+  into.sum <-
+    {
+      Sevm.Ir.evm_trace_len = a.evm_trace_len + b.evm_trace_len;
+      decomposed_added = a.decomposed_added + b.decomposed_added;
+      stack_eliminated = a.stack_eliminated + b.stack_eliminated;
+      mem_eliminated = a.mem_eliminated + b.mem_eliminated;
+      control_eliminated = a.control_eliminated + b.control_eliminated;
+      state_eliminated = a.state_eliminated + b.state_eliminated;
+      const_folded = a.const_folded + b.const_folded;
+      cse_removed = a.cse_removed + b.cse_removed;
+      dead_removed = a.dead_removed + b.dead_removed;
+      guards_added = a.guards_added + b.guards_added;
+      constraint_len = a.constraint_len + b.constraint_len;
+      fastpath_len = a.fastpath_len + b.fastpath_len;
+    }
+
+(* Everything Forerunner knows about one pending transaction. *)
+type spec = {
+  ap : Ap.Program.t;
+  mutable paths : Sevm.Ir.path list; (* raw paths, for perfect-match checking *)
+  mutable touches : Statedb.touch list; (* union of pre-execution read sets *)
+  mutable ready_at : float; (* sim time when the AP became usable *)
+  mutable contexts : int; (* distinct future contexts pre-executed *)
+  mutable build_errors : int;
+  mutable spec_time_ns : int; (* total time spent speculating, off critical path *)
+  mutable base_exec_ns : int; (* time of the plain pre-executions (for §5.6) *)
+  synth : synth_acc;
+}
+
+let create_spec () =
+  {
+    ap = Ap.Program.create ();
+    paths = [];
+    touches = [];
+    ready_at = infinity;
+    contexts = 0;
+    build_errors = 0;
+    spec_time_ns = 0;
+    base_exec_ns = 0;
+    synth = empty_acc ();
+  }
+
+let max_paths_kept = 16
+
+(* Pre-execute [tx] in one future context and fold the result into [spec].
+   [bk]/[root] give the chain head state; [pre_txs] are the predicted
+   preceding transactions. *)
+let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env.tx) =
+  let (), elapsed =
+    Clock.time (fun () ->
+        let st = Statedb.create bk ~root in
+        List.iter (fun t -> ignore (Evm.Processor.execute_tx st env t)) pre_txs;
+        (* capture the target's read set for the prefetcher *)
+        Statedb.set_tracking st true;
+        Statedb.clear_touches st;
+        let snap = Statedb.snapshot st in
+        let sink, get = Evm.Trace.collector () in
+        let (receipt : Evm.Processor.receipt), base_ns =
+          Clock.time (fun () -> Evm.Processor.execute_tx ~trace:sink st env tx)
+        in
+        spec.base_exec_ns <- spec.base_exec_ns + base_ns;
+        Statedb.revert st snap;
+        Statedb.set_tracking st false;
+        spec.touches <- Statedb.touches st @ spec.touches;
+        spec.contexts <- spec.contexts + 1;
+        match Sevm.Builder.build tx env (get ()) receipt st with
+        | Ok path ->
+          acc_add spec.synth path.stats;
+          Ap.Program.add_path spec.ap path;
+          if List.length spec.paths < max_paths_kept then spec.paths <- spec.paths @ [ path ]
+        | Error _ -> spec.build_errors <- spec.build_errors + 1)
+  in
+  spec.spec_time_ns <- spec.spec_time_ns + elapsed
+
+(* Speculate on all [contexts]; marks the AP ready [spec_time] after [now]
+   (speculation runs off the critical path on spare cores, so its wall time
+   is when results become available). *)
+let speculate spec bk ~root ~now contexts tx =
+  let t0 = spec.spec_time_ns in
+  List.iter (fun (env, pre_txs) -> speculate_one spec bk ~root env ~pre_txs tx) contexts;
+  let elapsed_s = float_of_int (spec.spec_time_ns - t0) /. 1e9 in
+  let candidate = now +. elapsed_s in
+  if candidate < spec.ready_at then spec.ready_at <- candidate
+  else spec.ready_at <- min spec.ready_at candidate

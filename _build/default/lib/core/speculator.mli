@@ -1,0 +1,38 @@
+(** The speculator (paper §4.3): pre-execute a pending transaction in each
+    predicted future context with the instrumented EVM, synthesize one
+    accelerated path per trace and merge them into the transaction's AP;
+    capture the read sets for the prefetcher. *)
+
+(** Summed per-path synthesis statistics (Fig. 15 / §5.5). *)
+type synth_acc = { mutable paths_built : int; mutable sum : Sevm.Ir.stats }
+
+val empty_acc : unit -> synth_acc
+val acc_add : synth_acc -> Sevm.Ir.stats -> unit
+val acc_merge : synth_acc -> synth_acc -> unit
+
+(** Everything Forerunner knows about one pending transaction. *)
+type spec = {
+  ap : Ap.Program.t;
+  mutable paths : Sevm.Ir.path list;  (** raw paths, for perfect matching *)
+  mutable touches : State.Statedb.touch list;  (** union of read sets *)
+  mutable ready_at : float;  (** sim time when the AP became usable *)
+  mutable contexts : int;  (** future contexts pre-executed so far *)
+  mutable build_errors : int;  (** traces specialization couldn't cover *)
+  mutable spec_time_ns : int;  (** wall time spent speculating *)
+  mutable base_exec_ns : int;  (** plain-execution share (for §5.6) *)
+  synth : synth_acc;
+}
+
+val create_spec : unit -> spec
+
+val speculate :
+  spec ->
+  State.Statedb.Backend.t ->
+  root:string ->
+  now:float ->
+  (Evm.Env.block_env * Evm.Env.tx list) list ->
+  Evm.Env.tx ->
+  unit
+(** Pre-execute [tx] in every given future context against the chain head
+    at [root], folding results into [spec].  The AP becomes ready once the
+    (measured) speculation work completes after [now]. *)

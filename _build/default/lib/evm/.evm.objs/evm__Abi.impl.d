@@ -1,0 +1,1 @@
+lib/evm/abi.ml: Address Char Khash List State String U256

@@ -1,0 +1,1 @@
+lib/evm/asm.ml: Buffer Char Hashtbl List Op Printf String U256

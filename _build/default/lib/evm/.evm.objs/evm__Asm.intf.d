@@ -1,0 +1,1 @@
+lib/evm/asm.mli: Op U256

@@ -1,0 +1,1 @@
+lib/evm/env.ml: Address Fmt Khash List Rlp State String U256

@@ -1,0 +1,1 @@
+lib/evm/env.mli: Address Format State U256

@@ -1,0 +1,1 @@
+lib/evm/interp.ml: Address Array Bytes Char Env Fmt Gas Hashtbl Int64 Khash List Memory Op Option Printf Rlp State Statedb String Trace U256

@@ -1,0 +1,1 @@
+lib/evm/interp.mli: Address Env Format Hashtbl State Statedb Trace U256

@@ -1,0 +1,1 @@
+lib/evm/memory.ml: Bytes Char Gas String U256

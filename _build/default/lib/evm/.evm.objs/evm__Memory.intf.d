@@ -1,0 +1,1 @@
+lib/evm/memory.mli: U256

@@ -1,0 +1,1 @@
+lib/evm/processor.ml: Address Env Fmt Gas Interp List Printf State Statedb String U256

@@ -1,0 +1,1 @@
+lib/evm/processor.mli: Address Env Format State Statedb Trace U256

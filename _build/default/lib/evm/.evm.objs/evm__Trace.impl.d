@@ -1,0 +1,1 @@
+lib/evm/trace.ml: Address Array Fmt List Op State String U256

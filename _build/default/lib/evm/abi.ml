@@ -1,0 +1,28 @@
+(* Minimal Solidity-style ABI helpers: 4-byte selectors followed by 32-byte
+   big-endian words. *)
+
+open State
+
+(* First 4 bytes of keccak256 of the signature, as an int. *)
+let selector signature =
+  let h = Khash.Keccak.digest signature in
+  (Char.code h.[0] lsl 24) lor (Char.code h.[1] lsl 16) lor (Char.code h.[2] lsl 8)
+  lor Char.code h.[3]
+
+let selector_bytes signature =
+  let s = selector signature in
+  String.init 4 (fun i -> Char.chr ((s lsr ((3 - i) * 8)) land 0xff))
+
+type arg = W of U256.t | A of Address.t | N of int
+
+let word_of_arg = function
+  | W v -> v
+  | A a -> Address.to_u256 a
+  | N n -> U256.of_int n
+
+let encode_call signature args =
+  selector_bytes signature
+  ^ String.concat "" (List.map (fun a -> U256.to_bytes_be (word_of_arg a)) args)
+
+(* Decode a 32-byte word at position [i] of return data. *)
+let decode_word output i = U256.of_bytes_be ~off:(i * 32) ~len:32 output

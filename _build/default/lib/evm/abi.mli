@@ -1,0 +1,21 @@
+(** Minimal Solidity-style ABI helpers: 4-byte keccak selectors followed by
+    32-byte big-endian words. *)
+
+open State
+
+val selector : string -> int
+(** First four bytes of [keccak256 signature], e.g.
+    [selector "transfer(address,uint256)" = 0xa9059cbb]. *)
+
+val selector_bytes : string -> string
+
+type arg = W of U256.t | A of Address.t | N of int
+
+val word_of_arg : arg -> U256.t
+
+val encode_call : string -> arg list -> string
+(** [encode_call signature args] builds call data: selector then one
+    32-byte word per argument. *)
+
+val decode_word : string -> int -> U256.t
+(** [decode_word output i]: the [i]-th 32-byte word of return data. *)

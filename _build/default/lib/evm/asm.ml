@@ -1,0 +1,128 @@
+(* A small assembler eDSL for writing EVM bytecode contracts in OCaml.
+
+   Programs are lists of items; labels compile to JUMPDEST and label
+   references to fixed-width PUSH2, so sizing needs a single pass. *)
+
+type item =
+  | I of Op.t  (** plain opcode *)
+  | Push of U256.t  (** minimal-width push *)
+  | Push_label of string  (** PUSH2 of a label offset *)
+  | Label of string  (** emits JUMPDEST *)
+  | Raw of string  (** literal bytes *)
+
+let op o = I o
+let push v = Push v
+let push_int n = Push (U256.of_int n)
+let push_label l = Push_label l
+let label l = Label l
+
+(* Encoded size of one item. *)
+let item_size = function
+  | I o -> 1 + Op.push_bytes o
+  | Push v -> 1 + max 1 (U256.byte_size v)
+  | Push_label _ -> 3
+  | Label _ -> 1
+  | Raw s -> String.length s
+
+exception Unknown_label of string
+exception Bad_item of string
+
+let assemble items =
+  (* Pass 1: label offsets. *)
+  let offsets = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun it ->
+      (match it with
+      | Label l ->
+        if Hashtbl.mem offsets l then raise (Bad_item ("duplicate label " ^ l));
+        Hashtbl.replace offsets l !pos
+      | I (Op.PUSH _) -> raise (Bad_item "use Push, not I (PUSH _)")
+      | I _ | Push _ | Push_label _ | Raw _ -> ());
+      pos := !pos + item_size it)
+    items;
+  (* Pass 2: emit. *)
+  let buf = Buffer.create 256 in
+  let byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  List.iter
+    (fun it ->
+      match it with
+      | I o -> byte (Op.to_byte o)
+      | Push v ->
+        let n = max 1 (U256.byte_size v) in
+        byte (Op.to_byte (Op.PUSH n));
+        let bytes = U256.to_bytes_be v in
+        Buffer.add_string buf (String.sub bytes (32 - n) n)
+      | Push_label l ->
+        let off =
+          match Hashtbl.find_opt offsets l with
+          | Some o -> o
+          | None -> raise (Unknown_label l)
+        in
+        byte (Op.to_byte (Op.PUSH 2));
+        byte (off lsr 8);
+        byte off
+      | Label _ -> byte (Op.to_byte Op.JUMPDEST)
+      | Raw s -> Buffer.add_string buf s)
+    items;
+  Buffer.contents buf
+
+(* ---- common macro fragments ---- *)
+
+(* Jump to [l] unconditionally. *)
+let jump l = [ Push_label l; I Op.JUMP ]
+
+(* Pop condition; jump to [l] when non-zero. *)
+let jumpi l = [ Push_label l; I Op.JUMPI ]
+
+(* Revert with no data. *)
+let revert_ = [ push_int 0; push_int 0; I Op.REVERT ]
+
+(* Return the 32-byte word on top of the stack. *)
+let return_word = [ push_int 0; I Op.MSTORE; push_int 32; push_int 0; I Op.RETURN ]
+
+(* Leave calldata word at byte offset [off] on the stack. *)
+let calldata_word off = [ push_int off; I Op.CALLDATALOAD ]
+
+(* Storage slot of [mapping_slot][key] where the key is on the stack:
+   keccak256(key ++ slot) as Solidity does.  Consumes key, leaves slot. *)
+let mapping_slot slot =
+  [ push_int 0; I Op.MSTORE (* mem[0..32] = key *); push_int slot; push_int 32;
+    I Op.MSTORE (* mem[32..64] = slot *); push_int 64; push_int 0; I Op.SHA3 ]
+
+(* Nested-mapping slot: like [mapping_slot] but the outer slot is on the
+   stack below the key.  Consumes [key; slot], leaves keccak(key ++ slot). *)
+let mapping_slot_dyn =
+  [ push_int 0; I Op.MSTORE (* mem[0..32] = key *); push_int 32;
+    I Op.MSTORE (* mem[32..64] = slot *); push_int 64; push_int 0; I Op.SHA3 ]
+
+(* Function-selector dispatch: compare the high 4 bytes of calldata with
+   [selector]; jump to [l] on match.  Leaves nothing on the stack. *)
+let dispatch selector l =
+  [ push_int 0; I Op.CALLDATALOAD; push_int 224; I Op.SHR;
+    push (U256.of_int selector); I Op.EQ ]
+  @ jumpi l
+
+let disassemble code =
+  let buf = Buffer.create 256 in
+  let n = String.length code in
+  let i = ref 0 in
+  while !i < n do
+    let b = Char.code code.[!i] in
+    (match Op.of_byte b with
+    | None -> Buffer.add_string buf (Printf.sprintf "%4d  DATA 0x%02x\n" !i b)
+    | Some op ->
+      let imm = Op.push_bytes op in
+      if imm = 0 then Buffer.add_string buf (Printf.sprintf "%4d  %s\n" !i (Op.name op))
+      else begin
+        let v = ref U256.zero in
+        for j = 1 to imm do
+          if !i + j < n then
+            v := U256.logor (U256.shift_left !v 8) (U256.of_int (Char.code code.[!i + j]))
+        done;
+        Buffer.add_string buf (Printf.sprintf "%4d  %s %s\n" !i (Op.name op) (U256.to_hex !v));
+        i := !i + imm
+      end);
+    incr i
+  done;
+  Buffer.contents buf

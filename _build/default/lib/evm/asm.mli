@@ -1,0 +1,59 @@
+(** A small assembler eDSL for writing EVM bytecode contracts in OCaml.
+
+    Programs are lists of {!item}s; labels compile to [JUMPDEST] and label
+    references to fixed-width [PUSH2], so sizing needs a single pass.  The
+    macros encode the common Solidity codegen idioms (selector dispatch,
+    keccak mapping slots) that the workload contracts are built from. *)
+
+type item =
+  | I of Op.t  (** plain opcode (not [PUSH] — use {!push}) *)
+  | Push of U256.t  (** minimal-width push *)
+  | Push_label of string
+  | Label of string  (** emits [JUMPDEST] *)
+  | Raw of string  (** literal bytes *)
+
+val op : Op.t -> item
+val push : U256.t -> item
+val push_int : int -> item
+val push_label : string -> item
+val label : string -> item
+
+exception Unknown_label of string
+exception Bad_item of string
+
+val assemble : item list -> string
+(** Two-pass assembly: resolve label offsets, then emit bytes.
+    @raise Unknown_label / Bad_item on malformed programs. *)
+
+val item_size : item -> int
+
+(** {1 Macros} *)
+
+val jump : string -> item list
+(** Unconditional jump to a label. *)
+
+val jumpi : string -> item list
+(** Pop a condition; jump to the label when non-zero. *)
+
+val revert_ : item list
+(** Revert with no data. *)
+
+val return_word : item list
+(** Return the 32-byte word on top of the stack. *)
+
+val calldata_word : int -> item list
+(** Push the calldata word at a byte offset. *)
+
+val mapping_slot : int -> item list
+(** Solidity mapping slot: consumes the key on the stack, leaves
+    [keccak256(key ++ slot)].  Uses memory bytes 0..64 as scratch. *)
+
+val mapping_slot_dyn : item list
+(** Nested-mapping variant: consumes [key; slot] from the stack. *)
+
+val dispatch : int -> string -> item list
+(** Function-selector dispatch: jump to the label when the high four bytes
+    of calldata equal the selector. *)
+
+val disassemble : string -> string
+(** Human-readable listing (used by the CLI's [contracts] command). *)

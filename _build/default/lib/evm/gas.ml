@@ -1,0 +1,77 @@
+(* Gas schedule — Istanbul-flavoured, with the SSTORE simplification
+   documented in DESIGN.md §6 (flat cost, no refunds), which keeps gas
+   constant within a CD-Equiv class. *)
+
+let g_zero = 0
+let g_base = 2
+let g_verylow = 3
+let g_low = 5
+let g_mid = 8
+let g_high = 10
+let g_jumpdest = 1
+let g_exp = 10
+let g_exp_byte = 50
+let g_sha3 = 30
+let g_sha3_word = 6
+let g_copy_word = 3
+let g_log = 375
+let g_log_topic = 375
+let g_log_byte = 8
+let g_sload = 800
+let g_sstore = 5000
+let g_balance = 700
+let g_ext = 700
+let g_blockhash = 20
+let g_call = 700
+let g_call_value = 9000
+let g_call_stipend = 2300
+let g_new_account = 25000
+let g_create = 32000
+let g_code_deposit_byte = 200
+let g_selfdestruct = 5000
+let g_tx = 21000
+let g_tx_create = 32000
+let g_tx_data_zero = 4
+let g_tx_data_nonzero = 16
+
+let words n = (n + 31) / 32
+
+(* Total memory cost for a memory of [n] bytes. *)
+let memory_cost n =
+  let w = words n in
+  (g_verylow * w) + (w * w / 512)
+
+let intrinsic_gas ~is_create data =
+  let base = if is_create then g_tx + g_tx_create else g_tx in
+  String.fold_left
+    (fun acc c -> acc + if c = '\000' then g_tx_data_zero else g_tx_data_nonzero)
+    base data
+
+(* Static cost of an opcode; dynamic parts (copies, memory growth, calls,
+   exp length, hashing) are added by the interpreter. *)
+let static_cost (op : Op.t) =
+  match op with
+  | STOP | RETURN | REVERT -> g_zero
+  | ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE | GASPRICE
+  | RETURNDATASIZE | COINBASE | TIMESTAMP | NUMBER | DIFFICULTY | GASLIMIT | CHAINID
+  | POP | PC | MSIZE | GAS -> g_base
+  | ADD | SUB | NOT | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR | BYTE | SHL
+  | SHR | SAR | CALLDATALOAD | MLOAD | MSTORE | MSTORE8 | PUSH _ | DUP _ | SWAP _ ->
+    g_verylow
+  | MUL | DIV | SDIV | MOD | SMOD | SIGNEXTEND | SELFBALANCE -> g_low
+  | ADDMOD | MULMOD | JUMP -> g_mid
+  | JUMPI -> g_high
+  | EXP -> g_exp
+  | SHA3 -> g_sha3
+  | CALLDATACOPY | CODECOPY | RETURNDATACOPY -> g_verylow
+  | EXTCODECOPY | EXTCODESIZE | EXTCODEHASH -> g_ext
+  | BALANCE -> g_balance
+  | BLOCKHASH -> g_blockhash
+  | SLOAD -> g_sload
+  | SSTORE -> g_sstore
+  | JUMPDEST -> g_jumpdest
+  | LOG n -> g_log + (n * g_log_topic)
+  | CREATE | CREATE2 -> g_create
+  | CALL | CALLCODE | DELEGATECALL | STATICCALL -> g_call
+  | SELFDESTRUCT -> g_selfdestruct
+  | INVALID -> 0

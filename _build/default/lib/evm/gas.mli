@@ -1,0 +1,49 @@
+(** The gas schedule — Istanbul-flavoured, with one deliberate
+    simplification: SSTORE costs a flat {!g_sstore} and there are no
+    refunds, so gas along a fixed control/data path is constant — the
+    invariant accelerated programs rely on (DESIGN.md §6). *)
+
+val g_zero : int
+val g_base : int
+val g_verylow : int
+val g_low : int
+val g_mid : int
+val g_high : int
+val g_jumpdest : int
+val g_exp : int
+val g_exp_byte : int
+val g_sha3 : int
+val g_sha3_word : int
+val g_copy_word : int
+val g_log : int
+val g_log_topic : int
+val g_log_byte : int
+val g_sload : int
+val g_sstore : int
+val g_balance : int
+val g_ext : int
+val g_blockhash : int
+val g_call : int
+val g_call_value : int
+val g_call_stipend : int
+val g_new_account : int
+val g_create : int
+val g_code_deposit_byte : int
+val g_selfdestruct : int
+val g_tx : int
+val g_tx_create : int
+val g_tx_data_zero : int
+val g_tx_data_nonzero : int
+
+val words : int -> int
+(** Bytes rounded up to 32-byte words. *)
+
+val memory_cost : int -> int
+(** Total cost of a memory of [n] bytes (linear + quadratic term). *)
+
+val intrinsic_gas : is_create:bool -> string -> int
+(** 21000 (or 53000 for creation) plus per-byte calldata costs. *)
+
+val static_cost : Op.t -> int
+(** Static cost of an opcode; dynamic parts (copies, memory growth, calls,
+    exp length, hashing) are charged by the interpreter. *)

@@ -1,0 +1,836 @@
+(* The EVM interpreter: a faithful stack machine over {!Statedb}, with gas
+   accounting, nested message calls, and optional instruction tracing.
+
+   Design notes:
+   - Each message call runs in a [frame]; a frame failure (OOG, bad jump,
+     static violation, ...) consumes all gas forwarded to it and reverts the
+     state journal to the call-entry snapshot.
+   - REVERT also rolls the journal back but returns the unused gas.
+   - SSTORE pricing is flat (see DESIGN.md §6) so gas along a fixed
+     control/data path is constant — the invariant Forerunner's accelerated
+     programs rely on. *)
+
+open State
+
+type fail_reason =
+  | Out_of_gas
+  | Stack_underflow
+  | Stack_overflow
+  | Invalid_jump of int
+  | Invalid_opcode of int
+  | Static_violation
+  | Return_data_oob
+  | Code_too_large
+
+let pp_fail ppf r =
+  Fmt.string ppf
+    (match r with
+    | Out_of_gas -> "out of gas"
+    | Stack_underflow -> "stack underflow"
+    | Stack_overflow -> "stack overflow"
+    | Invalid_jump d -> Printf.sprintf "invalid jump to %d" d
+    | Invalid_opcode b -> Printf.sprintf "invalid opcode 0x%02x" b
+    | Static_violation -> "write in static context"
+    | Return_data_oob -> "returndata out of bounds"
+    | Code_too_large -> "deployed code too large")
+
+exception Fail of fail_reason
+
+type status = Returned of string | Reverted of string | Failed of fail_reason
+
+(* Raised by terminator opcodes to end the current frame. *)
+exception Frame_done of status
+
+type ctx = {
+  st : Statedb.t;
+  benv : Env.block_env;
+  origin : Address.t;
+  gas_price : U256.t;
+  trace : Trace.sink option;
+  mutable logs : Env.log list; (* newest first *)
+  mutable logs_len : int;
+  jumpdest_cache : (string, bool array) Hashtbl.t;
+  mutable steps_executed : int;
+}
+
+let make_ctx ?trace st benv ~origin ~gas_price =
+  {
+    st;
+    benv;
+    origin;
+    gas_price;
+    trace;
+    logs = [];
+    logs_len = 0;
+    jumpdest_cache = Hashtbl.create 16;
+    steps_executed = 0;
+  }
+
+type frame = {
+  ctx_address : Address.t; (* storage context; ADDRESS *)
+  code_address : Address.t;
+  code : string;
+  jumpdests : bool array;
+  caller : Address.t;
+  value : U256.t;
+  data : string;
+  is_static : bool;
+  depth : int;
+  mem : Memory.t;
+  stack : U256.t array;
+  mutable sp : int;
+  mutable gas : int;
+  mutable pc : int;
+  mutable returndata : string;
+}
+
+let max_stack = 1024
+let max_depth = 1024
+let max_code_size = 24576
+
+let analyze_jumpdests ctx code =
+  match Hashtbl.find_opt ctx.jumpdest_cache code with
+  | Some a -> a
+  | None ->
+    let n = String.length code in
+    let a = Array.make n false in
+    let i = ref 0 in
+    while !i < n do
+      let b = Char.code code.[!i] in
+      if b = 0x5b then a.(!i) <- true;
+      if b >= 0x60 && b <= 0x7f then i := !i + (b - 0x5f);
+      incr i
+    done;
+    Hashtbl.replace ctx.jumpdest_cache code a;
+    a
+
+(* ---- stack helpers ---- *)
+
+let push f v =
+  if f.sp >= max_stack then raise (Fail Stack_overflow);
+  f.stack.(f.sp) <- v;
+  f.sp <- f.sp + 1
+
+let pop f =
+  if f.sp = 0 then raise (Fail Stack_underflow);
+  f.sp <- f.sp - 1;
+  f.stack.(f.sp)
+
+let require f n = if f.sp < n then raise (Fail Stack_underflow)
+let charge f n = if f.gas < n then raise (Fail Out_of_gas) else f.gas <- f.gas - n
+
+let charge_mem f off len =
+  if len > 0 then begin
+    if off < 0 || len < 0 || off + len < 0 then raise (Fail Out_of_gas);
+    charge f (Memory.expansion_cost f.mem off len);
+    Memory.ensure f.mem off len
+  end
+
+(* Offsets/lengths reaching memory must fit in an int comfortably; anything
+   huge runs out of gas anyway, which we detect up front. *)
+let as_offset v = match U256.to_int_opt v with Some n when n < 0x40000000 -> n | _ -> raise (Fail Out_of_gas)
+
+let bool_word b = if b then U256.one else U256.zero
+
+(* ---- logging with revert support ---- *)
+
+let log_snapshot ctx = ctx.logs_len
+
+let log_revert ctx n =
+  while ctx.logs_len > n do
+    ctx.logs <- List.tl ctx.logs;
+    ctx.logs_len <- ctx.logs_len - 1
+  done
+
+let add_log ctx l =
+  ctx.logs <- l :: ctx.logs;
+  ctx.logs_len <- ctx.logs_len + 1
+
+(* ---- tracing helpers ---- *)
+
+let capture_inputs f op =
+  let n = Op.stack_in op in
+  Array.init n (fun i -> f.stack.(f.sp - 1 - i))
+
+let capture_outputs f op =
+  let n = Op.stack_out op in
+  Array.init n (fun i -> f.stack.(f.sp - 1 - i))
+
+let emit ctx ev = match ctx.trace with Some sink -> sink ev | None -> ()
+
+(* ---- create address derivation ---- *)
+
+let create_address sender nonce =
+  let enc = Rlp.encode (Rlp.List [ Rlp.Str (Address.to_bytes sender); Rlp.encode_int nonce ]) in
+  Address.of_bytes (String.sub (Khash.Keccak.digest enc) 12 20)
+
+let create2_address sender salt initcode =
+  let payload =
+    "\xff" ^ Address.to_bytes sender ^ U256.to_bytes_be salt ^ Khash.Keccak.digest initcode
+  in
+  Address.of_bytes (String.sub (Khash.Keccak.digest payload) 12 20)
+
+(* ---- precompiles: sha256 (0x02) and identity (0x04); other low addresses
+   act as empty accounts (documented simplification). ---- *)
+
+type precompile = P_sha256 | P_identity
+
+let precompile_of addr =
+  if Address.equal addr (Address.of_int 2) then Some P_sha256
+  else if Address.equal addr (Address.of_int 4) then Some P_identity
+  else None
+
+let is_precompile addr = precompile_of addr <> None
+
+(* Returns (gas cost, output). *)
+let run_precompile kind data =
+  match kind with
+  | P_identity -> (15 + (3 * Gas.words (String.length data)), data)
+  | P_sha256 -> (60 + (12 * Gas.words (String.length data)), Khash.Sha256.digest data)
+
+(* ---- message execution ---- *)
+
+(* Execute the frame's code to completion. *)
+let rec exec_frame ctx f : status =
+  let code_len = String.length f.code in
+  let result = ref None in
+  (try
+     while Option.is_none !result do
+       if f.pc >= code_len then result := Some (Returned "")
+       else begin
+         let byte = Char.code f.code.[f.pc] in
+         match Op.of_byte byte with
+         | None -> raise (Fail (Invalid_opcode byte))
+         | Some op ->
+           ctx.steps_executed <- ctx.steps_executed + 1;
+           require f (Op.stack_in op);
+           if Op.stack_out op - Op.stack_in op + f.sp > max_stack then
+             raise (Fail Stack_overflow);
+           charge f (Gas.static_cost op);
+           let traced = ctx.trace <> None in
+           let ins = if traced then capture_inputs f op else [||] in
+           let pc0 = f.pc in
+           let emit_step outs =
+             if traced && not (Op.is_call op || op = CREATE || op = CREATE2) then
+               emit ctx
+                 (Trace.Step
+                    {
+                      pc = pc0;
+                      depth = f.depth;
+                      ctx_address = f.ctx_address;
+                      op;
+                      inputs = ins;
+                      outputs = outs;
+                    })
+           in
+           (try exec_op ctx f op
+            with Frame_done st ->
+              emit_step [||];
+              raise (Frame_done st));
+           if traced then emit_step (capture_outputs f op);
+           f.pc <- f.pc + 1;
+           if op = STOP then result := Some (Returned "")
+       end
+     done
+   with
+  | Fail r -> result := Some (Failed r)
+  | Frame_done st -> result := Some st);
+  match !result with Some st -> st | None -> assert false
+
+and exec_op ctx f (op : Op.t) =
+  let st = ctx.st in
+  match op with
+  | STOP -> ()
+  | ADD -> binop f U256.add
+  | MUL -> binop f U256.mul
+  | SUB -> binop f U256.sub
+  | DIV -> binop f U256.div
+  | SDIV -> binop f U256.sdiv
+  | MOD -> binop f U256.rem
+  | SMOD -> binop f U256.srem
+  | ADDMOD -> triop f U256.addmod
+  | MULMOD -> triop f U256.mulmod
+  | EXP ->
+    let base = pop f and e = pop f in
+    charge f (Gas.g_exp_byte * U256.byte_size e);
+    push f (U256.exp base e)
+  | SIGNEXTEND ->
+    let k = pop f and x = pop f in
+    push f (U256.signextend k x)
+  | LT -> binop f (fun a b -> bool_word (U256.lt a b))
+  | GT -> binop f (fun a b -> bool_word (U256.gt a b))
+  | SLT -> binop f (fun a b -> bool_word (U256.slt a b))
+  | SGT -> binop f (fun a b -> bool_word (U256.sgt a b))
+  | EQ -> binop f (fun a b -> bool_word (U256.equal a b))
+  | ISZERO -> push f (bool_word (U256.is_zero (pop f)))
+  | AND -> binop f U256.logand
+  | OR -> binop f U256.logor
+  | XOR -> binop f U256.logxor
+  | NOT -> push f (U256.lognot (pop f))
+  | BYTE ->
+    let i = pop f and x = pop f in
+    push f (U256.byte i x)
+  | SHL -> shiftop f (fun x n -> U256.shift_left x n)
+  | SHR -> shiftop f (fun x n -> U256.shift_right x n)
+  | SAR ->
+    let n = pop f and x = pop f in
+    (match U256.to_int_opt n with
+    | Some k when k < 256 -> push f (U256.shift_right_arith x k)
+    | _ -> push f (if U256.testbit x 255 then U256.max_value else U256.zero))
+  | SHA3 ->
+    let off = as_offset (pop f) and len = as_offset (pop f) in
+    charge f (Gas.g_sha3_word * Gas.words len);
+    charge_mem f off len;
+    push f (Khash.Keccak.digest_u256 (Memory.load f.mem off len))
+  | ADDRESS -> push f (Address.to_u256 f.ctx_address)
+  | BALANCE -> push f (Statedb.get_balance st (Address.of_u256 (pop f)))
+  | SELFBALANCE -> push f (Statedb.get_balance st f.ctx_address)
+  | ORIGIN -> push f (Address.to_u256 ctx.origin)
+  | CALLER -> push f (Address.to_u256 f.caller)
+  | CALLVALUE -> push f f.value
+  | CALLDATALOAD ->
+    let off = pop f in
+    (match U256.to_int_opt off with
+    | Some o when o < String.length f.data || o < 0x40000000 ->
+      push f (load_padded f.data o 32)
+    | _ -> push f U256.zero)
+  | CALLDATASIZE -> push f (U256.of_int (String.length f.data))
+  | CALLDATACOPY -> copy_to_mem f f.data
+  | CODESIZE -> push f (U256.of_int (String.length f.code))
+  | CODECOPY -> copy_to_mem f f.code
+  | GASPRICE -> push f ctx.gas_price
+  | EXTCODESIZE ->
+    push f (U256.of_int (String.length (Statedb.get_code st (Address.of_u256 (pop f)))))
+  | EXTCODECOPY ->
+    let addr = Address.of_u256 (pop f) in
+    copy_to_mem f (Statedb.get_code st addr)
+  | EXTCODEHASH ->
+    let addr = Address.of_u256 (pop f) in
+    if Statedb.is_empty_account st addr then push f U256.zero
+    else push f (U256.of_bytes_be (Statedb.get_code_hash st addr))
+  | RETURNDATASIZE -> push f (U256.of_int (String.length f.returndata))
+  | RETURNDATACOPY ->
+    let dst = as_offset (pop f) and src = as_offset (pop f) and len = as_offset (pop f) in
+    if src + len > String.length f.returndata then raise (Fail Return_data_oob);
+    charge f (Gas.g_copy_word * Gas.words len);
+    charge_mem f dst len;
+    Memory.store_slice f.mem ~dst ~src:f.returndata ~src_off:src ~len
+  | BLOCKHASH ->
+    let n = pop f in
+    let cur = ctx.benv.number in
+    (match U256.to_int_opt n with
+    | Some bn
+      when Int64.of_int bn < cur
+           && Int64.compare (Int64.of_int bn) (Int64.sub cur 256L) >= 0 ->
+      push f (ctx.benv.block_hash (Int64.of_int bn))
+    | _ -> push f U256.zero)
+  | COINBASE -> push f (Address.to_u256 ctx.benv.coinbase)
+  | TIMESTAMP -> push f (U256.of_int64 ctx.benv.timestamp)
+  | NUMBER -> push f (U256.of_int64 ctx.benv.number)
+  | DIFFICULTY -> push f ctx.benv.difficulty
+  | GASLIMIT -> push f (U256.of_int ctx.benv.gas_limit)
+  | CHAINID -> push f (U256.of_int ctx.benv.chain_id)
+  | POP -> ignore (pop f)
+  | MLOAD ->
+    let off = as_offset (pop f) in
+    charge_mem f off 32;
+    push f (Memory.load_word f.mem off)
+  | MSTORE ->
+    let off = as_offset (pop f) and v = pop f in
+    charge_mem f off 32;
+    Memory.store_word f.mem off v
+  | MSTORE8 ->
+    let off = as_offset (pop f) and v = pop f in
+    charge_mem f off 1;
+    Memory.store_byte f.mem off (U256.to_int_exn (U256.logand v (U256.of_int 0xff)))
+  | SLOAD -> push f (Statedb.get_storage st f.ctx_address (pop f))
+  | SSTORE ->
+    if f.is_static then raise (Fail Static_violation);
+    let k = pop f and v = pop f in
+    Statedb.set_storage st f.ctx_address k v
+  | JUMP ->
+    let dst = jump_target f (pop f) in
+    f.pc <- dst - 1 (* -1: the loop advances past the opcode below *)
+  | JUMPI ->
+    let dst = pop f and cond = pop f in
+    if not (U256.is_zero cond) then f.pc <- jump_target f dst - 1
+  | PC -> push f (U256.of_int f.pc)
+  | MSIZE -> push f (U256.of_int (Memory.size f.mem))
+  | GAS -> push f (U256.of_int f.gas)
+  | JUMPDEST -> ()
+  | PUSH n ->
+    push f (load_padded_code f.code (f.pc + 1) n);
+    f.pc <- f.pc + n
+  | DUP n ->
+    require f n;
+    push f f.stack.(f.sp - n)
+  | SWAP n ->
+    require f (n + 1);
+    let top = f.stack.(f.sp - 1) in
+    f.stack.(f.sp - 1) <- f.stack.(f.sp - 1 - n);
+    f.stack.(f.sp - 1 - n) <- top
+  | LOG n ->
+    if f.is_static then raise (Fail Static_violation);
+    let off = as_offset (pop f) and len = as_offset (pop f) in
+    let topics = List.init n (fun _ -> pop f) in
+    charge f (Gas.g_log_byte * len);
+    charge_mem f off len;
+    add_log ctx
+      { Env.log_address = f.ctx_address; topics; log_data = Memory.load f.mem off len }
+  | CREATE | CREATE2 -> exec_create ctx f op
+  | CALL | CALLCODE | DELEGATECALL | STATICCALL -> exec_call ctx f op
+  | RETURN ->
+    let off = as_offset (pop f) and len = as_offset (pop f) in
+    charge_mem f off len;
+    raise (Frame_done (Returned (Memory.load f.mem off len)))
+  | REVERT ->
+    let off = as_offset (pop f) and len = as_offset (pop f) in
+    charge_mem f off len;
+    raise (Frame_done (Reverted (Memory.load f.mem off len)))
+  | INVALID -> raise (Fail (Invalid_opcode 0xfe))
+  | SELFDESTRUCT ->
+    if f.is_static then raise (Fail Static_violation);
+    let beneficiary = Address.of_u256 (pop f) in
+    let bal = Statedb.get_balance st f.ctx_address in
+    Statedb.add_balance st beneficiary bal;
+    Statedb.set_balance st f.ctx_address U256.zero;
+    Statedb.self_destruct st f.ctx_address;
+    raise (Frame_done (Returned ""))
+
+and binop f g =
+  let a = pop f and b = pop f in
+  push f (g a b)
+
+and triop f g =
+  let a = pop f and b = pop f and c = pop f in
+  push f (g a b c)
+
+and shiftop f g =
+  let n = pop f and x = pop f in
+  match U256.to_int_opt n with
+  | Some k when k < 256 -> push f (g x k)
+  | _ -> push f U256.zero
+
+and jump_target f dst =
+  match U256.to_int_opt dst with
+  | Some d when d < String.length f.code && f.jumpdests.(d) -> d
+  | Some d -> raise (Fail (Invalid_jump d))
+  | None -> raise (Fail (Invalid_jump (-1)))
+
+and load_padded data off len =
+  let b = Bytes.make len '\000' in
+  for i = 0 to len - 1 do
+    if off + i < String.length data && off + i >= 0 then Bytes.set b i data.[off + i]
+  done;
+  U256.of_bytes_be (Bytes.to_string b)
+
+and load_padded_code code off len = load_padded code off len
+
+and copy_to_mem f src =
+  let dst = as_offset (pop f) and src_off = as_offset (pop f) and len = as_offset (pop f) in
+  charge f (Gas.g_copy_word * Gas.words len);
+  charge_mem f dst len;
+  Memory.store_slice f.mem ~dst ~src ~src_off ~len
+
+(* ---- CALL family ---- *)
+
+and exec_call ctx f op =
+  let st = ctx.st in
+  let gas_req = pop f in
+  let target = Address.of_u256 (pop f) in
+  let value = match op with Op.CALL | Op.CALLCODE -> pop f | _ -> U256.zero in
+  let in_off = as_offset (pop f) in
+  let in_len = as_offset (pop f) in
+  let out_off = as_offset (pop f) in
+  let out_len = as_offset (pop f) in
+  if f.is_static && op = Op.CALL && not (U256.is_zero value) then
+    raise (Fail Static_violation);
+  (* Dynamic gas: value transfer surcharge + new-account surcharge. *)
+  let has_value = not (U256.is_zero value) in
+  if has_value then begin
+    charge f Gas.g_call_value;
+    if op = Op.CALL && not (Statedb.account_exists st target) then
+      charge f Gas.g_new_account
+  end;
+  charge_mem f in_off in_len;
+  charge_mem f out_off out_len;
+  let max_forward = f.gas - (f.gas / 64) in
+  let requested = match U256.to_int_opt gas_req with Some g -> g | None -> max_int in
+  let forwarded = min requested max_forward in
+  charge f forwarded;
+  let callee_gas = if has_value then forwarded + Gas.g_call_stipend else forwarded in
+  let data = Memory.load f.mem in_off in_len in
+  let ctx_addr, code_addr, caller, call_value, transfer, static =
+    match op with
+    | Op.CALL -> (target, target, f.ctx_address, value, has_value, f.is_static)
+    | Op.CALLCODE -> (f.ctx_address, target, f.ctx_address, value, false, f.is_static)
+    | Op.DELEGATECALL -> (f.ctx_address, target, f.caller, f.value, false, f.is_static)
+    | Op.STATICCALL -> (target, target, f.ctx_address, U256.zero, false, true)
+    | _ -> assert false
+  in
+  let kind =
+    match op with
+    | Op.CALL -> Trace.C_call
+    | Op.CALLCODE -> Trace.C_callcode
+    | Op.DELEGATECALL -> Trace.C_delegate
+    | _ -> Trace.C_static
+  in
+  let code = Statedb.get_code st code_addr in
+  let step_info =
+    if ctx.trace <> None then
+      Some
+        {
+          Trace.kind;
+          child_ctx = ctx_addr;
+          child_code_addr = code_addr;
+          child_code = code;
+          transfer = (if transfer then Some value else None);
+        }
+    else None
+  in
+  let emit_enter inputs =
+    match step_info with
+    | Some info ->
+      emit ctx
+        (Trace.Call_enter
+           ( {
+               pc = f.pc;
+               depth = f.depth;
+               ctx_address = f.ctx_address;
+               op;
+               inputs;
+               outputs = [||];
+             },
+             info ))
+    | None -> ()
+  in
+  let inputs =
+    if ctx.trace <> None then
+      match op with
+      | Op.CALL | Op.CALLCODE ->
+        [| gas_req; Address.to_u256 target; value; U256.of_int in_off; U256.of_int in_len;
+           U256.of_int out_off; U256.of_int out_len |]
+      | _ ->
+        [| gas_req; Address.to_u256 target; U256.of_int in_off; U256.of_int in_len;
+           U256.of_int out_off; U256.of_int out_len |]
+    else [||]
+  in
+  emit_enter inputs;
+  let finish ~success ~output ~gas_back ~reason =
+    f.gas <- f.gas + gas_back;
+    f.returndata <- output;
+    let n = min (String.length output) out_len in
+    if n > 0 then Memory.store_slice f.mem ~dst:out_off ~src:output ~src_off:0 ~len:n;
+    emit ctx (Trace.Call_exit { success; output; reason });
+    push f (bool_word success)
+  in
+  if f.depth + 1 > max_depth then
+    finish ~success:false ~output:"" ~gas_back:forwarded ~reason:Trace.X_depth
+  else if transfer && U256.lt (Statedb.get_balance st f.ctx_address) value then
+    finish ~success:false ~output:"" ~gas_back:forwarded ~reason:Trace.X_balance
+  else begin
+    let snap = Statedb.snapshot st in
+    let lsnap = log_snapshot ctx in
+    if transfer then begin
+      Statedb.sub_balance st f.ctx_address value;
+      Statedb.add_balance st ctx_addr value
+    end;
+    (match precompile_of code_addr with
+    | Some kind ->
+      let cost, output = run_precompile kind data in
+      if callee_gas < cost then begin
+        Statedb.revert st snap;
+        log_revert ctx lsnap;
+        finish ~success:false ~output:"" ~gas_back:0 ~reason:Trace.X_completed
+      end
+      else
+        finish ~success:true ~output ~gas_back:(callee_gas - cost) ~reason:Trace.X_completed
+    | None ->
+    if code = "" then
+      finish ~success:true ~output:"" ~gas_back:callee_gas ~reason:Trace.X_completed
+    else begin
+      let child =
+        {
+          ctx_address = ctx_addr;
+          code_address = code_addr;
+          code;
+          jumpdests = analyze_jumpdests ctx code;
+          caller;
+          value = call_value;
+          data;
+          is_static = static;
+          depth = f.depth + 1;
+          mem = Memory.create ();
+          stack = Array.make max_stack U256.zero;
+          sp = 0;
+          gas = callee_gas;
+          pc = 0;
+          returndata = "";
+        }
+      in
+      match exec_frame ctx child with
+      | Returned out ->
+        finish ~success:true ~output:out ~gas_back:child.gas ~reason:Trace.X_completed
+      | Reverted out ->
+        Statedb.revert st snap;
+        log_revert ctx lsnap;
+        finish ~success:false ~output:out ~gas_back:child.gas ~reason:Trace.X_completed
+      | Failed _ ->
+        Statedb.revert st snap;
+        log_revert ctx lsnap;
+        finish ~success:false ~output:"" ~gas_back:0 ~reason:Trace.X_completed
+    end)
+  end
+
+(* ---- CREATE family ---- *)
+
+and exec_create ctx f op =
+  let st = ctx.st in
+  if f.is_static then raise (Fail Static_violation);
+  let value = pop f in
+  let off = as_offset (pop f) in
+  let len = as_offset (pop f) in
+  let salt = if op = Op.CREATE2 then pop f else U256.zero in
+  if op = Op.CREATE2 then charge f (Gas.g_sha3_word * Gas.words len);
+  charge_mem f off len;
+  let initcode = Memory.load f.mem off len in
+  let max_forward = f.gas - (f.gas / 64) in
+  charge f max_forward;
+  let inputs =
+    if ctx.trace <> None then
+      if op = Op.CREATE2 then [| value; U256.of_int off; U256.of_int len; salt |]
+      else [| value; U256.of_int off; U256.of_int len |]
+    else [||]
+  in
+  let sender_nonce = Statedb.get_nonce st f.ctx_address in
+  let new_addr =
+    if op = Op.CREATE2 then create2_address f.ctx_address salt initcode
+    else create_address f.ctx_address sender_nonce
+  in
+  let emit_enter () =
+    if ctx.trace <> None then
+      emit ctx
+        (Trace.Call_enter
+           ( {
+               pc = f.pc;
+               depth = f.depth;
+               ctx_address = f.ctx_address;
+               op;
+               inputs;
+               outputs = [||];
+             },
+             {
+               Trace.kind = (if op = Op.CREATE2 then Trace.C_create2 else Trace.C_create);
+               child_ctx = new_addr;
+               child_code_addr = new_addr;
+               child_code = initcode;
+               transfer = (if U256.is_zero value then None else Some value);
+             } ))
+  in
+  emit_enter ();
+  let fail_cheap reason =
+    f.gas <- f.gas + max_forward;
+    f.returndata <- "";
+    emit ctx (Trace.Call_exit { success = false; output = ""; reason });
+    push f U256.zero
+  in
+  if f.depth + 1 > max_depth then fail_cheap Trace.X_depth
+  else if U256.lt (Statedb.get_balance st f.ctx_address) value then
+    fail_cheap Trace.X_balance
+  else begin
+    Statedb.incr_nonce st f.ctx_address;
+    let snap = Statedb.snapshot st in
+    let lsnap = log_snapshot ctx in
+    (* Address collision: existing code or nonce at the target. *)
+    let collision =
+      Statedb.get_nonce st new_addr > 0 || Statedb.get_code st new_addr <> ""
+    in
+    if collision then begin
+      emit ctx (Trace.Call_exit { success = false; output = ""; reason = Trace.X_completed });
+      f.returndata <- "";
+      push f U256.zero
+    end
+    else begin
+      if not (U256.is_zero value) then begin
+        Statedb.sub_balance st f.ctx_address value;
+        Statedb.add_balance st new_addr value
+      end;
+      Statedb.set_nonce st new_addr 1;
+      let child =
+        {
+          ctx_address = new_addr;
+          code_address = new_addr;
+          code = initcode;
+          jumpdests = analyze_jumpdests ctx initcode;
+          caller = f.ctx_address;
+          value;
+          data = "";
+          is_static = false;
+          depth = f.depth + 1;
+          mem = Memory.create ();
+          stack = Array.make max_stack U256.zero;
+          sp = 0;
+          gas = max_forward;
+          pc = 0;
+          returndata = "";
+        }
+      in
+      let deploy st_result =
+        match st_result with
+        | Returned deployed ->
+          let deposit = Gas.g_code_deposit_byte * String.length deployed in
+          if String.length deployed > max_code_size then begin
+            Statedb.revert st snap;
+            log_revert ctx lsnap;
+            emit ctx
+              (Trace.Call_exit { success = false; output = ""; reason = Trace.X_completed });
+            f.returndata <- "";
+            push f U256.zero
+          end
+          else if child.gas < deposit then begin
+            Statedb.revert st snap;
+            log_revert ctx lsnap;
+            emit ctx
+              (Trace.Call_exit { success = false; output = ""; reason = Trace.X_completed });
+            f.returndata <- "";
+            push f U256.zero
+          end
+          else begin
+            child.gas <- child.gas - deposit;
+            Statedb.set_code st new_addr deployed;
+            f.gas <- f.gas + child.gas;
+            f.returndata <- "";
+            emit ctx
+              (Trace.Call_exit { success = true; output = deployed; reason = Trace.X_completed });
+            push f (Address.to_u256 new_addr)
+          end
+        | Reverted out ->
+          Statedb.revert st snap;
+          log_revert ctx lsnap;
+          f.gas <- f.gas + child.gas;
+          f.returndata <- out;
+          emit ctx (Trace.Call_exit { success = false; output = out; reason = Trace.X_completed });
+          push f U256.zero
+        | Failed _ ->
+          Statedb.revert st snap;
+          log_revert ctx lsnap;
+          f.returndata <- "";
+          emit ctx (Trace.Call_exit { success = false; output = ""; reason = Trace.X_completed });
+          push f U256.zero
+      in
+      deploy (exec_frame ctx child)
+    end
+  end
+
+(* ---- top-level message (used by the transaction processor) ---- *)
+
+type call_result = { success : bool; output : string; gas_left : int }
+
+let call_message ctx ~caller ~target ~value ~data ~gas =
+  let st = ctx.st in
+  let snap = Statedb.snapshot st in
+  let lsnap = log_snapshot ctx in
+  if not (U256.is_zero value) then begin
+    Statedb.sub_balance st caller value;
+    Statedb.add_balance st target value
+  end;
+  let code = Statedb.get_code st target in
+  match precompile_of target with
+  | Some kind ->
+    let cost, output = run_precompile kind data in
+    if gas < cost then begin
+      Statedb.revert st snap;
+      log_revert ctx lsnap;
+      { success = false; output = ""; gas_left = 0 }
+    end
+    else { success = true; output; gas_left = gas - cost }
+  | None ->
+  if code = "" then { success = true; output = ""; gas_left = gas }
+  else begin
+    let f =
+      {
+        ctx_address = target;
+        code_address = target;
+        code;
+        jumpdests = analyze_jumpdests ctx code;
+        caller;
+        value;
+        data;
+        is_static = false;
+        depth = 0;
+        mem = Memory.create ();
+        stack = Array.make max_stack U256.zero;
+        sp = 0;
+        gas;
+        pc = 0;
+        returndata = "";
+      }
+    in
+    match exec_frame ctx f with
+    | Returned out -> { success = true; output = out; gas_left = f.gas }
+    | Reverted out ->
+      Statedb.revert st snap;
+      log_revert ctx lsnap;
+      { success = false; output = out; gas_left = f.gas }
+    | Failed _ ->
+      Statedb.revert st snap;
+      log_revert ctx lsnap;
+      { success = false; output = ""; gas_left = 0 }
+  end
+
+let create_message ctx ~caller ~value ~initcode ~gas =
+  let st = ctx.st in
+  let nonce = Statedb.get_nonce st caller - 1 in
+  (* The processor already bumped the sender nonce; contract address uses the
+     pre-bump value, matching Ethereum. *)
+  let new_addr = create_address caller nonce in
+  let snap = Statedb.snapshot st in
+  let lsnap = log_snapshot ctx in
+  if Statedb.get_nonce st new_addr > 0 || Statedb.get_code st new_addr <> "" then
+    { success = false; output = ""; gas_left = 0 }
+  else begin
+    if not (U256.is_zero value) then begin
+      Statedb.sub_balance st caller value;
+      Statedb.add_balance st new_addr value
+    end;
+    Statedb.set_nonce st new_addr 1;
+    let f =
+      {
+        ctx_address = new_addr;
+        code_address = new_addr;
+        code = initcode;
+        jumpdests = analyze_jumpdests ctx initcode;
+        caller;
+        value;
+        data = "";
+        is_static = false;
+        depth = 0;
+        mem = Memory.create ();
+        stack = Array.make max_stack U256.zero;
+        sp = 0;
+        gas;
+        pc = 0;
+        returndata = "";
+      }
+    in
+    match exec_frame ctx f with
+    | Returned deployed ->
+      let deposit = Gas.g_code_deposit_byte * String.length deployed in
+      if String.length deployed > max_code_size || f.gas < deposit then begin
+        Statedb.revert st snap;
+        log_revert ctx lsnap;
+        { success = false; output = ""; gas_left = 0 }
+      end
+      else begin
+        Statedb.set_code st new_addr deployed;
+        { success = true; output = Address.to_bytes new_addr; gas_left = f.gas - deposit }
+      end
+    | Reverted out ->
+      Statedb.revert st snap;
+      log_revert ctx lsnap;
+      { success = false; output = out; gas_left = f.gas }
+    | Failed _ ->
+      Statedb.revert st snap;
+      log_revert ctx lsnap;
+      { success = false; output = ""; gas_left = 0 }
+  end

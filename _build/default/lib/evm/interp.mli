@@ -1,0 +1,82 @@
+(** The EVM interpreter: a stack machine over {!State.Statedb} with gas
+    accounting, nested message calls, and optional instruction tracing.
+
+    {!Processor} wraps this with transaction-level processing; the functions
+    here are the message-call layer it builds on. *)
+
+open State
+
+type fail_reason =
+  | Out_of_gas
+  | Stack_underflow
+  | Stack_overflow
+  | Invalid_jump of int
+  | Invalid_opcode of int
+  | Static_violation
+  | Return_data_oob
+  | Code_too_large
+
+val pp_fail : Format.formatter -> fail_reason -> unit
+
+type status = Returned of string | Reverted of string | Failed of fail_reason
+
+exception Fail of fail_reason
+exception Frame_done of status
+
+(** Per-execution context shared by all frames of one transaction. *)
+type ctx = {
+  st : Statedb.t;
+  benv : Env.block_env;
+  origin : Address.t;
+  gas_price : U256.t;
+  trace : Trace.sink option;
+  mutable logs : Env.log list;  (** newest first; rolled back on revert *)
+  mutable logs_len : int;
+  jumpdest_cache : (string, bool array) Hashtbl.t;
+  mutable steps_executed : int;
+}
+
+val make_ctx :
+  ?trace:Trace.sink -> Statedb.t -> Env.block_env -> origin:Address.t -> gas_price:U256.t -> ctx
+
+val max_stack : int
+val max_depth : int
+val max_code_size : int
+
+(** {1 Precompiled contracts} *)
+
+type precompile = P_sha256 | P_identity
+
+val precompile_of : Address.t -> precompile option
+val is_precompile : Address.t -> bool
+
+val run_precompile : precompile -> string -> int * string
+(** [(gas cost, output)]. *)
+
+(** {1 Address derivation} *)
+
+val create_address : Address.t -> int -> Address.t
+(** [create_address sender nonce] — keccak of the RLP pair, low 160 bits. *)
+
+val create2_address : Address.t -> U256.t -> string -> Address.t
+
+(** {1 Top-level messages (used by the transaction processor)} *)
+
+type call_result = { success : bool; output : string; gas_left : int }
+
+val call_message :
+  ctx ->
+  caller:Address.t ->
+  target:Address.t ->
+  value:U256.t ->
+  data:string ->
+  gas:int ->
+  call_result
+(** Transfer value and run the target's code (or precompile); on failure the
+    journal is rolled back to entry. *)
+
+val create_message :
+  ctx -> caller:Address.t -> value:U256.t -> initcode:string -> gas:int -> call_result
+(** Contract creation; on success [output] is the new 20-byte address.  The
+    caller's nonce must already have been bumped (Ethereum derives the
+    address from the pre-bump value). *)

@@ -1,0 +1,65 @@
+(* EVM linear memory: byte-addressed, zero-initialised, growing in 32-byte
+   words.  Growth cost is quadratic (see {!Gas.memory_cost}); the interpreter
+   charges the cost difference before calling {!ensure}. *)
+
+type t = { mutable buf : Bytes.t; mutable hwm : int (* word-aligned high-water mark *) }
+
+let create () = { buf = Bytes.make 4096 '\000'; hwm = 0 }
+let size m = m.hwm
+
+(* Word-aligned size needed to touch [off, off+len). *)
+let needed off len = if len = 0 then 0 else Gas.words (off + len) * 32
+
+(* Gas cost of expanding to cover [off, off+len); 0 if already covered. *)
+let expansion_cost m off len =
+  let n = needed off len in
+  if n <= m.hwm then 0 else Gas.memory_cost n - Gas.memory_cost m.hwm
+
+let ensure m off len =
+  let n = needed off len in
+  if n > m.hwm then begin
+    if n > Bytes.length m.buf then begin
+      let cap = ref (Bytes.length m.buf * 2) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.make !cap '\000' in
+      Bytes.blit m.buf 0 buf 0 m.hwm;
+      m.buf <- buf
+    end;
+    m.hwm <- n
+  end
+
+let load m off len =
+  if len = 0 then ""
+  else begin
+    ensure m off len;
+    Bytes.sub_string m.buf off len
+  end
+
+let store m off s =
+  if String.length s > 0 then begin
+    ensure m off (String.length s);
+    Bytes.blit_string s 0 m.buf off (String.length s)
+  end
+
+let load_word m off = U256.of_bytes_be (load m off 32)
+let store_word m off v = store m off (U256.to_bytes_be v)
+
+let store_byte m off b =
+  ensure m off 1;
+  Bytes.set m.buf off (Char.chr (b land 0xff))
+
+(* Copy [len] bytes of [src] starting at [src_off] into memory at [dst],
+   zero-padding past the end of [src] (CALLDATACOPY / CODECOPY semantics). *)
+let store_slice m ~dst ~src ~src_off ~len =
+  if len > 0 then begin
+    ensure m dst len;
+    for i = 0 to len - 1 do
+      let c =
+        if src_off + i < String.length src && src_off + i >= 0 then src.[src_off + i]
+        else '\000'
+      in
+      Bytes.set m.buf (dst + i) c
+    done
+  end

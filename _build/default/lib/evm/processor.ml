@@ -1,0 +1,91 @@
+(* Transaction-level state transition: nonce and balance checks, gas
+   purchase, message execution, refund, and the coinbase fee payment.  This
+   is the unit of work Forerunner accelerates. *)
+
+open State
+
+type status = Success | Reverted | Invalid of string
+
+type receipt = {
+  status : status;
+  gas_used : int;
+  output : string;
+  logs : Env.log list;
+  contract_address : Address.t option;  (** for creations *)
+  sender_balance_before : U256.t;
+  sender_nonce_before : int;
+}
+
+let status_equal a b =
+  match (a, b) with
+  | Success, Success | Reverted, Reverted -> true
+  | Invalid x, Invalid y -> String.equal x y
+  | (Success | Reverted | Invalid _), _ -> false
+
+let pp_status ppf = function
+  | Success -> Fmt.string ppf "success"
+  | Reverted -> Fmt.string ppf "reverted"
+  | Invalid r -> Fmt.pf ppf "invalid(%s)" r
+
+(* Upfront cost: gas_limit * gas_price + value. *)
+let upfront_cost (tx : Env.tx) =
+  U256.add (U256.mul (U256.of_int tx.gas_limit) tx.gas_price) tx.value
+
+(* Validity check against current state — what a miner runs before packing,
+   and what execution re-checks. *)
+let check_validity st (tx : Env.tx) =
+  let nonce = Statedb.get_nonce st tx.sender in
+  if nonce <> tx.nonce then Error (Printf.sprintf "nonce: have %d want %d" nonce tx.nonce)
+  else if U256.lt (Statedb.get_balance st tx.sender) (upfront_cost tx) then
+    Error "insufficient funds"
+  else begin
+    let intrinsic = Gas.intrinsic_gas ~is_create:(tx.to_ = None) tx.data in
+    if intrinsic > tx.gas_limit then Error "intrinsic gas exceeds limit" else Ok intrinsic
+  end
+
+(* Execute [tx] against [st] in block environment [benv], mutating [st]
+   (committed state is only advanced by the caller's [Statedb.commit]). *)
+let execute_tx ?trace st (benv : Env.block_env) (tx : Env.tx) : receipt =
+  let sender_balance_before = Statedb.get_balance st tx.sender in
+  let sender_nonce_before = Statedb.get_nonce st tx.sender in
+  match check_validity st tx with
+  | Error reason ->
+    {
+      status = Invalid reason;
+      gas_used = 0;
+      output = "";
+      logs = [];
+      contract_address = None;
+      sender_balance_before;
+      sender_nonce_before;
+    }
+  | Ok intrinsic ->
+    let ctx = Interp.make_ctx ?trace st benv ~origin:tx.sender ~gas_price:tx.gas_price in
+    (* Buy gas, bump nonce. *)
+    Statedb.sub_balance st tx.sender (U256.mul (U256.of_int tx.gas_limit) tx.gas_price);
+    Statedb.incr_nonce st tx.sender;
+    let gas = tx.gas_limit - intrinsic in
+    let result, contract_address =
+      match tx.to_ with
+      | Some target ->
+        ( Interp.call_message ctx ~caller:tx.sender ~target ~value:tx.value ~data:tx.data
+            ~gas,
+          None )
+      | None ->
+        let r = Interp.create_message ctx ~caller:tx.sender ~value:tx.value ~initcode:tx.data ~gas in
+        let addr = if r.success then Some (Address.of_bytes r.output) else None in
+        (r, addr)
+    in
+    let gas_used = tx.gas_limit - result.gas_left in
+    (* Refund unused gas; pay the miner. *)
+    Statedb.add_balance st tx.sender (U256.mul (U256.of_int result.gas_left) tx.gas_price);
+    Statedb.add_balance st benv.coinbase (U256.mul (U256.of_int gas_used) tx.gas_price);
+    {
+      status = (if result.success then Success else Reverted);
+      gas_used;
+      output = result.output;
+      logs = List.rev ctx.logs;
+      contract_address;
+      sender_balance_before;
+      sender_nonce_before;
+    }

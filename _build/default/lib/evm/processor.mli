@@ -1,0 +1,35 @@
+(** Transaction-level state transition: validity checks, gas purchase,
+    message execution, refund and the miner-fee payment — the unit of work
+    Forerunner accelerates. *)
+
+open State
+
+type status =
+  | Success
+  | Reverted  (** execution failed or reverted; gas consumed, no effects *)
+  | Invalid of string  (** rejected before execution; no state change *)
+
+type receipt = {
+  status : status;
+  gas_used : int;
+  output : string;  (** return or revert data *)
+  logs : Env.log list;
+  contract_address : Address.t option;  (** for creations *)
+  sender_balance_before : U256.t;
+  sender_nonce_before : int;
+}
+
+val status_equal : status -> status -> bool
+val pp_status : Format.formatter -> status -> unit
+
+val upfront_cost : Env.tx -> U256.t
+(** [gas_limit * gas_price + value] — what the sender must be able to pay. *)
+
+val check_validity : Statedb.t -> Env.tx -> (int, string) result
+(** Nonce, funds and intrinsic-gas checks; [Ok intrinsic_gas] on success.
+    This is what a miner runs before packing. *)
+
+val execute_tx : ?trace:Trace.sink -> Statedb.t -> Env.block_env -> Env.tx -> receipt
+(** Execute [tx] against [st] (journaled, not committed).  With [trace], the
+    instrumented EVM reports every executed instruction — the speculator's
+    input. *)

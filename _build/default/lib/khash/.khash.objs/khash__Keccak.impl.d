@@ -1,0 +1,1 @@
+lib/khash/keccak.ml: Array Bytes Char Int64 List Printf String U256

@@ -1,0 +1,1 @@
+lib/khash/keccak.mli: U256

@@ -1,0 +1,1 @@
+lib/khash/sha256.ml: Array Bytes Char Int32 Int64 Keccak String

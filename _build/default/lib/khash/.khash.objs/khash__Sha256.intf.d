@@ -1,0 +1,1 @@
+lib/khash/sha256.mli:

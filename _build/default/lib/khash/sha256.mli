@@ -1,0 +1,6 @@
+(** SHA-256 (FIPS 180-4), backing Ethereum's 0x02 precompiled contract. *)
+
+val digest : string -> string
+(** 32-byte digest. *)
+
+val digest_hex : string -> string

@@ -1,0 +1,1 @@
+lib/netsim/record.ml: Array Chain Evm Hashtbl List State Workload

@@ -1,0 +1,1 @@
+lib/netsim/record.mli: Chain Evm Hashtbl State Workload

@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Address Array Chain Evm Hashtbl Heap Int64 List Random Record State Statedb String U256 Workload

@@ -1,0 +1,56 @@
+(* A minimal binary min-heap keyed by (time, sequence) for the discrete-event
+   simulator.  The sequence number makes ordering of simultaneous events
+   deterministic. *)
+
+type 'a t = {
+  mutable data : (float * int * 'a) array;
+  mutable size : int;
+  mutable seq : int;
+}
+
+let create () = { data = Array.make 256 (0.0, 0, Obj.magic 0); size = 0; seq = 0 }
+let is_empty h = h.size = 0
+let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let push h time v =
+  if h.size = Array.length h.data then begin
+    let d = Array.make (2 * h.size) h.data.(0) in
+    Array.blit h.data 0 d 0 h.size;
+    h.data <- d
+  end;
+  let item = (time, h.seq, v) in
+  h.seq <- h.seq + 1;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.data.(!i) <- item;
+  while !i > 0 && before h.data.(!i) h.data.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.data.(p) in
+    h.data.(p) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := p
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let (time, _, v) = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (time, v)
+  end

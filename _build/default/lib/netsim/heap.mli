@@ -1,0 +1,9 @@
+(** A binary min-heap keyed by (time, insertion sequence), so simultaneous
+    events pop in deterministic FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option

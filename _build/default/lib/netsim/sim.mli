@@ -1,0 +1,37 @@
+(** The DiCE network simulator.
+
+    Reproduces the three causes of Ethereum's many-future behaviour the
+    paper identifies (§4.2): transactions gossip to each miner with
+    different delays (divergent pools), miners break gas-price ties with
+    their own randomness and stamp blocks with skewed clocks (divergent
+    metadata), and the winning miner is sampled by hash power (probabilistic
+    selection).  With probability [p_fork] a second miner solves the same
+    height, producing the temporary forks the paper cites as directly
+    observable futures.
+
+    Running a simulation yields the {!Record.t} an observer node would have
+    captured — the input to {!Core.Node.replay}. *)
+
+type params = {
+  seed : int;
+  duration : float;  (** simulated seconds *)
+  tx_rate : float;  (** transactions per second *)
+  n_miners : int;
+  mean_block_interval : float;  (** seconds; Ethereum ~13 *)
+  block_gas_limit : int;
+  gossip_delay_mean : float;  (** tx propagation to miners *)
+  observer_delay_mean : float;  (** tx propagation to the observer *)
+  p_never_heard : float;  (** txs the observer never hears *)
+  block_prop_delay : float;
+  p_fork : float;  (** competing block at the same height *)
+  mix : Workload.Gen.mix;
+  n_users : int;
+  n_observers : int;  (** price-oracle submitters *)
+  start_time : float;  (** epoch seconds; aligns oracle rounds *)
+}
+
+val default_params : params
+
+val run : ?params:params -> unit -> Record.t
+(** Simulate [duration] seconds of traffic and return the observer feed.
+    Deterministic in [params.seed]. *)

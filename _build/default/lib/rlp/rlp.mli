@@ -1,0 +1,23 @@
+(** Recursive Length Prefix serialisation (Ethereum yellow paper, appendix B).
+
+    Used to serialise trie nodes, transactions and block headers before
+    hashing, so that state roots commit to canonical byte strings. *)
+
+type item =
+  | Str of string  (** an uninterpreted byte string *)
+  | List of item list
+
+exception Decode_error of string
+
+val encode : item -> string
+
+val decode : string -> item
+(** @raise Decode_error on malformed or trailing input. *)
+
+val encode_int : int -> item
+(** Big-endian minimal encoding of a non-negative integer as [Str]. *)
+
+val decode_int : item -> int
+(** @raise Decode_error on a [List], non-minimal form, or overflow. *)
+
+val pp : Format.formatter -> item -> unit

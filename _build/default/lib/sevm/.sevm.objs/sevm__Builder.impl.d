@@ -1,0 +1,1 @@
+lib/sevm/builder.ml: Address Array Buffer Evm Hashtbl Ir Khash List Map Opt State Statedb String U256

@@ -1,0 +1,1 @@
+lib/sevm/builder.mli: Evm Ir State

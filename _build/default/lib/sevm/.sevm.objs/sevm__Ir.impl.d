@@ -1,0 +1,1 @@
+lib/sevm/ir.ml: Address Array Buffer Evm Fmt List State String U256

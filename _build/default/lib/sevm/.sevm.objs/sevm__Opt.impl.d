@@ -1,0 +1,1 @@
+lib/sevm/opt.ml: Array Ir List

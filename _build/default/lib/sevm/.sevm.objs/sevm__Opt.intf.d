@@ -1,0 +1,1 @@
+lib/sevm/opt.mli: Ir

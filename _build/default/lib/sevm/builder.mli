@@ -1,0 +1,34 @@
+(** Trace-based program specialization (paper §4.3, Fig. 6).
+
+    [build] replays a recorded EVM trace symbolically and produces a linear
+    accelerated path: one constraint set plus one fast path, in the S-EVM
+    register IR.  The single pass performs complex-instruction
+    decomposition, stack→register SSA translation, register promotion
+    (stack, memory, storage, environment), control-flow elimination,
+    constant folding, common-subexpression elimination and constraint
+    generation; a second pass does dead-code elimination and rollback-free
+    scheduling (all effects after the last guard). *)
+
+exception Unsupported of string
+
+val build :
+  Evm.Env.tx ->
+  Evm.Env.block_env ->
+  Evm.Trace.event array ->
+  Evm.Processor.receipt ->
+  State.Statedb.t ->
+  (Ir.path, string) result
+(** [build tx benv trace receipt pre_state] synthesizes the accelerated path
+    for one pre-execution of [tx].
+
+    - [benv] is the speculated block environment the trace ran in;
+    - [receipt] is the traced execution's result (status, gas, output);
+    - [pre_state] must expose the state {e as of just before} the traced
+      execution (callers snapshot, execute with tracing, then revert).
+
+    Returns [Error reason] for the few transaction shapes specialization
+    does not cover (contract creation, [SELFDESTRUCT]) — such transactions
+    simply run without an AP, like the paper's missed predictions. *)
+
+val count_trace_len : Evm.Trace.event array -> int
+(** Number of executed EVM instructions recorded in a trace. *)

@@ -1,0 +1,264 @@
+(* S-EVM: Forerunner's register-based intermediate representation
+   (paper §4.3).  A traced transaction execution becomes a straight-line
+   sequence of S-EVM instructions in SSA form: every instruction either
+   reads a context variable, computes, or (in the deferred write set)
+   writes.  Stack and memory traffic from EVM is gone — register promotion
+   resolved it at specialization time. *)
+
+open State
+
+type reg = int
+
+type operand = Reg of reg | Const of U256.t
+
+(* A contiguous run of bytes used to rebuild memory contents, call data,
+   return data, hash inputs and log payloads. *)
+type piece =
+  | P_const of string
+  | P_reg of reg * int * int
+      (** [P_reg (r, off, len)]: bytes [off, off+len) of the 32-byte
+          big-endian encoding of register [r]. *)
+
+type compute_op =
+  | C_add | C_mul | C_sub | C_div | C_sdiv | C_mod | C_smod | C_addmod | C_mulmod
+  | C_exp | C_signextend
+  | C_lt | C_gt | C_slt | C_sgt | C_eq | C_iszero
+  | C_and | C_or | C_xor | C_not | C_byte | C_shl | C_shr | C_sar
+
+type read_src =
+  | R_timestamp
+  | R_number
+  | R_coinbase
+  | R_difficulty
+  | R_gaslimit
+  | R_blockhash of operand
+  | R_balance of operand  (** address (low 160 bits of the operand) *)
+  | R_nonce of Address.t
+  | R_storage of Address.t * U256.t  (** keys are constants after guarding *)
+  | R_extcodesize of operand
+  | R_extcodehash of operand
+
+type instr =
+  | Compute of reg * compute_op * operand array
+  | Keccak of reg * piece list
+  | Sha256 of reg * piece list  (** the 0x02 precompile, decomposed *)
+  | Pack of reg * piece list  (** assemble a 32-byte word from pieces *)
+  | Read of reg * read_src
+  | Guard of operand * U256.t  (** constraint: operand must equal the value *)
+  | Guard_size of operand * int  (** constraint: byte_size(operand) = n *)
+
+type write =
+  | W_storage of Address.t * U256.t * operand
+  | W_balance_set of operand * operand  (** address operand, absolute value *)
+  | W_balance_add of operand * operand
+  | W_balance_sub of operand * operand
+  | W_nonce_set of Address.t * int
+  | W_code of Address.t * piece list  (** contract deployment *)
+  | W_log of Address.t * operand list * piece list
+
+(* Per-path synthesis statistics, feeding Fig. 15 / §5.5. *)
+type stats = {
+  evm_trace_len : int;  (** instructions in the recorded EVM trace *)
+  decomposed_added : int;  (** extra S-EVM instrs from decomposition *)
+  stack_eliminated : int;  (** PUSH/DUP/SWAP/POP *)
+  mem_eliminated : int;  (** MLOAD/MSTORE/MSTORE8/copies promoted away *)
+  control_eliminated : int;  (** JUMP/JUMPI/JUMPDEST/PC *)
+  state_eliminated : int;  (** promoted repeat SLOAD/env reads *)
+  const_folded : int;
+  cse_removed : int;
+  dead_removed : int;
+  guards_added : int;
+  constraint_len : int;  (** instrs in the constraint (pre-fast-path) section *)
+  fastpath_len : int;
+}
+
+let empty_stats =
+  {
+    evm_trace_len = 0;
+    decomposed_added = 0;
+    stack_eliminated = 0;
+    mem_eliminated = 0;
+    control_eliminated = 0;
+    state_eliminated = 0;
+    const_folded = 0;
+    cse_removed = 0;
+    dead_removed = 0;
+    guards_added = 0;
+    constraint_len = 0;
+    fastpath_len = 0;
+  }
+
+(* A linear accelerated path: one constraint set plus one fast path,
+   synthesized from one pre-execution (before AP merging). *)
+type path = {
+  instrs : instr array;  (** constraint section then fast-path section *)
+  first_fast : int;  (** index of the first fast-path instruction *)
+  writes : write list;
+  status : Evm.Processor.status;
+  gas_used : int;
+  output : piece list;
+  reg_count : int;
+  reg_values : U256.t array;  (** value each register took during tracing *)
+  stats : stats;
+}
+
+(* ---- evaluation (shared by constant folding and AP execution) ---- *)
+
+let bool_word b = if b then U256.one else U256.zero
+
+let eval_compute op (args : U256.t array) =
+  let a i = args.(i) in
+  match op with
+  | C_add -> U256.add (a 0) (a 1)
+  | C_mul -> U256.mul (a 0) (a 1)
+  | C_sub -> U256.sub (a 0) (a 1)
+  | C_div -> U256.div (a 0) (a 1)
+  | C_sdiv -> U256.sdiv (a 0) (a 1)
+  | C_mod -> U256.rem (a 0) (a 1)
+  | C_smod -> U256.srem (a 0) (a 1)
+  | C_addmod -> U256.addmod (a 0) (a 1) (a 2)
+  | C_mulmod -> U256.mulmod (a 0) (a 1) (a 2)
+  | C_exp -> U256.exp (a 0) (a 1)
+  | C_signextend -> U256.signextend (a 0) (a 1)
+  | C_lt -> bool_word (U256.lt (a 0) (a 1))
+  | C_gt -> bool_word (U256.gt (a 0) (a 1))
+  | C_slt -> bool_word (U256.slt (a 0) (a 1))
+  | C_sgt -> bool_word (U256.sgt (a 0) (a 1))
+  | C_eq -> bool_word (U256.equal (a 0) (a 1))
+  | C_iszero -> bool_word (U256.is_zero (a 0))
+  | C_and -> U256.logand (a 0) (a 1)
+  | C_or -> U256.logor (a 0) (a 1)
+  | C_xor -> U256.logxor (a 0) (a 1)
+  | C_not -> U256.lognot (a 0)
+  | C_byte -> U256.byte (a 0) (a 1)
+  | C_shl -> (
+    match U256.to_int_opt (a 0) with
+    | Some k when k < 256 -> U256.shift_left (a 1) k
+    | _ -> U256.zero)
+  | C_shr -> (
+    match U256.to_int_opt (a 0) with
+    | Some k when k < 256 -> U256.shift_right (a 1) k
+    | _ -> U256.zero)
+  | C_sar -> (
+    match U256.to_int_opt (a 0) with
+    | Some k when k < 256 -> U256.shift_right_arith (a 1) k
+    | _ -> if U256.testbit (a 1) 255 then U256.max_value else U256.zero)
+
+let compute_op_of_evm : Evm.Op.t -> compute_op option = function
+  | ADD -> Some C_add | MUL -> Some C_mul | SUB -> Some C_sub | DIV -> Some C_div
+  | SDIV -> Some C_sdiv | MOD -> Some C_mod | SMOD -> Some C_smod
+  | ADDMOD -> Some C_addmod | MULMOD -> Some C_mulmod | EXP -> Some C_exp
+  | SIGNEXTEND -> Some C_signextend | LT -> Some C_lt | GT -> Some C_gt
+  | SLT -> Some C_slt | SGT -> Some C_sgt | EQ -> Some C_eq | ISZERO -> Some C_iszero
+  | AND -> Some C_and | OR -> Some C_or | XOR -> Some C_xor | NOT -> Some C_not
+  | BYTE -> Some C_byte | SHL -> Some C_shl | SHR -> Some C_shr | SAR -> Some C_sar
+  | _ -> None
+
+(* EVM stack order note: for SHL/SHR/SAR the EVM pops shift then value, and
+   eval_compute above follows that same order (args.(0) = shift). *)
+
+let compute_name = function
+  | C_add -> "ADD" | C_mul -> "MUL" | C_sub -> "SUB" | C_div -> "DIV" | C_sdiv -> "SDIV"
+  | C_mod -> "MOD" | C_smod -> "SMOD" | C_addmod -> "ADDMOD" | C_mulmod -> "MULMOD"
+  | C_exp -> "EXP" | C_signextend -> "SIGNEXTEND" | C_lt -> "LT" | C_gt -> "GT"
+  | C_slt -> "SLT" | C_sgt -> "SGT" | C_eq -> "EQ" | C_iszero -> "ISZERO"
+  | C_and -> "AND" | C_or -> "OR" | C_xor -> "XOR" | C_not -> "NOT" | C_byte -> "BYTE"
+  | C_shl -> "SHL" | C_shr -> "SHR" | C_sar -> "SAR"
+
+(* ---- pretty-printing ---- *)
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "v%d" r
+  | Const v -> U256.pp ppf v
+
+let pp_piece ppf = function
+  | P_const s -> Fmt.pf ppf "%dB const" (String.length s)
+  | P_reg (r, off, len) -> Fmt.pf ppf "v%d[%d..%d]" r off (off + len)
+
+let pp_read ppf = function
+  | R_timestamp -> Fmt.string ppf "TIMESTAMP"
+  | R_number -> Fmt.string ppf "NUMBER"
+  | R_coinbase -> Fmt.string ppf "COINBASE"
+  | R_difficulty -> Fmt.string ppf "DIFFICULTY"
+  | R_gaslimit -> Fmt.string ppf "GASLIMIT"
+  | R_blockhash o -> Fmt.pf ppf "BLOCKHASH(%a)" pp_operand o
+  | R_balance o -> Fmt.pf ppf "BALANCE(%a)" pp_operand o
+  | R_nonce a -> Fmt.pf ppf "NONCE(%a)" Address.pp a
+  | R_storage (a, k) -> Fmt.pf ppf "SLOAD(%a,%a)" Address.pp a U256.pp k
+  | R_extcodesize o -> Fmt.pf ppf "EXTCODESIZE(%a)" pp_operand o
+  | R_extcodehash o -> Fmt.pf ppf "EXTCODEHASH(%a)" pp_operand o
+
+let pp_instr ppf = function
+  | Compute (r, op, args) ->
+    Fmt.pf ppf "v%d = %s(%a)" r (compute_name op) (Fmt.array ~sep:Fmt.comma pp_operand) args
+  | Keccak (r, ps) -> Fmt.pf ppf "v%d = KECCAK(%a)" r (Fmt.list ~sep:Fmt.comma pp_piece) ps
+  | Sha256 (r, ps) -> Fmt.pf ppf "v%d = SHA256(%a)" r (Fmt.list ~sep:Fmt.comma pp_piece) ps
+  | Pack (r, ps) -> Fmt.pf ppf "v%d = PACK(%a)" r (Fmt.list ~sep:Fmt.comma pp_piece) ps
+  | Read (r, src) -> Fmt.pf ppf "v%d = %a" r pp_read src
+  | Guard (o, v) -> Fmt.pf ppf "GUARD(%a == %a)" pp_operand o U256.pp v
+  | Guard_size (o, n) -> Fmt.pf ppf "GUARD(bytesize(%a) == %d)" pp_operand o n
+
+let pp_write ppf = function
+  | W_storage (a, k, v) -> Fmt.pf ppf "SSTORE(%a, %a, %a)" Address.pp a U256.pp k pp_operand v
+  | W_balance_set (a, v) -> Fmt.pf ppf "BAL[%a] := %a" pp_operand a pp_operand v
+  | W_balance_add (a, v) -> Fmt.pf ppf "BAL[%a] += %a" pp_operand a pp_operand v
+  | W_balance_sub (a, v) -> Fmt.pf ppf "BAL[%a] -= %a" pp_operand a pp_operand v
+  | W_nonce_set (a, n) -> Fmt.pf ppf "NONCE[%a] := %d" Address.pp a n
+  | W_code (a, ps) -> Fmt.pf ppf "CODE[%a] := %d pieces" Address.pp a (List.length ps)
+  | W_log (a, topics, _) ->
+    Fmt.pf ppf "LOG(%a, %a)" Address.pp a (Fmt.list ~sep:Fmt.comma pp_operand) topics
+
+let pp_path ppf p =
+  Fmt.pf ppf "path: %d instrs (%d constraint + %d fast), %d writes, gas=%d@."
+    (Array.length p.instrs) p.first_fast
+    (Array.length p.instrs - p.first_fast)
+    (List.length p.writes) p.gas_used;
+  Array.iteri
+    (fun i ins ->
+      if i = p.first_fast then Fmt.pf ppf "--- fast path ---@.";
+      Fmt.pf ppf "  %a@." pp_instr ins)
+    p.instrs;
+  List.iter (fun w -> Fmt.pf ppf "  %a@." pp_write w) p.writes
+
+(* ---- operand helpers ---- *)
+
+let operand_regs = function Reg r -> [ r ] | Const _ -> []
+let piece_regs = function P_reg (r, _, _) -> [ r ] | P_const _ -> []
+
+let instr_uses = function
+  | Compute (_, _, args) -> Array.to_list args |> List.concat_map operand_regs
+  | Keccak (_, ps) | Sha256 (_, ps) | Pack (_, ps) -> List.concat_map piece_regs ps
+  | Read (_, src) -> (
+    match src with
+    | R_blockhash o | R_balance o | R_extcodesize o | R_extcodehash o -> operand_regs o
+    | R_timestamp | R_number | R_coinbase | R_difficulty | R_gaslimit | R_nonce _
+    | R_storage _ -> [])
+  | Guard (o, _) | Guard_size (o, _) -> operand_regs o
+
+let instr_def = function
+  | Compute (r, _, _) | Keccak (r, _) | Sha256 (r, _) | Pack (r, _) | Read (r, _) -> Some r
+  | Guard _ | Guard_size _ -> None
+
+let write_uses = function
+  | W_storage (_, _, v) -> operand_regs v
+  | W_balance_set (a, v) | W_balance_add (a, v) | W_balance_sub (a, v) ->
+    operand_regs a @ operand_regs v
+  | W_nonce_set _ -> []
+  | W_code (_, ps) -> List.concat_map piece_regs ps
+  | W_log (_, topics, ps) -> List.concat_map operand_regs topics @ List.concat_map piece_regs ps
+
+(* Materialize pieces into bytes given a register file. *)
+let bytes_of_pieces regs pieces =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      match p with
+      | P_const s -> Buffer.add_string buf s
+      | P_reg (r, off, len) -> Buffer.add_substring buf (U256.to_bytes_be regs.(r)) off len)
+    pieces;
+  Buffer.contents buf
+
+let pieces_len pieces =
+  List.fold_left
+    (fun acc p -> acc + match p with P_const s -> String.length s | P_reg (_, _, l) -> l)
+    0 pieces

@@ -1,0 +1,70 @@
+(* Dead-code elimination and rollback-free scheduling (paper §4.3).
+
+   Liveness flows backwards from three roots: guard operands (constraint
+   section), the deferred write set, and the return-data pieces.  Anything
+   unreachable is dead.  Instructions needed by any guard are scheduled
+   before the guards that use them, in original order; everything else moves
+   after the last guard into the fast path, so a constraint violation aborts
+   with nothing to roll back. *)
+
+module I = Ir
+
+type scheduled = {
+  instrs : I.instr array;
+  first_fast : int;
+  dead_removed : int;
+}
+
+let schedule (instrs : I.instr list) (writes : I.write list) (output : I.piece list) =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  (* def index per register *)
+  let max_reg =
+    Array.fold_left
+      (fun acc ins -> match I.instr_def ins with Some r -> max acc (r + 1) | None -> acc)
+      0 arr
+  in
+  let def_of = Array.make max_reg (-1) in
+  Array.iteri
+    (fun i ins -> match I.instr_def ins with Some r -> def_of.(r) <- i | None -> ())
+    arr;
+  let constraint_live = Array.make n false in
+  let fast_live = Array.make n false in
+  (* mark [r]'s defining instruction and its dependencies into [live] *)
+  let rec mark live r =
+    if r < max_reg && def_of.(r) >= 0 && not (live.(def_of.(r))) then begin
+      live.(def_of.(r)) <- true;
+      List.iter (mark live) (I.instr_uses arr.(def_of.(r)))
+    end
+  in
+  (* constraint roots: guards and their dependencies *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | I.Guard _ | I.Guard_size _ ->
+        constraint_live.(i) <- true;
+        List.iter (mark constraint_live) (I.instr_uses ins)
+      | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> ())
+    arr;
+  (* fast-path roots: writes and output *)
+  List.iter (fun w -> List.iter (mark fast_live) (I.write_uses w)) writes;
+  List.iter (fun p -> List.iter (mark fast_live) (I.piece_regs p)) output;
+  (* partition, preserving order *)
+  let constraint_section = ref [] in
+  let fast_section = ref [] in
+  let dead = ref 0 in
+  Array.iteri
+    (fun i ins ->
+      if constraint_live.(i) then constraint_section := ins :: !constraint_section
+      else if fast_live.(i) then fast_section := ins :: !fast_section
+      else
+        match ins with
+        | I.Guard _ | I.Guard_size _ -> assert false
+        | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> incr dead)
+    arr;
+  let cs = List.rev !constraint_section and fs = List.rev !fast_section in
+  {
+    instrs = Array.of_list (cs @ fs);
+    first_fast = List.length cs;
+    dead_removed = !dead;
+  }

@@ -1,0 +1,1 @@
+lib/state/address.ml: Fmt Hashtbl Khash Map String U256

@@ -1,0 +1,1 @@
+lib/state/address.mli: Format Hashtbl Map U256

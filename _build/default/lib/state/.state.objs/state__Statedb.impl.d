@@ -1,0 +1,1 @@
+lib/state/statedb.ml: Address Hashtbl Khash List Rlp String Trie U256

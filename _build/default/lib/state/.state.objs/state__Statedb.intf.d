@@ -1,0 +1,1 @@
+lib/state/statedb.mli: Address Trie U256

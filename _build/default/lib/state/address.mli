@@ -1,0 +1,25 @@
+(** 20-byte Ethereum account addresses. *)
+
+type t
+
+val zero : t
+val of_bytes : string -> t
+(** @raise Invalid_argument unless exactly 20 bytes. *)
+
+val to_bytes : t -> string
+val of_hex : string -> t
+val to_hex : t -> string
+val of_u256 : U256.t -> t
+(** Low 160 bits, EVM address truncation. *)
+
+val to_u256 : t -> U256.t
+val of_int : int -> t
+(** Deterministic test/workload address [0x…<n>]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,354 @@
+module Umap = Hashtbl.Make (struct
+  type t = U256.t
+
+  let equal = U256.equal
+  let hash = U256.hash
+end)
+
+let empty_code_hash = Khash.Keccak.digest ""
+let empty_root = Trie.empty_root_hash
+
+module Backend = struct
+  type t = { tdb : Trie.Db.t; code : (string, string) Hashtbl.t }
+
+  let create () =
+    let code = Hashtbl.create 64 in
+    Hashtbl.replace code empty_code_hash "";
+    { tdb = Trie.Db.create (); code }
+
+  let trie_db b = b.tdb
+  let io_reads b = Trie.Db.node_reads b.tdb
+  let reset_io b = Trie.Db.reset_counters b.tdb
+
+  let store_code b code =
+    let h = Khash.Keccak.digest code in
+    Hashtbl.replace b.code h code;
+    h
+
+  let load_code b h =
+    match Hashtbl.find_opt b.code h with
+    | Some c -> c
+    | None -> invalid_arg "Statedb: unknown code hash"
+end
+
+type touch = T_account of Address.t | T_code of Address.t | T_slot of Address.t * U256.t
+
+type acct = {
+  addr : Address.t;
+  mutable nonce : int;
+  mutable balance : U256.t;
+  mutable code_hash : string;
+  mutable storage_base : Trie.t; (* committed storage trie *)
+  slots : U256.t Umap.t; (* cached current values (clean + dirty) *)
+  original : U256.t Umap.t; (* committed values, as first seen *)
+  dirty_slots : unit Umap.t;
+  mutable dirty_acct : bool;
+  mutable destructed : bool;
+}
+
+type entry =
+  | J_balance of acct * U256.t
+  | J_nonce of acct * int
+  | J_code of acct * string
+  | J_storage of acct * U256.t * U256.t option
+  | J_create of Address.t
+  | J_destruct of acct
+
+type t = {
+  backend : Backend.t;
+  mutable base : Trie.t;
+  cache : acct option Address.Tbl.t;
+  mutable journal : entry list;
+  mutable jlen : int;
+  mutable tracking : bool;
+  mutable touch_log : touch list; (* newest first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let backend t = t.backend
+
+let create bk ~root =
+  {
+    backend = bk;
+    base = Trie.of_root (Backend.trie_db bk) root;
+    cache = Address.Tbl.create 256;
+    journal = [];
+    jlen = 0;
+    tracking = false;
+    touch_log = [];
+    hits = 0;
+    misses = 0;
+  }
+
+let root t = Trie.root_hash t.base
+let set_tracking t on = t.tracking <- on
+let touches t = List.rev t.touch_log
+let clear_touches t = t.touch_log <- []
+let cache_stats t = (t.hits, t.misses)
+let touch t what = if t.tracking then t.touch_log <- what :: t.touch_log
+
+let journal_push t e =
+  t.journal <- e :: t.journal;
+  t.jlen <- t.jlen + 1
+
+(* ---- account encoding in the accounts trie ---- *)
+
+let u256_min_be v =
+  let b = U256.to_bytes_be v in
+  let n = U256.byte_size v in
+  String.sub b (32 - n) n
+
+let encode_account a storage_root =
+  Rlp.encode
+    (Rlp.List
+       [ Rlp.encode_int a.nonce; Rlp.Str (u256_min_be a.balance); Rlp.Str storage_root;
+         Rlp.Str a.code_hash ])
+
+let account_trie_key addr = Khash.Keccak.digest (Address.to_bytes addr)
+let slot_trie_key slot = Khash.Keccak.digest (U256.to_bytes_be slot)
+
+(* ---- account fetch / creation ---- *)
+
+let fresh_acct t addr =
+  {
+    addr;
+    nonce = 0;
+    balance = U256.zero;
+    code_hash = empty_code_hash;
+    storage_base = Trie.create (Backend.trie_db t.backend);
+    slots = Umap.create 8;
+    original = Umap.create 8;
+    dirty_slots = Umap.create 8;
+    dirty_acct = false;
+    destructed = false;
+  }
+
+let get_acct t addr =
+  match Address.Tbl.find_opt t.cache addr with
+  | Some binding ->
+    t.hits <- t.hits + 1;
+    binding
+  | None ->
+    t.misses <- t.misses + 1;
+    touch t (T_account addr);
+    let binding =
+      match Trie.get t.base (account_trie_key addr) with
+      | None -> None
+      | Some enc -> (
+        match Rlp.decode enc with
+        | Rlp.List [ nonce; Rlp.Str bal; Rlp.Str sroot; Rlp.Str chash ] ->
+          Some
+            {
+              (fresh_acct t addr) with
+              nonce = Rlp.decode_int nonce;
+              balance = U256.of_bytes_be bal;
+              code_hash = chash;
+              storage_base = Trie.of_root (Backend.trie_db t.backend) sroot;
+            }
+        | _ -> invalid_arg "Statedb: bad account encoding")
+    in
+    Address.Tbl.replace t.cache addr binding;
+    binding
+
+let get_or_create t addr =
+  match get_acct t addr with
+  | Some a -> a
+  | None ->
+    let a = fresh_acct t addr in
+    Address.Tbl.replace t.cache addr (Some a);
+    journal_push t (J_create addr);
+    a
+
+(* ---- reads ---- *)
+
+let account_exists t addr = get_acct t addr <> None
+
+let get_balance t addr =
+  match get_acct t addr with Some a -> a.balance | None -> U256.zero
+
+let get_nonce t addr = match get_acct t addr with Some a -> a.nonce | None -> 0
+
+let get_code_hash t addr =
+  match get_acct t addr with Some a -> a.code_hash | None -> empty_code_hash
+
+let get_code t addr =
+  match get_acct t addr with
+  | None -> ""
+  | Some a ->
+    if a.code_hash <> empty_code_hash then touch t (T_code addr);
+    Backend.load_code t.backend a.code_hash
+
+let is_empty_account t addr =
+  match get_acct t addr with
+  | None -> true
+  | Some a -> a.nonce = 0 && U256.is_zero a.balance && a.code_hash = empty_code_hash
+
+let is_destructed t addr =
+  match get_acct t addr with Some a -> a.destructed | None -> false
+
+let storage_read_committed t a slot =
+  match Umap.find_opt a.original slot with
+  | Some v -> v
+  | None ->
+    touch t (T_slot (a.addr, slot));
+    let v =
+      match Trie.get a.storage_base (slot_trie_key slot) with
+      | None -> U256.zero
+      | Some enc -> (
+        match Rlp.decode enc with
+        | Rlp.Str s -> U256.of_bytes_be s
+        | Rlp.List _ -> invalid_arg "Statedb: bad slot encoding")
+    in
+    Umap.replace a.original slot v;
+    v
+
+let get_storage t addr slot =
+  match get_acct t addr with
+  | None -> U256.zero
+  | Some a -> (
+    match Umap.find_opt a.slots slot with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      let v = storage_read_committed t a slot in
+      Umap.replace a.slots slot v;
+      v)
+
+let get_committed_storage t addr slot =
+  match get_acct t addr with
+  | None -> U256.zero
+  | Some a -> storage_read_committed t a slot
+
+(* ---- writes (journaled) ---- *)
+
+let set_balance t addr v =
+  let a = get_or_create t addr in
+  journal_push t (J_balance (a, a.balance));
+  a.balance <- v;
+  a.dirty_acct <- true
+
+let add_balance t addr v =
+  let a = get_or_create t addr in
+  journal_push t (J_balance (a, a.balance));
+  a.balance <- U256.add a.balance v;
+  a.dirty_acct <- true
+
+let sub_balance t addr v =
+  let a = get_or_create t addr in
+  if U256.lt a.balance v then invalid_arg "Statedb.sub_balance: underflow";
+  journal_push t (J_balance (a, a.balance));
+  a.balance <- U256.sub a.balance v;
+  a.dirty_acct <- true
+
+let set_nonce t addr n =
+  let a = get_or_create t addr in
+  journal_push t (J_nonce (a, a.nonce));
+  a.nonce <- n;
+  a.dirty_acct <- true
+
+let incr_nonce t addr = set_nonce t addr (get_nonce t addr + 1)
+
+let set_code t addr code =
+  let a = get_or_create t addr in
+  journal_push t (J_code (a, a.code_hash));
+  a.code_hash <- Backend.store_code t.backend code;
+  a.dirty_acct <- true
+
+let set_storage t addr slot v =
+  let a = get_or_create t addr in
+  journal_push t (J_storage (a, slot, Umap.find_opt a.slots slot));
+  Umap.replace a.slots slot v;
+  Umap.replace a.dirty_slots slot ();
+  a.dirty_acct <- true
+
+let self_destruct t addr =
+  match get_acct t addr with
+  | None -> ()
+  | Some a ->
+    journal_push t (J_destruct a);
+    a.destructed <- true
+
+(* ---- snapshot / revert ---- *)
+
+let snapshot t = t.jlen
+
+let undo t = function
+  | J_balance (a, v) -> a.balance <- v
+  | J_nonce (a, n) -> a.nonce <- n
+  | J_code (a, h) -> a.code_hash <- h
+  | J_storage (a, k, prev) -> (
+    match prev with Some v -> Umap.replace a.slots k v | None -> Umap.remove a.slots k)
+  | J_create addr -> Address.Tbl.replace t.cache addr None
+  | J_destruct a -> a.destructed <- false
+
+let revert t snap =
+  if snap > t.jlen then invalid_arg "Statedb.revert: stale snapshot";
+  while t.jlen > snap do
+    (match t.journal with
+    | e :: rest ->
+      undo t e;
+      t.journal <- rest
+    | [] -> assert false);
+    t.jlen <- t.jlen - 1
+  done
+
+(* ---- commit ---- *)
+
+let commit_acct t a =
+  (* Flush dirty slots into the storage trie. *)
+  let dirty = Umap.fold (fun k () acc -> k :: acc) a.dirty_slots [] in
+  List.iter
+    (fun k ->
+      match Umap.find_opt a.slots k with
+      | None -> ()
+      | Some v ->
+        let key = slot_trie_key k in
+        (if U256.is_zero v then a.storage_base <- Trie.remove a.storage_base key
+         else
+           a.storage_base <- Trie.set a.storage_base key (Rlp.encode (Rlp.Str (u256_min_be v))));
+        Umap.replace a.original k v)
+    dirty;
+  Umap.reset a.dirty_slots;
+  let key = account_trie_key a.addr in
+  let empty =
+    a.nonce = 0 && U256.is_zero a.balance && a.code_hash = empty_code_hash
+    && Trie.is_empty a.storage_base
+  in
+  if empty then t.base <- Trie.remove t.base key
+  else t.base <- Trie.set t.base key (encode_account a (Trie.root_hash a.storage_base));
+  a.dirty_acct <- false
+
+let commit t =
+  let bindings = Address.Tbl.fold (fun addr b acc -> (addr, b) :: acc) t.cache [] in
+  let bindings = List.sort (fun (a, _) (b, _) -> Address.compare a b) bindings in
+  List.iter
+    (fun (addr, binding) ->
+      match binding with
+      | None -> ()
+      | Some a ->
+        if a.destructed then begin
+          t.base <- Trie.remove t.base (account_trie_key addr);
+          Address.Tbl.replace t.cache addr None
+        end
+        else if a.dirty_acct || Umap.length a.dirty_slots > 0 then commit_acct t a)
+    bindings;
+  t.journal <- [];
+  t.jlen <- 0;
+  root t
+
+(* ---- prefetch ---- *)
+
+let warm t touch_list =
+  let was = t.tracking in
+  t.tracking <- false;
+  List.iter
+    (fun tc ->
+      match tc with
+      | T_account addr -> ignore (get_acct t addr)
+      | T_code addr -> ignore (get_code t addr)
+      | T_slot (addr, slot) -> ignore (get_storage t addr slot))
+    touch_list;
+  t.tracking <- was

@@ -1,0 +1,100 @@
+(** The mutable, journaled view of Ethereum's world state that transaction
+    execution runs against — the analogue of geth's [StateDB].
+
+    A [Statedb.t] overlays in-memory caches on top of a committed trie root.
+    Reads fall through the cache to the account / storage tries (each trie
+    node load is counted by {!Trie.Db} as a disk-I/O proxy); writes go to the
+    cache and a journal, so {!snapshot} / {!revert} implement the EVM's
+    nested-call rollback, and {!commit} flushes dirty state into fresh trie
+    roots.
+
+    Forerunner's prefetcher warms a fresh [Statedb]'s caches ({!warm}) with
+    the read set captured during speculative pre-execution, replacing
+    critical-path trie walks with cache hits. *)
+
+module Backend : sig
+  type t
+  (** Shared persistent storage: one trie node store plus the code store. *)
+
+  val create : unit -> t
+  val trie_db : t -> Trie.Db.t
+
+  val io_reads : t -> int
+  (** Trie node loads so far (proxy for disk reads). *)
+
+  val reset_io : t -> unit
+end
+
+type t
+
+type touch =
+  | T_account of Address.t      (** balance / nonce / existence read *)
+  | T_code of Address.t
+  | T_slot of Address.t * U256.t
+
+val create : Backend.t -> root:string -> t
+(** Open the world state committed at [root] with cold caches. *)
+
+val empty_root : string
+
+val backend : t -> Backend.t
+
+(** {1 Accounts} *)
+
+val account_exists : t -> Address.t -> bool
+val is_empty_account : t -> Address.t -> bool
+(** Empty per EIP-161: zero nonce, zero balance, no code. *)
+
+val get_balance : t -> Address.t -> U256.t
+val set_balance : t -> Address.t -> U256.t -> unit
+val add_balance : t -> Address.t -> U256.t -> unit
+val sub_balance : t -> Address.t -> U256.t -> unit
+(** @raise Invalid_argument on underflow (callers must check first). *)
+
+val get_nonce : t -> Address.t -> int
+val set_nonce : t -> Address.t -> int -> unit
+val incr_nonce : t -> Address.t -> unit
+val get_code : t -> Address.t -> string
+val get_code_hash : t -> Address.t -> string
+val set_code : t -> Address.t -> string -> unit
+val self_destruct : t -> Address.t -> unit
+val is_destructed : t -> Address.t -> bool
+
+(** {1 Storage} *)
+
+val get_storage : t -> Address.t -> U256.t -> U256.t
+val set_storage : t -> Address.t -> U256.t -> U256.t -> unit
+val get_committed_storage : t -> Address.t -> U256.t -> U256.t
+(** The value as of the last {!commit}, regardless of journal state. *)
+
+(** {1 Journal} *)
+
+val snapshot : t -> int
+val revert : t -> int -> unit
+(** Undo every mutation made after the matching {!snapshot}. *)
+
+(** {1 Commit and commitment} *)
+
+val commit : t -> string
+(** Flush dirty accounts and storage into the tries; returns the new state
+    root.  Caches stay warm. *)
+
+val root : t -> string
+(** Root as of the last commit (or creation). *)
+
+(** {1 Read-set tracking and prefetch} *)
+
+val set_tracking : t -> bool -> unit
+(** When on, every cache-missing read is recorded as a {!touch}. *)
+
+val touches : t -> touch list
+(** Recorded touches, oldest first. *)
+
+val clear_touches : t -> unit
+
+val warm : t -> touch list -> unit
+(** Perform the trie reads for the given touches now, populating the caches
+    (the prefetcher's critical-path I/O elimination). *)
+
+val cache_stats : t -> int * int
+(** (hits, misses) of the account+storage caches since creation. *)

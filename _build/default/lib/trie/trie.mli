@@ -1,0 +1,56 @@
+(** Hexary Merkle-Patricia trie over a content-addressed node store.
+
+    This is the state-commitment structure of Ethereum: every node is
+    RLP-encoded and stored under its Keccak-256 hash, so two tries with equal
+    {!root_hash} hold identical contents — which is how Forerunner's
+    correctness is validated (paper §5.2).
+
+    Lookups walk the trie from the root, loading and decoding one stored node
+    per path element; the {!Db} counts those loads, which stands in for the
+    LevelDB I/O that dominates cold state access in geth. *)
+
+module Db : sig
+  type t
+
+  val create : unit -> t
+
+  val node_reads : t -> int
+  (** Number of node loads (the disk-I/O proxy). *)
+
+  val node_writes : t -> int
+  val reset_counters : t -> unit
+  val size : t -> int
+end
+
+type t
+(** A trie handle: a node store plus a root.  Handles are persistent values —
+    [set] returns a new handle and never mutates old ones (old roots stay
+    readable, which is what chain re-orgs and speculation snapshots need). *)
+
+val create : Db.t -> t
+(** The empty trie. *)
+
+val db : t -> Db.t
+
+val root_hash : t -> string
+(** 32-byte commitment.  Equal root hashes imply equal contents. *)
+
+val of_root : Db.t -> string -> t
+(** Re-open a previously committed root. *)
+
+val get : t -> string -> string option
+(** [get t key] walks the trie; [None] when absent. *)
+
+val set : t -> string -> string -> t
+(** [set t key value] inserts or overwrites.  [value] must be non-empty;
+    use {!remove} to delete. *)
+
+val remove : t -> string -> t
+
+val is_empty : t -> bool
+
+val fold : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+(** Iterate all (key, value) bindings (keys in nibble order). *)
+
+val empty_root_hash : string
+(** The well-known hash of the empty trie. *)

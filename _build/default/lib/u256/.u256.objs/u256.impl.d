@@ -1,0 +1,1 @@
+lib/u256/u256.ml: Array Buffer Bytes Char Fmt Int64 Int64_clz String

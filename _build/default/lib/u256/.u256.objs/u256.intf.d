@@ -1,0 +1,1 @@
+lib/u256/u256.mli: Format

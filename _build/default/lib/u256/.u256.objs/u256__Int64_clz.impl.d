@@ -1,0 +1,1 @@
+lib/u256/int64_clz.ml: Int64

@@ -1,0 +1,29 @@
+(* Count leading zeros of an int64 treated as unsigned (clz 0 = 64). *)
+let clz x =
+  if x = 0L then 64
+  else begin
+    let n = ref 0 in
+    let x = ref x in
+    if Int64.unsigned_compare !x 0x00000000FFFFFFFFL <= 0 then begin
+      n := !n + 32;
+      x := Int64.shift_left !x 32
+    end;
+    if Int64.unsigned_compare !x 0x0000FFFFFFFFFFFFL <= 0 then begin
+      n := !n + 16;
+      x := Int64.shift_left !x 16
+    end;
+    if Int64.unsigned_compare !x 0x00FFFFFFFFFFFFFFL <= 0 then begin
+      n := !n + 8;
+      x := Int64.shift_left !x 8
+    end;
+    if Int64.unsigned_compare !x 0x0FFFFFFFFFFFFFFFL <= 0 then begin
+      n := !n + 4;
+      x := Int64.shift_left !x 4
+    end;
+    if Int64.unsigned_compare !x 0x3FFFFFFFFFFFFFFFL <= 0 then begin
+      n := !n + 2;
+      x := Int64.shift_left !x 2
+    end;
+    if Int64.unsigned_compare !x 0x7FFFFFFFFFFFFFFFL <= 0 then incr n;
+    !n
+  end

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Address Array Contracts Evm Int64 Population Random State String U256

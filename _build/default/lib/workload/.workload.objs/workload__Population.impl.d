@@ -1,0 +1,1 @@
+lib/workload/population.ml: Address Array Contracts State Statedb U256

@@ -1,0 +1,195 @@
+(* Synthetic transaction traffic with an Ethereum-2021-flavoured mix:
+   native transfers, ERC-20 activity, AMM swaps, price-oracle submissions
+   (the paper's running example: timestamp-dependent and mutually
+   interfering), name-registry races, and a dash of everything else.
+
+   Gas prices are drawn from a small set of popular levels — senders take
+   pricing advice from the same helper tools, so ties abound (paper footnote
+   8), which is exactly what makes miner orderings diverge. *)
+
+open State
+
+type kind =
+  | Eth_transfer
+  | Erc20_transfer
+  | Amm_swap
+  | Oracle_submit
+  | Erc20_approve
+  | Registry_register
+  | Counter_poke
+  | Heavy_work
+  | Auction_bid
+  | Deploy
+
+let kind_name = function
+  | Eth_transfer -> "eth_transfer"
+  | Erc20_transfer -> "erc20_transfer"
+  | Amm_swap -> "amm_swap"
+  | Oracle_submit -> "oracle_submit"
+  | Erc20_approve -> "erc20_approve"
+  | Registry_register -> "registry"
+  | Counter_poke -> "counter"
+  | Heavy_work -> "heavy_work"
+  | Auction_bid -> "auction_bid"
+  | Deploy -> "deploy"
+
+type mix = (kind * float) list
+
+let default_mix : mix =
+  [ (Eth_transfer, 0.26); (Erc20_transfer, 0.31); (Amm_swap, 0.15); (Oracle_submit, 0.08);
+    (Erc20_approve, 0.05); (Registry_register, 0.04); (Counter_poke, 0.04);
+    (Heavy_work, 0.03); (Auction_bid, 0.03); (Deploy, 0.01) ]
+
+(* A DeFi-heavier mix for dataset variation. *)
+let defi_mix : mix =
+  [ (Eth_transfer, 0.16); (Erc20_transfer, 0.28); (Amm_swap, 0.28); (Oracle_submit, 0.10);
+    (Erc20_approve, 0.05); (Registry_register, 0.03); (Counter_poke, 0.03);
+    (Heavy_work, 0.03); (Auction_bid, 0.03); (Deploy, 0.01) ]
+
+type t = {
+  pop : Population.t;
+  rng : Random.State.t;
+  mix : mix;
+  nonces : int Address.Tbl.t; (* next nonce per sender *)
+  mutable name_counter : int;
+  mutable bid_floor : int; (* rising auction price *)
+  tx_rate : float; (* transactions per second *)
+}
+
+let create ?(mix = default_mix) ~seed ~tx_rate pop =
+  {
+    pop;
+    rng = Random.State.make [| seed; 0xF02E |];
+    mix;
+    nonces = Address.Tbl.create 256;
+    name_counter = 0;
+    bid_floor = 1_000;
+    tx_rate;
+  }
+
+let pick_kind g =
+  let x = Random.State.float g.rng 1.0 in
+  let rec go acc = function
+    | [ (k, _) ] -> k
+    | (k, w) :: rest -> if x < acc +. w then k else go (acc +. w) rest
+    | [] -> assert false
+  in
+  go 0.0 g.mix
+
+let pick_user g = g.pop.users.(Random.State.int g.rng (Array.length g.pop.users))
+
+let next_nonce g sender =
+  let n = match Address.Tbl.find_opt g.nonces sender with Some n -> n | None -> 0 in
+  Address.Tbl.replace g.nonces sender (n + 1);
+  n
+
+(* Popular gas-price levels in wei-like units; heavy on ties. *)
+let gas_price_levels = [| 50; 60; 60; 80; 80; 80; 100; 100; 120; 150 |]
+
+let pick_gas_price g =
+  U256.of_int
+    (1_000_000_000 * gas_price_levels.(Random.State.int g.rng (Array.length gas_price_levels)))
+
+let u = U256.of_int
+
+(* Init code deploying the counter contract: copy the runtime (appended
+   after the loader) and return it. *)
+let counter_initcode =
+  let open Evm.Asm in
+  let runtime = Contracts.Counter.code in
+  let loader rest_off =
+    [ push_int (String.length runtime); push_int rest_off; push_int 0; op Evm.Op.CODECOPY;
+      push_int (String.length runtime); push_int 0; op Evm.Op.RETURN ]
+  in
+  let sizer = assemble (loader 0) in
+  assemble (loader (String.length sizer)) ^ runtime
+
+(* Generate one transaction at simulation time [now] (unix-like seconds). *)
+let generate g ~now : Evm.Env.tx * kind =
+  let kind = pick_kind g in
+  let sender, to_, value, data, gas_limit =
+    match kind with
+    | Eth_transfer ->
+      let s = pick_user g in
+      let r = pick_user g in
+      (s, r, U256.mul (u (1 + Random.State.int g.rng 100)) (U256.of_string "1000000000000000"),
+       "", 21_000)
+    | Erc20_transfer ->
+      let s = pick_user g in
+      let r = pick_user g in
+      let token = if Random.State.bool g.rng then g.pop.token0 else g.pop.token1 in
+      ( s, token, U256.zero,
+        Contracts.Erc20.transfer_call ~to_:r ~amount:(u (1 + Random.State.int g.rng 1000)),
+        60_000 )
+    | Amm_swap ->
+      let s = pick_user g in
+      let one_to_zero = Random.State.bool g.rng in
+      ( s, g.pop.pair, U256.zero,
+        Contracts.Amm.swap_call
+          ~amount_in:(u (100 + Random.State.int g.rng 5000))
+          ~one_to_zero, 110_000 )
+    | Oracle_submit ->
+      let s =
+        g.pop.oracle_observers.(Random.State.int g.rng (Array.length g.pop.oracle_observers))
+      in
+      let round = Int64.to_int now / 300 * 300 in
+      (* observers disagree slightly on the price *)
+      let price = 1980 + Random.State.int g.rng 40 in
+      (s, g.pop.feed, U256.zero, Contracts.Pricefeed.submit_call ~round_id:round ~price, 60_000)
+    | Erc20_approve ->
+      let s = pick_user g in
+      let token = if Random.State.bool g.rng then g.pop.token0 else g.pop.token1 in
+      ( s, token, U256.zero,
+        Contracts.Erc20.approve_call ~spender:g.pop.pair
+          ~amount:(u (1 + Random.State.int g.rng 100_000)), 55_000 )
+    | Registry_register ->
+      let s = pick_user g in
+      (* small name pool: registrations race on purpose *)
+      (if Random.State.int g.rng 3 = 0 then g.name_counter <- g.name_counter + 1);
+      let name = u (1000 + g.name_counter) in
+      (s, g.pop.registry, U256.zero, Contracts.Registry.register_call ~name, 60_000)
+    | Counter_poke ->
+      let s = pick_user g in
+      (s, g.pop.counter, U256.zero, Contracts.Counter.increment_call, 32_000)
+    | Heavy_work ->
+      let s = pick_user g in
+      let n = 40 + Random.State.int g.rng 600 in
+      let data =
+        if Random.State.bool g.rng then Contracts.Worker.work_call ~n
+        else Contracts.Worker.mix_call ~n
+      in
+      (* senders estimate: ~24k base + ~135 gas per hash iteration *)
+      (s, g.pop.worker, U256.zero, data, 30_000 + (n * 170))
+    | Auction_bid ->
+      let s = pick_user g in
+      (* bids race each other around a rising floor; some deliberately
+         lowball and revert, like real auction sniping *)
+      let amount =
+        if Random.State.int g.rng 5 = 0 then max 1 (g.bid_floor - Random.State.int g.rng 500)
+        else begin
+          g.bid_floor <- g.bid_floor + 50 + Random.State.int g.rng 500;
+          g.bid_floor
+        end
+      in
+      (s, g.pop.auction, u amount, Contracts.Auction.bid_call, 90_000)
+    | Deploy ->
+      let s = pick_user g in
+      (* deploy a fresh counter; initcode embeds the runtime after itself *)
+      (* the recipient column is ignored for creations (to_ becomes None) *)
+      (s, Address.zero, U256.zero, counter_initcode, 120_000)
+  in
+  ( {
+      Evm.Env.sender;
+      to_ = (match kind with Deploy -> None | _ -> Some to_);
+      nonce = next_nonce g sender;
+      value;
+      data;
+      gas_limit;
+      gas_price = pick_gas_price g;
+    },
+    kind )
+
+(* Exponential inter-arrival times at [tx_rate] per second. *)
+let next_interarrival g =
+  let x = Random.State.float g.rng 1.0 in
+  -.log (1.0 -. x) /. g.tx_rate

@@ -1,0 +1,39 @@
+(** Synthetic transaction traffic with an Ethereum-2021-flavoured mix.
+
+    Gas prices are drawn from a small set of popular levels, so price ties
+    abound — exactly what makes miner orderings diverge (paper footnote 8).
+    Oracle submissions depend on the block timestamp and interfere with one
+    another; registry names and auction bids race on purpose; the worker
+    contract supplies the high-gas tail. *)
+
+type kind =
+  | Eth_transfer
+  | Erc20_transfer
+  | Amm_swap
+  | Oracle_submit
+  | Erc20_approve
+  | Registry_register
+  | Counter_poke
+  | Heavy_work
+  | Auction_bid
+  | Deploy
+
+val kind_name : kind -> string
+
+type mix = (kind * float) list
+(** Kind weights; they should sum to 1. *)
+
+val default_mix : mix
+val defi_mix : mix
+(** A DeFi-heavier variant used by dataset R3. *)
+
+type t
+
+val create : ?mix:mix -> seed:int -> tx_rate:float -> Population.t -> t
+
+val generate : t -> now:int64 -> Evm.Env.tx * kind
+(** Produce the next transaction (with a fresh per-sender nonce) as of
+    simulation time [now] (epoch seconds; selects the oracle round). *)
+
+val next_interarrival : t -> float
+(** Exponential inter-arrival sample at the configured rate. *)

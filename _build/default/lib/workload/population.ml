@@ -1,0 +1,64 @@
+(* The on-chain population backing the synthetic traffic: funded user
+   accounts, two ERC-20 tokens, an AMM pair, the paper's PriceFeed oracle,
+   a name registry and a counter. *)
+
+open State
+
+type t = {
+  users : Address.t array;
+  oracle_observers : Address.t array; (* price submitters *)
+  feed : Address.t;
+  token0 : Address.t;
+  token1 : Address.t;
+  pair : Address.t;
+  registry : Address.t;
+  counter : Address.t;
+  worker : Address.t;
+  auction : Address.t;
+}
+
+let user_base = 0x100000
+let observer_base = 0x200000
+
+let make ~n_users ~n_observers =
+  {
+    users = Array.init n_users (fun i -> Address.of_int (user_base + i));
+    oracle_observers = Array.init n_observers (fun i -> Address.of_int (observer_base + i));
+    feed = Address.of_int 0xFEED;
+    token0 = Address.of_int 0x70C0;
+    token1 = Address.of_int 0x70C1;
+    pair = Address.of_int 0xAA00;
+    registry = Address.of_int 0x4E60;
+    counter = Address.of_int 0xC0C0;
+    worker = Address.of_int 0x3047;
+    auction = Address.of_int 0xA0C7;
+  }
+
+let ether = U256.of_string "1000000000000000000"
+
+(* Build the genesis state; returns the committed root. *)
+let genesis p bk =
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  let fund a = Statedb.set_balance st a (U256.mul (U256.of_int 1000) ether) in
+  Array.iter fund p.users;
+  Array.iter fund p.oracle_observers;
+  Contracts.Deploy.install_code st p.feed Contracts.Pricefeed.code;
+  Contracts.Deploy.install_code st p.token0 Contracts.Erc20.code;
+  Contracts.Deploy.install_code st p.token1 Contracts.Erc20.code;
+  Contracts.Deploy.install_code st p.registry Contracts.Registry.code;
+  Contracts.Deploy.install_code st p.counter Contracts.Counter.code;
+  Contracts.Deploy.install_code st p.worker Contracts.Worker.code;
+  Contracts.Deploy.install_code st p.auction Contracts.Auction.code;
+  let million = U256.of_int 100_000_000 in
+  Array.iter
+    (fun u ->
+      Contracts.Deploy.seed_erc20_balance st ~token:p.token0 ~owner:u ~amount:million;
+      Contracts.Deploy.seed_erc20_balance st ~token:p.token1 ~owner:u ~amount:million;
+      Contracts.Deploy.seed_erc20_allowance st ~token:p.token0 ~owner:u ~spender:p.pair
+        ~amount:(U256.mul million million);
+      Contracts.Deploy.seed_erc20_allowance st ~token:p.token1 ~owner:u ~spender:p.pair
+        ~amount:(U256.mul million million))
+    p.users;
+  Contracts.Deploy.install_amm st ~pair:p.pair ~token0:p.token0 ~token1:p.token1
+    ~reserve0:(U256.of_int 500_000_000) ~reserve1:(U256.of_int 250_000_000);
+  Statedb.commit st

@@ -1,0 +1,24 @@
+(** The on-chain population backing the synthetic traffic: funded user
+    accounts, price-oracle observers, and the deployed contract set. *)
+
+open State
+
+type t = {
+  users : Address.t array;
+  oracle_observers : Address.t array;
+  feed : Address.t;
+  token0 : Address.t;
+  token1 : Address.t;
+  pair : Address.t;
+  registry : Address.t;
+  counter : Address.t;
+  worker : Address.t;
+  auction : Address.t;
+}
+
+val make : n_users:int -> n_observers:int -> t
+
+val genesis : t -> Statedb.Backend.t -> string
+(** Build and commit the genesis state (funds, contracts, token balances,
+    AMM reserves and allowances); returns the root.  Deterministic in
+    [t]'s shape. *)

@@ -1,0 +1,1 @@
+test/test_ap.ml: Address Alcotest Ap Evm List Sevm State Statedb U256

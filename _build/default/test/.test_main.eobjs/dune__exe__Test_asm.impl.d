@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Char Evm List Op String U256

@@ -1,0 +1,1 @@
+test/test_chain.ml: Address Alcotest Chain Evm Khash List Random State Statedb String U256

@@ -1,0 +1,1 @@
+test/test_contracts.ml: Abi Address Alcotest Contracts Env Evm Hashtbl Int64 List Processor QCheck QCheck_alcotest State Statedb U256

@@ -1,0 +1,1 @@
+test/test_core.ml: Address Alcotest Chain Core Evm Khash Lazy List Netsim Sevm State Statedb U256

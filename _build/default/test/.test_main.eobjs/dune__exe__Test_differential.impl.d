@@ -1,0 +1,1 @@
+test/test_differential.ml: Abi Address Array Asm Env Evm List Op Processor QCheck QCheck_alcotest Sevm State Statedb String U256

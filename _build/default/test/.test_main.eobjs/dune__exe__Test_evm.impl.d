@@ -1,0 +1,1 @@
+test/test_evm.ml: Abi Address Alcotest Asm Env Evm Int64 Khash List Op Processor State Statedb String U256

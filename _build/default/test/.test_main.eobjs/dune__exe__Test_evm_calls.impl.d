@@ -1,0 +1,1 @@
+test/test_evm_calls.ml: Abi Address Alcotest Asm Env Evm Khash Op Processor State Statedb String U256

@@ -1,0 +1,1 @@
+test/test_khash.ml: Alcotest Evm Khash List QCheck QCheck_alcotest String U256

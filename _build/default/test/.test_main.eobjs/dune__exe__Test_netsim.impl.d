@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Chain Core Evm Hashtbl List Netsim Option State Workload

@@ -1,0 +1,1 @@
+test/test_rlp.ml: Alcotest Char Fmt Khash List QCheck QCheck_alcotest Rlp Stdlib String

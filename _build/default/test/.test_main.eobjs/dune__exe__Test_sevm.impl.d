@@ -1,0 +1,1 @@
+test/test_sevm.ml: Address Alcotest Ap Array Contracts Env Evm Hashtbl Int64 Khash List Processor QCheck QCheck_alcotest Sevm State Statedb String Trace U256

@@ -1,0 +1,1 @@
+test/test_state.ml: Address Alcotest Khash List Printf QCheck QCheck_alcotest State Statedb U256

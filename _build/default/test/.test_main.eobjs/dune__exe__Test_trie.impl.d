@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Fun Khash List Map Printf QCheck QCheck_alcotest String Trie

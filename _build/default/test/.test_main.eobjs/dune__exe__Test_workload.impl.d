@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Evm Hashtbl Khash List State Statedb String U256 Workload

@@ -1,0 +1,181 @@
+(* Structural tests of accelerated programs: path-to-tree construction,
+   merging, memoization alternatives, and executor mechanics — at the level
+   of the Ap library itself. *)
+
+module I = Sevm.Ir
+open State
+
+let t name f = Alcotest.test_case name `Quick f
+let u = U256.of_int
+
+(* Hand-build a tiny path: read slot k of [addr], guard it, compute, write. *)
+let addr = Address.of_int 0x77
+
+let mk_path ~guard_value =
+  {
+    I.instrs =
+      [| I.Read (0, I.R_storage (addr, U256.zero)); I.Guard (I.Reg 0, guard_value);
+         I.Compute (1, I.C_add, [| I.Reg 0; I.Const (u 1) |]) |];
+    first_fast = 2;
+    writes = [ I.W_storage (addr, U256.one, I.Reg 1) ];
+    status = Evm.Processor.Success;
+    gas_used = 21_000;
+    output = [];
+    reg_count = 2;
+    reg_values = [| guard_value; U256.add guard_value (u 1) |];
+    stats = { I.empty_stats with evm_trace_len = 10 };
+  }
+
+let benv : Evm.Env.block_env =
+  {
+    coinbase = Address.of_int 0xC01;
+    timestamp = 0L;
+    number = 1L;
+    difficulty = U256.one;
+    gas_limit = 1_000_000;
+    chain_id = 1;
+    block_hash = (fun _ -> U256.zero);
+  }
+
+let tx : Evm.Env.tx =
+  {
+    sender = Address.of_int 1;
+    to_ = Some addr;
+    nonce = 0;
+    value = U256.zero;
+    data = "";
+    gas_limit = 100_000;
+    gas_price = U256.one;
+  }
+
+let world_with_slot v =
+  let bk = Statedb.Backend.create () in
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  Statedb.set_storage st addr U256.zero v;
+  ignore (Statedb.commit st);
+  st
+
+let structure_tests =
+  [ t "single path: one root, one leaf" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        Alcotest.(check int) "roots" 1 (List.length ap.roots);
+        Alcotest.(check int) "paths" 1 ap.n_paths;
+        Alcotest.(check int) "futures" 1 ap.n_futures);
+    t "same-guard paths merge without multiplying" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        Alcotest.(check int) "roots" 1 (List.length ap.roots);
+        Alcotest.(check int) "still one path" 1 ap.n_paths;
+        Alcotest.(check int) "two futures" 2 ap.n_futures);
+    t "different guard values become case branches" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 9));
+        Alcotest.(check int) "one root" 1 (List.length ap.roots);
+        Alcotest.(check int) "two paths" 2 ap.n_paths);
+    t "executor picks the matching branch" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 9));
+        let st = world_with_slot (u 9) in
+        (match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Hit (r, _) ->
+          Alcotest.(check int) "gas" 21_000 r.gas_used;
+          Alcotest.(check bool) "write applied" true
+            (U256.equal (Statedb.get_storage st addr U256.one) (u 10))
+        | Ap.Exec.Violation -> Alcotest.fail "expected hit"));
+    t "no matching branch violates without writing" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        let st = world_with_slot (u 9) in
+        (match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Violation ->
+          Alcotest.(check bool) "no write" true
+            (U256.is_zero (Statedb.get_storage st addr U256.one))
+        | Ap.Exec.Hit _ -> Alcotest.fail "expected violation"));
+    t "memoization skips the compute when values repeat" (fun () ->
+        let ap = Ap.Program.create () in
+        (* a fatter path so a memoizable block exists *)
+        let path =
+          let reg_values = [| u 5; u 6; u 12; u 17 |] in
+          {
+            I.instrs =
+              [| I.Read (0, I.R_storage (addr, U256.zero));
+                 I.Compute (1, I.C_add, [| I.Reg 0; I.Const (u 1) |]);
+                 I.Compute (2, I.C_mul, [| I.Reg 1; I.Const (u 2) |]);
+                 I.Compute (3, I.C_add, [| I.Reg 2; I.Reg 0 |]) |];
+            first_fast = 0;
+            writes = [ I.W_storage (addr, U256.one, I.Reg 3) ];
+            status = Evm.Processor.Success;
+            gas_used = 21_000;
+            output = [];
+            reg_count = 4;
+            reg_values;
+            stats = I.empty_stats;
+          }
+        in
+        Ap.Program.add_path ap path;
+        let st = world_with_slot (u 5) in
+        (match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Hit (_, stats) ->
+          Alcotest.(check bool) "skipped instructions" true (stats.skipped > 0);
+          Alcotest.(check bool) "memo hit" true (stats.memo_hits > 0)
+        | Ap.Exec.Violation -> Alcotest.fail "expected hit");
+        (* different slot value: memo misses but execution still succeeds *)
+        let st2 = world_with_slot (u 7) in
+        match Ap.Exec.execute ap st2 benv tx with
+        | Ap.Exec.Hit (r, stats) ->
+          ignore r;
+          Alcotest.(check int) "no memo hit" 0 stats.memo_hits;
+          Alcotest.(check bool) "computed fresh value" true
+            (U256.equal (Statedb.get_storage st2 addr U256.one) (u 23))
+        | Ap.Exec.Violation -> Alcotest.fail "expected hit");
+    t "use_memos:false executes everything" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        let st = world_with_slot (u 5) in
+        match Ap.Exec.execute ~use_memos:false ap st benv tx with
+        | Ap.Exec.Hit (_, stats) ->
+          Alcotest.(check int) "nothing skipped" 0 stats.skipped;
+          Alcotest.(check bool) "write applied" true
+            (U256.equal (Statedb.get_storage st addr U256.one) (u 6))
+        | Ap.Exec.Violation -> Alcotest.fail "expected hit");
+    t "memo alternatives are capped" (fun () ->
+        let block =
+          {
+            Ap.Program.instrs = [| I.Compute (1, I.C_add, [| I.Reg 0; I.Const (u 1) |]) |];
+            memos = [];
+            sub = None;
+          }
+        in
+        let memo i =
+          {
+            Ap.Program.in_regs = [| 0 |];
+            in_vals = [| u i |];
+            out_regs = [| 1 |];
+            out_vals = [| u (i + 1) |];
+          }
+        in
+        let merged =
+          List.fold_left
+            (fun b i ->
+              match Ap.Program.merge_block b { block with memos = [ memo i ] } with
+              | Some m -> m
+              | None -> Alcotest.fail "blocks should merge")
+            { block with memos = [ memo 0 ] }
+            [ 1; 2; 3; 4; 5; 6; 7 ]
+        in
+        Alcotest.(check bool) "capped" true
+          (List.length merged.memos <= Ap.Program.max_memo_alternatives));
+    t "instr_count reflects the merged program" (fun () ->
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 5));
+        let one = Ap.Program.instr_count ap in
+        Ap.Program.add_path ap (mk_path ~guard_value:(u 9));
+        let two = Ap.Program.instr_count ap in
+        Alcotest.(check bool) "merging shares the prefix" true (two < 2 * one))
+  ]
+
+let suite = structure_tests

@@ -1,0 +1,74 @@
+(* Assembler eDSL tests: encoding widths, label resolution, error cases,
+   and agreement between item_size and the emitted bytes. *)
+
+open Evm
+open Asm
+
+let t name f = Alcotest.test_case name `Quick f
+
+let byte_at s i = Char.code s.[i]
+
+let unit_tests =
+  [ t "plain opcodes assemble to their byte" (fun () ->
+        let code = assemble [ op Op.ADD; op Op.MUL; op Op.STOP ] in
+        Alcotest.(check int) "len" 3 (String.length code);
+        Alcotest.(check int) "add" 0x01 (byte_at code 0);
+        Alcotest.(check int) "mul" 0x02 (byte_at code 1);
+        Alcotest.(check int) "stop" 0x00 (byte_at code 2));
+    t "push picks the minimal width" (fun () ->
+        Alcotest.(check int) "push1" 2 (String.length (assemble [ push_int 0x7f ]));
+        Alcotest.(check int) "push2" 3 (String.length (assemble [ push_int 0x100 ]));
+        Alcotest.(check int) "push32" 33
+          (String.length (assemble [ push U256.max_value ]));
+        (* zero still needs one immediate byte *)
+        let z = assemble [ push_int 0 ] in
+        Alcotest.(check int) "push1 0" 2 (String.length z);
+        Alcotest.(check int) "PUSH1 opcode" 0x60 (byte_at z 0);
+        Alcotest.(check int) "payload" 0x00 (byte_at z 1));
+    t "push immediate bytes are big-endian" (fun () ->
+        let code = assemble [ push_int 0xABCD ] in
+        Alcotest.(check int) "hi" 0xAB (byte_at code 1);
+        Alcotest.(check int) "lo" 0xCD (byte_at code 2));
+    t "labels resolve to jumpdest offsets" (fun () ->
+        let code = assemble ([ push_label "l"; op Op.JUMP ] @ revert_ @ [ label "l" ]) in
+        (* PUSH2 off: items are 3 + 1 + (3 revert bytes: PUSH1 0 PUSH1 0 REVERT = 5) *)
+        let off = (byte_at code 1 lsl 8) lor byte_at code 2 in
+        Alcotest.(check int) "target is a JUMPDEST" 0x5b (byte_at code off));
+    t "duplicate label rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (assemble [ label "x"; label "x" ]);
+             false
+           with Bad_item _ -> true));
+    t "unknown label rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (assemble [ push_label "ghost" ]);
+             false
+           with Unknown_label _ -> true));
+    t "raw PUSH via I is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (assemble [ I (Op.PUSH 1) ]);
+             false
+           with Bad_item _ -> true));
+    t "item_size matches emitted bytes" (fun () ->
+        let items =
+          [ op Op.ADD; push_int 5; push_int 300; push U256.max_value; label "a";
+            push_label "a"; Raw "\x01\x02\x03" ]
+        in
+        let total = List.fold_left (fun acc it -> acc + item_size it) 0 items in
+        Alcotest.(check int) "sizes agree" total (String.length (assemble items)));
+    t "disassemble round-trips mnemonics" (fun () ->
+        let listing = disassemble (assemble [ push_int 7; op Op.ADD; op Op.SSTORE ]) in
+        let contains needle =
+          let n = String.length needle and m = String.length listing in
+          let rec go i = i + n <= m && (String.sub listing i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "PUSH1" true (contains "PUSH1");
+        Alcotest.(check bool) "ADD" true (contains "ADD");
+        Alcotest.(check bool) "SSTORE" true (contains "SSTORE"))
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,353 @@
+(* Behaviour tests for the assembled contracts: PriceFeed (the paper's
+   running example), ERC-20, the AMM pair, registry and counter. *)
+
+open State
+open Evm
+
+let t name f = Alcotest.test_case name `Quick f
+let u = U256.of_int
+let check_u = Alcotest.testable U256.pp U256.equal
+
+let alice = Address.of_int 0xA11CE
+let bob = Address.of_int 0xB0B
+let carol = Address.of_int 0xCA401
+let feed = Address.of_int 0xFEED
+let token = Address.of_int 0x70C0
+let tok2 = Address.of_int 0x70C1
+let pair = Address.of_int 0xAA00
+let reg = Address.of_int 0x4E60
+let ctr = Address.of_int 0xC0C0
+
+let benv ?(ts = 3_990_462L) () : Env.block_env =
+  {
+    coinbase = Address.of_int 0xC01;
+    timestamp = ts;
+    number = 100L;
+    difficulty = u 1;
+    gas_limit = 12_000_000;
+    chain_id = 1;
+    block_hash = (fun _ -> U256.zero);
+  }
+
+let world () =
+  let bk = Statedb.Backend.create () in
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  List.iter
+    (fun a -> Statedb.set_balance st a (U256.of_string "1000000000000000000000"))
+    [ alice; bob; carol ];
+  Contracts.Deploy.install_code st feed Contracts.Pricefeed.code;
+  Contracts.Deploy.install_code st token Contracts.Erc20.code;
+  Contracts.Deploy.install_code st tok2 Contracts.Erc20.code;
+  Contracts.Deploy.install_code st reg Contracts.Registry.code;
+  Contracts.Deploy.install_code st ctr Contracts.Counter.code;
+  Contracts.Deploy.seed_erc20_balance st ~token ~owner:alice ~amount:(u 1_000_000);
+  Contracts.Deploy.seed_erc20_balance st ~token:tok2 ~owner:alice ~amount:(u 1_000_000);
+  Contracts.Deploy.install_amm st ~pair ~token0:token ~token1:tok2 ~reserve0:(u 500_000)
+    ~reserve1:(u 250_000);
+  Contracts.Deploy.seed_erc20_allowance st ~token ~owner:alice ~spender:pair
+    ~amount:(u 1_000_000_000);
+  Contracts.Deploy.seed_erc20_allowance st ~token:tok2 ~owner:alice ~spender:pair
+    ~amount:(u 1_000_000_000);
+  st
+
+let nonces : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let call ?(env = benv ()) ?(sender = alice) st to_ data =
+  let key = Address.to_hex sender in
+  let nonce = Statedb.get_nonce st sender in
+  Hashtbl.replace nonces key (nonce + 1);
+  let tx : Env.tx =
+    { sender; to_ = Some to_; nonce; value = U256.zero; data; gas_limit = 1_000_000;
+      gas_price = u 1 }
+  in
+  Processor.execute_tx st env tx
+
+let ok r = Alcotest.(check bool) "success" true (r.Processor.status = Processor.Success)
+let reverted r = Alcotest.(check bool) "reverted" true (r.Processor.status = Processor.Reverted)
+let word r i = Abi.decode_word r.Processor.output i
+
+let round = 3_990_300
+
+let pricefeed_tests =
+  [ t "first submission opens the round" (fun () ->
+        let st = world () in
+        let r = call st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:1980) in
+        ok r;
+        Alcotest.check check_u "activeRoundID" (u round) (Statedb.get_storage st feed U256.zero);
+        let r = call st feed Contracts.Pricefeed.latest_call in
+        Alcotest.check check_u "price" (u 1980) (word r 0));
+    t "aggregation computes running average" (fun () ->
+        let st = world () in
+        ok (call st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:2000));
+        ok (call ~sender:bob st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:1000));
+        ok (call ~sender:carol st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:1800));
+        let r = call st feed Contracts.Pricefeed.latest_call in
+        (* avg(avg(2000,1000)=1500, 1800) = (1500*2+1800)/3 = 1600 *)
+        Alcotest.check check_u "average" (u 1600) (word r 0));
+    t "wrong round id reverts" (fun () ->
+        let st = world () in
+        reverted (call st feed (Contracts.Pricefeed.submit_call ~round_id:(round - 300) ~price:5)));
+    t "round id follows the block timestamp" (fun () ->
+        let st = world () in
+        let env = benv ~ts:(Int64.of_int (round + 300)) () in
+        reverted (call ~env st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:5));
+        ok (call ~env st feed (Contracts.Pricefeed.submit_call ~round_id:(round + 300) ~price:5)));
+    t "new round supersedes the old" (fun () ->
+        let st = world () in
+        ok (call st feed (Contracts.Pricefeed.submit_call ~round_id:round ~price:100));
+        let env = benv ~ts:(Int64.of_int (round + 300)) () in
+        ok (call ~env ~sender:bob st feed
+              (Contracts.Pricefeed.submit_call ~round_id:(round + 300) ~price:900));
+        let r = call st feed Contracts.Pricefeed.latest_call in
+        Alcotest.check check_u "new round price" (u 900) (word r 0));
+    t "round_of_timestamp helper matches contract" (fun () ->
+        Alcotest.(check int) "round" round (Contracts.Pricefeed.round_of_timestamp 3_990_462L))
+  ]
+
+let erc20_tests =
+  [ t "transfer moves balance and logs" (fun () ->
+        let st = world () in
+        let r = call st token (Contracts.Erc20.transfer_call ~to_:bob ~amount:(u 500)) in
+        ok r;
+        Alcotest.check check_u "returns true" U256.one (word r 0);
+        Alcotest.(check int) "one log" 1 (List.length r.logs);
+        let l = List.hd r.logs in
+        Alcotest.check check_u "Transfer topic" Contracts.Erc20.transfer_event
+          (List.nth l.topics 0);
+        let r = call st token (Contracts.Erc20.balance_of_call ~owner:bob) in
+        Alcotest.check check_u "bob 500" (u 500) (word r 0);
+        let r = call st token (Contracts.Erc20.balance_of_call ~owner:alice) in
+        Alcotest.check check_u "alice debited" (u 999_500) (word r 0));
+    t "overdraft reverts" (fun () ->
+        let st = world () in
+        reverted (call ~sender:bob st token (Contracts.Erc20.transfer_call ~to_:alice ~amount:(u 1))));
+    t "exact balance transfer succeeds" (fun () ->
+        let st = world () in
+        ok (call st token (Contracts.Erc20.transfer_call ~to_:bob ~amount:(u 1_000_000)));
+        let r = call st token (Contracts.Erc20.balance_of_call ~owner:alice) in
+        Alcotest.check check_u "alice zero" U256.zero (word r 0));
+    t "self transfer is identity" (fun () ->
+        let st = world () in
+        ok (call st token (Contracts.Erc20.transfer_call ~to_:alice ~amount:(u 10)));
+        let r = call st token (Contracts.Erc20.balance_of_call ~owner:alice) in
+        Alcotest.check check_u "unchanged" (u 1_000_000) (word r 0));
+    t "approve and transferFrom" (fun () ->
+        let st = world () in
+        ok (call st token (Contracts.Erc20.approve_call ~spender:bob ~amount:(u 300)));
+        let r =
+          call ~sender:bob st token
+            (Contracts.Erc20.transfer_from_call ~from:alice ~to_:carol ~amount:(u 120))
+        in
+        ok r;
+        let r = call st token (Contracts.Erc20.balance_of_call ~owner:carol) in
+        Alcotest.check check_u "carol" (u 120) (word r 0);
+        (* second pull beyond remaining allowance reverts *)
+        reverted
+          (call ~sender:bob st token
+             (Contracts.Erc20.transfer_from_call ~from:alice ~to_:carol ~amount:(u 200))));
+    t "transferFrom without allowance reverts" (fun () ->
+        let st = world () in
+        reverted
+          (call ~sender:bob st token
+             (Contracts.Erc20.transfer_from_call ~from:alice ~to_:carol ~amount:(u 1))));
+    t "mint grows balance and totalSupply" (fun () ->
+        let st = world () in
+        let r0 = call st token Contracts.Erc20.total_supply_call in
+        ok (call st token (Contracts.Erc20.mint_call ~to_:bob ~amount:(u 777)));
+        let r1 = call st token Contracts.Erc20.total_supply_call in
+        Alcotest.check check_u "supply grew" (U256.add (word r0 0) (u 777)) (word r1 0))
+  ]
+
+let amm_tests =
+  [ t "swap pays the constant-product amount" (fun () ->
+        let st = world () in
+        let expected =
+          Contracts.Amm.expected_out ~amount_in:(u 1000) ~reserve_in:(u 500_000)
+            ~reserve_out:(u 250_000)
+        in
+        let r = call st pair (Contracts.Amm.swap_call ~amount_in:(u 1000) ~one_to_zero:false) in
+        ok r;
+        Alcotest.check check_u "output amount" expected (word r 0);
+        let r = call st tok2 (Contracts.Erc20.balance_of_call ~owner:alice) in
+        Alcotest.check check_u "received" (U256.add (u 1_000_000) expected) (word r 0));
+    t "reserves update after swap" (fun () ->
+        let st = world () in
+        let r = call st pair (Contracts.Amm.swap_call ~amount_in:(u 1000) ~one_to_zero:false) in
+        ok r;
+        let out = word r 0 in
+        let r0 = call st pair Contracts.Amm.reserve0_call in
+        let r1 = call st pair Contracts.Amm.reserve1_call in
+        Alcotest.check check_u "reserve0 grew" (u 501_000) (word r0 0);
+        Alcotest.check check_u "reserve1 shrank" (U256.sub (u 250_000) out) (word r1 0));
+    t "reverse direction swap" (fun () ->
+        let st = world () in
+        let expected =
+          Contracts.Amm.expected_out ~amount_in:(u 1000) ~reserve_in:(u 250_000)
+            ~reserve_out:(u 500_000)
+        in
+        let r = call st pair (Contracts.Amm.swap_call ~amount_in:(u 1000) ~one_to_zero:true) in
+        ok r;
+        Alcotest.check check_u "output" expected (word r 0));
+    t "swap without token allowance reverts" (fun () ->
+        let st = world () in
+        reverted (call ~sender:bob st pair (Contracts.Amm.swap_call ~amount_in:(u 10) ~one_to_zero:false)));
+    t "swap emits Swap event" (fun () ->
+        let st = world () in
+        let r = call st pair (Contracts.Amm.swap_call ~amount_in:(u 500) ~one_to_zero:false) in
+        ok r;
+        Alcotest.(check bool) "has swap log" true
+          (List.exists
+             (fun (l : Env.log) ->
+               Address.equal l.log_address pair
+               && List.nth_opt l.topics 0 = Some Contracts.Amm.swap_event)
+             r.logs));
+    t "addLiquidity grows both reserves" (fun () ->
+        let st = world () in
+        ok (call st pair (Contracts.Amm.add_liquidity_call ~amount0:(u 1000) ~amount1:(u 500)));
+        let r0 = call st pair Contracts.Amm.reserve0_call in
+        Alcotest.check check_u "reserve0" (u 501_000) (word r0 0));
+    t "product never decreases across swaps" (fun () ->
+        let st = world () in
+        let product () =
+          let r0 = call st pair Contracts.Amm.reserve0_call in
+          let r1 = call st pair Contracts.Amm.reserve1_call in
+          U256.mul (word r0 0) (word r1 0)
+        in
+        let k0 = product () in
+        ok (call st pair (Contracts.Amm.swap_call ~amount_in:(u 12_345) ~one_to_zero:false));
+        let k1 = product () in
+        ok (call st pair (Contracts.Amm.swap_call ~amount_in:(u 999) ~one_to_zero:true));
+        let k2 = product () in
+        Alcotest.(check bool) "k grows (fees)" true (U256.ge k1 k0 && U256.ge k2 k1))
+  ]
+
+let worker = Address.of_int 0x3047
+
+let worker_tests =
+  [ t "work(n) is deterministic in n" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st worker Contracts.Worker.code;
+        ok (call st worker (Contracts.Worker.work_call ~n:10));
+        let a = Statedb.get_storage st worker U256.zero in
+        let st2 = world () in
+        Contracts.Deploy.install_code st2 worker Contracts.Worker.code;
+        ok (call st2 worker (Contracts.Worker.work_call ~n:10));
+        Alcotest.check check_u "same digest" a (Statedb.get_storage st2 worker U256.zero);
+        Alcotest.(check bool) "nonzero" false (U256.is_zero a));
+    t "work gas scales with n" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st worker Contracts.Worker.code;
+        let r10 = call st worker (Contracts.Worker.work_call ~n:10) in
+        let r100 = call ~sender:bob st worker (Contracts.Worker.work_call ~n:100) in
+        ok r10;
+        ok r100;
+        Alcotest.(check bool) "superlinear gas" true (r100.gas_used > r10.gas_used + 5000));
+    t "mix chains from the stored seed" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st worker Contracts.Worker.code;
+        ok (call st worker (Contracts.Worker.mix_call ~n:5));
+        let d1 = Statedb.get_storage st worker U256.one in
+        ok (call ~sender:bob st worker (Contracts.Worker.mix_call ~n:5));
+        let d2 = Statedb.get_storage st worker U256.one in
+        Alcotest.(check bool) "seed evolved" false (U256.equal d1 d2));
+    t "work(0) performs no hashing" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st worker Contracts.Worker.code;
+        let r = call st worker (Contracts.Worker.work_call ~n:0) in
+        ok r;
+        Alcotest.check check_u "seed stored unchanged" (U256.of_hex "0x5eed")
+          (Statedb.get_storage st worker U256.zero))
+  ]
+
+let auction = Address.of_int 0xA0C7
+
+let bid ?(env = benv ()) ?(sender = alice) st amount =
+  let tx : Env.tx =
+    { sender; to_ = Some auction; nonce = Statedb.get_nonce st sender; value = u amount;
+      data = Contracts.Auction.bid_call; gas_limit = 200_000; gas_price = u 1 }
+  in
+  Processor.execute_tx st env tx
+
+let auction_tests =
+  [ t "first bid wins an empty auction" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st auction Contracts.Auction.code;
+        ok (bid st 1000);
+        let r = call st auction Contracts.Auction.highest_bidder_call in
+        Alcotest.check check_u "bidder" (Address.to_u256 alice) (word r 0);
+        Alcotest.check check_u "escrowed" (u 1000) (Statedb.get_balance st auction));
+    t "higher bid refunds the previous bidder" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st auction Contracts.Auction.code;
+        ok (bid st 1000);
+        let alice_after_bid = Statedb.get_balance st alice in
+        let r2 = bid ~sender:bob st 2500 in
+        ok r2;
+        (* alice got her 1000 back *)
+        Alcotest.check check_u "refund" (U256.add alice_after_bid (u 1000))
+          (Statedb.get_balance st alice);
+        (* escrow holds only the new bid *)
+        Alcotest.check check_u "escrow" (u 2500) (Statedb.get_balance st auction);
+        let r = call st auction Contracts.Auction.highest_bid_call in
+        Alcotest.check check_u "highest" (u 2500) (word r 0));
+    t "equal or lower bid reverts and refunds nothing" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st auction Contracts.Auction.code;
+        ok (bid st 1000);
+        reverted (bid ~sender:bob st 1000);
+        reverted (bid ~sender:carol st 999);
+        Alcotest.check check_u "escrow untouched" (u 1000) (Statedb.get_balance st auction));
+    t "bid emits HighestBidIncreased" (fun () ->
+        let st = world () in
+        Contracts.Deploy.install_code st auction Contracts.Auction.code;
+        let r = bid st 777 in
+        ok r;
+        match r.logs with
+        | [ l ] ->
+          Alcotest.check check_u "topic" Contracts.Auction.bid_event (List.nth l.topics 0);
+          Alcotest.check check_u "amount in data" (u 777) (U256.of_bytes_be l.log_data)
+        | _ -> Alcotest.fail "expected one log")
+  ]
+
+let misc_tests =
+  [ t "registry first-come-first-served" (fun () ->
+        let st = world () in
+        ok (call st reg (Contracts.Registry.register_call ~name:(u 7)));
+        reverted (call ~sender:bob st reg (Contracts.Registry.register_call ~name:(u 7)));
+        let r = call st reg (Contracts.Registry.owner_of_call ~name:(u 7)) in
+        Alcotest.check check_u "owner is alice" (Address.to_u256 alice) (word r 0));
+    t "registry distinct names coexist" (fun () ->
+        let st = world () in
+        ok (call st reg (Contracts.Registry.register_call ~name:(u 1)));
+        ok (call ~sender:bob st reg (Contracts.Registry.register_call ~name:(u 2)));
+        let r = call st reg (Contracts.Registry.owner_of_call ~name:(u 2)) in
+        Alcotest.check check_u "owner is bob" (Address.to_u256 bob) (word r 0));
+    t "counter increments" (fun () ->
+        let st = world () in
+        ok (call st ctr Contracts.Counter.increment_call);
+        ok (call ~sender:bob st ctr Contracts.Counter.increment_call);
+        ok (call ~sender:carol st ctr Contracts.Counter.increment_call);
+        let r = call st ctr Contracts.Counter.get_call in
+        Alcotest.check check_u "3" (u 3) (word r 0));
+    t "unknown selector reverts" (fun () ->
+        let st = world () in
+        reverted (call st ctr (Abi.encode_call "nope()" [])))
+  ]
+
+let amm_property =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60 ~name:"swap output matches formula"
+         QCheck.(int_range 1 50_000)
+         (fun amount ->
+           let st = world () in
+           let expected =
+             Contracts.Amm.expected_out ~amount_in:(u amount) ~reserve_in:(u 500_000)
+               ~reserve_out:(u 250_000)
+           in
+           let r = call st pair (Contracts.Amm.swap_call ~amount_in:(u amount) ~one_to_zero:false) in
+           r.status = Processor.Success && U256.equal (word r 0) expected))
+  ]
+
+let suite =
+  pricefeed_tests @ erc20_tests @ amm_tests @ worker_tests @ auction_tests @ misc_tests
+  @ amm_property

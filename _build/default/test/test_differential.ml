@@ -1,0 +1,113 @@
+(* Differential testing: random straight-line arithmetic programs executed
+   by the EVM interpreter must agree with a direct evaluation through
+   {!Sevm.Ir.eval_compute} — the very function accelerated programs use to
+   replay computation.  Any divergence between the two engines would break
+   AP soundness silently, so we fuzz it. *)
+
+open State
+open Evm
+
+let alice = Address.of_int 0xA11CE
+let target = Address.of_int 0x7A67
+
+let benv : Env.block_env =
+  {
+    coinbase = Address.of_int 0xC01;
+    timestamp = 1_600_000_000L;
+    number = 10L;
+    difficulty = U256.one;
+    gas_limit = 30_000_000;
+    chain_id = 1;
+    block_hash = (fun _ -> U256.zero);
+  }
+
+(* The opcode pool: (EVM opcode, S-EVM compute op, arity). *)
+let pool =
+  [ (Op.ADD, Sevm.Ir.C_add, 2); (Op.MUL, Sevm.Ir.C_mul, 2); (Op.SUB, Sevm.Ir.C_sub, 2);
+    (Op.DIV, Sevm.Ir.C_div, 2); (Op.SDIV, Sevm.Ir.C_sdiv, 2); (Op.MOD, Sevm.Ir.C_mod, 2);
+    (Op.SMOD, Sevm.Ir.C_smod, 2); (Op.ADDMOD, Sevm.Ir.C_addmod, 3);
+    (Op.MULMOD, Sevm.Ir.C_mulmod, 3); (Op.SIGNEXTEND, Sevm.Ir.C_signextend, 2); (Op.EXP, Sevm.Ir.C_exp, 2);
+    (Op.LT, Sevm.Ir.C_lt, 2); (Op.GT, Sevm.Ir.C_gt, 2); (Op.SLT, Sevm.Ir.C_slt, 2);
+    (Op.SGT, Sevm.Ir.C_sgt, 2); (Op.EQ, Sevm.Ir.C_eq, 2); (Op.ISZERO, Sevm.Ir.C_iszero, 1);
+    (Op.AND, Sevm.Ir.C_and, 2); (Op.OR, Sevm.Ir.C_or, 2); (Op.XOR, Sevm.Ir.C_xor, 2);
+    (Op.NOT, Sevm.Ir.C_not, 1); (Op.BYTE, Sevm.Ir.C_byte, 2); (Op.SHL, Sevm.Ir.C_shl, 2);
+    (Op.SHR, Sevm.Ir.C_shr, 2); (Op.SAR, Sevm.Ir.C_sar, 2) ]
+
+type step = S_push of U256.t | S_op of int (* index into pool *)
+
+let arb_program =
+  let open QCheck.Gen in
+  let arb_word =
+    oneof
+      [ map U256.of_int (int_bound 1000);
+        map (fun (a, b, c, d) -> U256.of_limbs a b c d) (quad int64 int64 int64 int64);
+        return U256.zero; return U256.one; return U256.max_value;
+        return (U256.shift_left U256.one 255); map (fun n -> U256.of_int (n mod 320)) small_nat ]
+  in
+  let arb_step =
+    frequency
+      [ (2, map (fun v -> S_push v) arb_word); (3, map (fun i -> S_op i) (int_bound (List.length pool - 1))) ]
+  in
+  QCheck.make
+    ~print:(fun steps ->
+      String.concat ";"
+        (List.map
+           (function
+             | S_push v -> "push " ^ U256.to_hex v
+             | S_op i ->
+               let op, _, _ = List.nth pool i in
+               Op.name op)
+           steps))
+    (list_size (int_bound 40) arb_step)
+
+(* Build bytecode and a model result simultaneously, skipping ops that would
+   underflow the current stack. *)
+let compile_and_model steps =
+  let items = ref [] in
+  let model = ref [] in
+  List.iter
+    (fun s ->
+      match s with
+      | S_push v ->
+        items := Asm.push v :: !items;
+        model := v :: !model
+      | S_op i ->
+        let op, cop, arity = List.nth pool i in
+        if List.length !model >= arity then begin
+          items := Asm.op op :: !items;
+          let args = Array.of_list (List.filteri (fun j _ -> j < arity) !model) in
+          let rest = List.filteri (fun j _ -> j >= arity) !model in
+          model := Sevm.Ir.eval_compute cop args :: rest
+        end)
+    steps;
+  (* guarantee a result word *)
+  (match !model with
+  | [] ->
+    items := Asm.push_int 42 :: !items;
+    model := [ U256.of_int 42 ]
+  | _ :: _ -> ());
+  (List.rev !items @ Asm.return_word, List.hd !model)
+
+let run_evm items =
+  let bk = Statedb.Backend.create () in
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  Statedb.set_balance st alice (U256.of_string "1000000000000000000000");
+  Statedb.set_code st target (Asm.assemble items);
+  let tx : Env.tx =
+    { sender = alice; to_ = Some target; nonce = 0; value = U256.zero; data = "";
+      gas_limit = 20_000_000; gas_price = U256.one }
+  in
+  let r = Processor.execute_tx st benv tx in
+  match r.status with
+  | Processor.Success -> Some (Abi.decode_word r.output 0)
+  | Processor.Reverted | Processor.Invalid _ -> None
+
+let suite =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:400 ~name:"EVM agrees with S-EVM evaluation" arb_program
+         (fun steps ->
+           let items, expected = compile_and_model steps in
+           match run_evm items with
+           | Some actual -> U256.equal actual expected
+           | None -> false (* straight-line arithmetic must not fail *)))
+  ]

@@ -1,0 +1,334 @@
+(* Message calls, creation, gas accounting and transaction-level processing. *)
+
+open State
+open Evm
+
+let t name f = Alcotest.test_case name `Quick f
+let u = U256.of_int
+let check_u = Alcotest.testable U256.pp U256.equal
+let alice = Address.of_int 0xA11CE
+let target = Address.of_int 0x7A67
+let callee = Address.of_int 0xCA11
+let coinbase = Address.of_int 0xC01
+
+let benv : Env.block_env =
+  {
+    coinbase;
+    timestamp = 1_600_000_000L;
+    number = 10L;
+    difficulty = u 1;
+    gas_limit = 10_000_000;
+    chain_id = 1;
+    block_hash = (fun _ -> U256.zero);
+  }
+
+let setup_world () =
+  let bk = Statedb.Backend.create () in
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  Statedb.set_balance st alice (U256.of_string "1000000000000000000000");
+  (bk, st)
+
+let tx ?(value = U256.zero) ?(data = "") ?(gas_limit = 1_000_000) ?(nonce = 0) to_ : Env.tx =
+  { sender = alice; to_; nonce; value; data; gas_limit; gas_price = u 2 }
+
+open Asm
+
+(* callee: returns CALLVALUE and stores CALLER in slot 0 *)
+let callee_code =
+  assemble
+    ([ op Op.CALLER; push_int 0; op Op.SSTORE; op Op.CALLVALUE ] @ return_word)
+
+(* caller: CALL callee with value 5, forwarding input, then return the
+   callee's returned word *)
+let caller_code ~kind ~value =
+  assemble
+    ([ push_int 32 (* outlen *); push_int 0 (* outoff *); push_int 0 (* inlen *);
+       push_int 0 (* inoff *) ]
+    @ (if kind = Op.CALL || kind = Op.CALLCODE then [ push_int value ] else [])
+    @ [ push (Address.to_u256 callee); op Op.GAS; op kind; op Op.POP; push_int 0;
+        op Op.MLOAD ]
+    @ return_word)
+
+let call_tests =
+  [ t "CALL transfers value and sets caller" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (caller_code ~kind:Op.CALL ~value:5);
+        Statedb.set_code st callee callee_code;
+        Statedb.set_balance st target (u 100);
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "callee saw value 5" (u 5) (Abi.decode_word r.output 0);
+        Alcotest.check check_u "callee stored caller=target" (Address.to_u256 target)
+          (Statedb.get_storage st callee U256.zero);
+        Alcotest.check check_u "balance moved" (u 5) (Statedb.get_balance st callee);
+        Alcotest.check check_u "caller debited" (u 95) (Statedb.get_balance st target));
+    t "DELEGATECALL keeps storage context and caller" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (caller_code ~kind:Op.DELEGATECALL ~value:0);
+        Statedb.set_code st callee callee_code;
+        let r = Processor.execute_tx st benv (tx ~value:(u 9) (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        (* delegate inherits the parent's callvalue *)
+        Alcotest.check check_u "inherited value" (u 9) (Abi.decode_word r.output 0);
+        (* the SSTORE happened in target's storage, seeing alice as caller *)
+        Alcotest.check check_u "target storage written" (Address.to_u256 alice)
+          (Statedb.get_storage st target U256.zero);
+        Alcotest.check check_u "callee storage untouched" U256.zero
+          (Statedb.get_storage st callee U256.zero));
+    t "STATICCALL blocks writes" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (caller_code ~kind:Op.STATICCALL ~value:0);
+        Statedb.set_code st callee callee_code;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        (* callee attempts SSTORE -> inner frame fails -> CALL pushes 0, and
+           the outer contract still returns memory word 0 *)
+        Alcotest.(check bool) "outer ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "inner failed, no data" U256.zero (Abi.decode_word r.output 0);
+        Alcotest.check check_u "no write" U256.zero (Statedb.get_storage st callee U256.zero));
+    t "CALL to empty account succeeds" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (caller_code ~kind:Op.CALL ~value:0);
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success));
+    t "CALL with insufficient balance pushes 0 without reverting" (fun () ->
+        let _, st = setup_world () in
+        (* target has no balance but tries to send 5 *)
+        Statedb.set_code st target (caller_code ~kind:Op.CALL ~value:5);
+        Statedb.set_code st callee callee_code;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "outer ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "callee untouched" U256.zero (Statedb.get_balance st callee));
+    t "revert in callee rolls back only callee" (fun () ->
+        let _, st = setup_world () in
+        let reverting = assemble ([ push_int 1; push_int 7; op Op.SSTORE ] @ revert_) in
+        Statedb.set_code st callee reverting;
+        let caller =
+          assemble
+            ([ push_int 11; push_int 0; op Op.SSTORE (* own write survives *); push_int 0;
+               push_int 0; push_int 0; push_int 0; push_int 0;
+               push (Address.to_u256 callee); op Op.GAS; op Op.CALL ]
+            @ return_word)
+        in
+        Statedb.set_code st target caller;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "call returned 0" U256.zero (Abi.decode_word r.output 0);
+        Alcotest.check check_u "own write kept" (u 11) (Statedb.get_storage st target U256.zero);
+        Alcotest.check check_u "callee write rolled back" U256.zero
+          (Statedb.get_storage st callee (u 7)));
+    t "returndatasize/copy reflect last call" (fun () ->
+        let _, st = setup_world () in
+        let producer = assemble ([ push_int 0xabcd ] @ return_word) in
+        Statedb.set_code st callee producer;
+        let consumer =
+          assemble
+            ([ push_int 0; push_int 0; push_int 0; push_int 0; push_int 0;
+               push (Address.to_u256 callee); op Op.GAS; op Op.CALL; op Op.POP;
+               op Op.RETURNDATASIZE; push_int 0; op Op.MSTORE;
+               (* append the data itself at 32 *)
+               push_int 32 (* len *); push_int 0 (* src *); push_int 32 (* dst *);
+               op Op.RETURNDATACOPY; push_int 64; push_int 0; op Op.RETURN ])
+        in
+        Statedb.set_code st target consumer;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "size 32" (u 32) (Abi.decode_word r.output 0);
+        Alcotest.check check_u "payload" (u 0xabcd) (Abi.decode_word r.output 1));
+    t "identity precompile copies input" (fun () ->
+        let _, st = setup_world () in
+        let code =
+          assemble
+            ([ push_int 0xbeef; push_int 0; op Op.MSTORE; push_int 32 (* outlen *);
+               push_int 64 (* outoff *); push_int 32 (* inlen *); push_int 0 (* inoff *);
+               push_int 0 (* value *); push_int 4 (* identity *); op Op.GAS; op Op.CALL;
+               op Op.POP; push_int 64; op Op.MLOAD ]
+            @ return_word)
+        in
+        Statedb.set_code st target code;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "copied" (u 0xbeef) (Abi.decode_word r.output 0));
+    t "sha256 precompile hashes input" (fun () ->
+        let _, st = setup_world () in
+        let code =
+          assemble
+            ([ push (U256.of_bytes_be "abc\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00");
+               push_int 0; op Op.MSTORE; push_int 32 (* outlen *); push_int 64 (* outoff *);
+               push_int 3 (* inlen: "abc" *); push_int 0 (* inoff *); push_int 0 (* value *);
+               push_int 2 (* sha256 *); op Op.GAS; op Op.CALL; op Op.POP; push_int 64;
+               op Op.MLOAD ]
+            @ return_word)
+        in
+        Statedb.set_code st target code;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "digest"
+          (U256.of_bytes_be (Khash.Sha256.digest "abc"))
+          (Abi.decode_word r.output 0));
+    t "CREATE deploys code at derived address" (fun () ->
+        let _, st = setup_world () in
+        (* initcode returns the 1-byte runtime 0x00 (STOP):
+           PUSH1 0; PUSH1 0; MSTORE8 ... simpler: MSTORE8(0, 0x00) then RETURN(0,1) *)
+        let initcode = assemble [ push_int 0; push_int 0; op Op.MSTORE8; push_int 1; push_int 0; op Op.RETURN ] in
+        let deployer =
+          assemble
+            ([ push (U256.of_bytes_be initcode) ] (* won't fit as word... *))
+        in
+        ignore deployer;
+        (* write the initcode into memory via CODECOPY trick instead: make the
+           deployer's code be [CREATE fragment][initcode] and codecopy it *)
+        let frag_items rest_off rest_len =
+          [ push_int rest_len; push_int rest_off; push_int 0; op Op.CODECOPY;
+            push_int rest_len; push_int 0; push_int 0; op Op.CREATE ]
+          @ return_word
+        in
+        (* compute fragment size with a two-pass assembly *)
+        let sizer = assemble (frag_items 0 (String.length initcode)) in
+        let frag = assemble (frag_items (String.length sizer) (String.length initcode)) in
+        Statedb.set_code st target (frag ^ initcode);
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        let new_addr = Address.of_u256 (Abi.decode_word r.output 0) in
+        Alcotest.(check bool) "nonzero address" false (Address.equal new_addr Address.zero);
+        Alcotest.(check string) "deployed runtime" "\x00" (Statedb.get_code st new_addr);
+        Alcotest.(check int) "fresh nonce 1" 1 (Statedb.get_nonce st new_addr))
+  ]
+
+let more_call_tests =
+  [ t "CALLCODE runs foreign code in own storage" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (caller_code ~kind:Op.CALLCODE ~value:0);
+        Statedb.set_code st callee callee_code;
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        (* the SSTORE landed in target's storage; caller seen is target *)
+        Alcotest.check check_u "own storage written" (Address.to_u256 target)
+          (Statedb.get_storage st target U256.zero);
+        Alcotest.check check_u "callee storage untouched" U256.zero
+          (Statedb.get_storage st callee U256.zero));
+    t "static context propagates through DELEGATECALL" (fun () ->
+        let _, st = setup_world () in
+        (* outer STATICCALLs a relay, which DELEGATECALLs a writer *)
+        let writer = Address.of_int 0x3217E4 in
+        Statedb.set_code st writer (assemble [ push_int 1; push_int 0; op Op.SSTORE; op Op.STOP ]);
+        let relay =
+          assemble
+            ([ push_int 0; push_int 0; push_int 0; push_int 0;
+               push (Address.to_u256 writer); op Op.GAS; op Op.DELEGATECALL ]
+            @ return_word)
+        in
+        Statedb.set_code st callee relay;
+        Statedb.set_code st target (caller_code ~kind:Op.STATICCALL ~value:0);
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "outer ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "no write anywhere" U256.zero
+          (Statedb.get_storage st callee U256.zero));
+    t "SELFDESTRUCT moves the balance to the beneficiary" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target
+          (assemble [ push (Address.to_u256 callee); op Op.SELFDESTRUCT ]);
+        Statedb.set_balance st target (u 12345);
+        let r = Processor.execute_tx st benv (tx (Some target)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.check check_u "beneficiary paid" (u 12345) (Statedb.get_balance st callee);
+        Alcotest.(check bool) "account destroyed" true (Statedb.is_destructed st target));
+    t "call depth is bounded" (fun () ->
+        let _, st = setup_world () in
+        (* a contract that calls itself forever; the 63/64 rule plus the
+           depth limit must terminate it with overall success *)
+        let self_call =
+          assemble
+            ([ push_int 0; push_int 0; push_int 0; push_int 0; push_int 0;
+               push (Address.to_u256 target); op Op.GAS; op Op.CALL ]
+            @ return_word)
+        in
+        Statedb.set_code st target self_call;
+        let r = Processor.execute_tx st benv (tx ~gas_limit:3_000_000 (Some target)) in
+        Alcotest.(check bool) "terminates successfully" true (r.status = Processor.Success))
+  ]
+
+let gas_tests =
+  [ t "plain transfer costs exactly 21000" (fun () ->
+        let _, st = setup_world () in
+        let r = Processor.execute_tx st benv (tx ~value:(u 1) ~gas_limit:21_000 (Some callee)) in
+        Alcotest.(check bool) "ok" true (r.status = Processor.Success);
+        Alcotest.(check int) "21000" 21_000 r.gas_used);
+    t "calldata bytes cost 16/4" (fun () ->
+        let _, st = setup_world () in
+        let r = Processor.execute_tx st benv (tx ~data:"\x01\x00" (Some callee)) in
+        Alcotest.(check int) "21000+16+4" 21_020 r.gas_used);
+    t "intrinsic gas over limit is invalid" (fun () ->
+        let _, st = setup_world () in
+        let r = Processor.execute_tx st benv (tx ~data:(String.make 100 '\xff') ~gas_limit:21_100 (Some callee)) in
+        (match r.status with
+        | Processor.Invalid _ -> ()
+        | _ -> Alcotest.fail "expected invalid");
+        Alcotest.(check int) "no gas used" 0 r.gas_used);
+    t "bad nonce is invalid with no state change" (fun () ->
+        let _, st = setup_world () in
+        let before = Statedb.get_balance st alice in
+        let r = Processor.execute_tx st benv (tx ~nonce:5 (Some callee)) in
+        (match r.status with Processor.Invalid _ -> () | _ -> Alcotest.fail "expected invalid");
+        Alcotest.check check_u "balance unchanged" before (Statedb.get_balance st alice);
+        Alcotest.(check int) "nonce unchanged" 0 (Statedb.get_nonce st alice));
+    t "insufficient upfront funds invalid" (fun () ->
+        let bk, _ = setup_world () in
+        let st = Statedb.create bk ~root:Statedb.empty_root in
+        let poor = Address.of_int 0xDEAD in
+        Statedb.set_balance st poor (u 100);
+        let bad = { (tx (Some callee)) with sender = poor } in
+        let r = Processor.execute_tx st benv bad in
+        match r.status with Processor.Invalid _ -> () | _ -> Alcotest.fail "expected invalid");
+    t "fee goes to coinbase, refund to sender" (fun () ->
+        let _, st = setup_world () in
+        let before = Statedb.get_balance st alice in
+        let r = Processor.execute_tx st benv (tx ~gas_limit:100_000 (Some callee)) in
+        let fee = U256.mul (u r.gas_used) (u 2) in
+        Alcotest.check check_u "coinbase paid" fee (Statedb.get_balance st coinbase);
+        Alcotest.check check_u "sender debited exactly fee" (U256.sub before fee)
+          (Statedb.get_balance st alice));
+    t "out of gas consumes limit and reverts" (fun () ->
+        let _, st = setup_world () in
+        (* infinite loop *)
+        Statedb.set_code st target (assemble [ label "l"; push_label "l"; op Op.JUMP ]);
+        let r = Processor.execute_tx st benv (tx ~gas_limit:30_000 (Some target)) in
+        Alcotest.(check bool) "reverted" true (r.status = Processor.Reverted);
+        Alcotest.(check int) "all gas" 30_000 r.gas_used);
+    t "revert refunds remaining gas" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (assemble revert_);
+        let r = Processor.execute_tx st benv (tx ~gas_limit:100_000 (Some target)) in
+        Alcotest.(check bool) "reverted" true (r.status = Processor.Reverted);
+        Alcotest.(check bool) "gas not all consumed" true (r.gas_used < 30_000));
+    t "memory expansion is charged" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target
+          (assemble [ push_int 1; push_int 100_000; op Op.MSTORE; op Op.STOP ]);
+        let small = Processor.execute_tx st benv (tx ~nonce:0 (Some target)) in
+        Statedb.set_code st target (assemble [ push_int 1; push_int 0; op Op.MSTORE; op Op.STOP ]);
+        let big = Processor.execute_tx st benv (tx ~nonce:1 (Some target)) in
+        Alcotest.(check bool) "far write costs more" true (small.gas_used > big.gas_used + 9000));
+    t "63/64 rule caps forwarded gas" (fun () ->
+        let _, st = setup_world () in
+        (* callee burns everything it gets; caller still finishes *)
+        Statedb.set_code st callee (assemble [ label "l"; push_label "l"; op Op.JUMP ]);
+        let caller =
+          assemble
+            ([ push_int 0; push_int 0; push_int 0; push_int 0; push_int 0;
+               push (Address.to_u256 callee); op Op.GAS; op Op.CALL ]
+            @ return_word)
+        in
+        Statedb.set_code st target caller;
+        let r = Processor.execute_tx st benv (tx ~gas_limit:200_000 (Some target)) in
+        Alcotest.(check bool) "outer completes" true (r.status = Processor.Success);
+        Alcotest.check check_u "inner failed" U256.zero (Abi.decode_word r.output 0));
+    t "gas opcode observes dwindling gas" (fun () ->
+        let _, st = setup_world () in
+        Statedb.set_code st target (assemble ([ op Op.GAS ] @ return_word));
+        let r = Processor.execute_tx st benv (tx ~gas_limit:100_000 (Some target)) in
+        let g = U256.to_int_exn (Abi.decode_word r.output 0) in
+        Alcotest.(check bool) "gas < limit" true (g < 100_000 - 21_000);
+        Alcotest.(check bool) "gas sane" true (g > 50_000))
+  ]
+
+let suite = call_tests @ more_call_tests @ gas_tests

@@ -1,0 +1,72 @@
+(* Keccak-256 tests: published vectors, block-boundary behaviour, and
+   structural properties. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let hex = Khash.Keccak.digest_hex
+
+let unit_tests =
+  [ t "empty string vector" (fun () ->
+        Alcotest.(check string) "keccak(\"\")"
+          "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470" (hex ""));
+    t "abc vector" (fun () ->
+        Alcotest.(check string) "keccak(\"abc\")"
+          "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45" (hex "abc"));
+    t "digest is 32 bytes" (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check int) s 32 (String.length (Khash.Keccak.digest s)))
+          [ ""; "x"; String.make 135 'a'; String.make 136 'a'; String.make 137 'a';
+            String.make 1000 'b' ]);
+    t "deterministic" (fun () ->
+        Alcotest.(check string) "same input same hash" (hex "forerunner") (hex "forerunner"));
+    t "distinct across rate boundary" (fun () ->
+        (* lengths 135/136/137 exercise the padding edge cases *)
+        let h135 = hex (String.make 135 'a') in
+        let h136 = hex (String.make 136 'a') in
+        let h137 = hex (String.make 137 'a') in
+        Alcotest.(check bool) "135<>136" true (h135 <> h136);
+        Alcotest.(check bool) "136<>137" true (h136 <> h137));
+    t "single bit flip changes digest" (fun () ->
+        Alcotest.(check bool) "avalanche" true (hex "hello worlc" <> hex "hello world"));
+    t "selector of transfer(address,uint256)" (fun () ->
+        (* the well-known ERC-20 selector 0xa9059cbb *)
+        Alcotest.(check int) "selector" 0xa9059cbb
+          (Evm.Abi.selector "transfer(address,uint256)"));
+    t "selector of balanceOf(address)" (fun () ->
+        Alcotest.(check int) "selector" 0x70a08231 (Evm.Abi.selector "balanceOf(address)"));
+    t "digest_u256 big-endian" (fun () ->
+        let d = Khash.Keccak.digest "abc" in
+        Alcotest.(check string) "same bytes" d
+          (U256.to_bytes_be (Khash.Keccak.digest_u256 "abc")));
+    t "to_hex" (fun () ->
+        Alcotest.(check string) "bytes to hex" "00ff10" (Khash.Keccak.to_hex "\x00\xff\x10"));
+    t "sha256 empty vector" (fun () ->
+        Alcotest.(check string) "sha256(\"\")"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Khash.Sha256.digest_hex ""));
+    t "sha256 abc vector" (fun () ->
+        Alcotest.(check string) "sha256(\"abc\")"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Khash.Sha256.digest_hex "abc"));
+    t "sha256 two-block message" (fun () ->
+        (* 56-byte message forces the padding into a second block *)
+        Alcotest.(check string) "nist vector"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Khash.Sha256.digest_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+    t "sha256 length always 32" (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check int) "len" 32 (String.length (Khash.Sha256.digest (String.make n 'z'))))
+          [ 0; 1; 55; 56; 57; 63; 64; 65; 1000 ])
+  ]
+
+let property_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"no collisions on distinct strings"
+         QCheck.(pair string string)
+         (fun (a, b) ->
+           a = b || Khash.Keccak.digest a <> Khash.Keccak.digest b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"length always 32" QCheck.string (fun s ->
+           String.length (Khash.Keccak.digest s) = 32))
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,20 @@
+(* Aggregated alcotest entry point; each module contributes one suite. *)
+
+let () =
+  Alcotest.run "forerunner"
+    [ ("u256", Test_u256.suite);
+      ("khash", Test_khash.suite);
+      ("rlp", Test_rlp.suite);
+      ("trie", Test_trie.suite);
+      ("state", Test_state.suite);
+      ("evm", Test_evm.suite);
+      ("evm-calls", Test_evm_calls.suite);
+      ("asm", Test_asm.suite);
+      ("contracts", Test_contracts.suite);
+      ("sevm-ap", Test_sevm.suite);
+      ("ap", Test_ap.suite);
+      ("chain", Test_chain.suite);
+      ("netsim", Test_netsim.suite);
+      ("workload", Test_workload.suite);
+      ("core", Test_core.suite);
+      ("differential", Test_differential.suite) ]

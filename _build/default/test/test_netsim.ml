@@ -1,0 +1,200 @@
+(* Network-simulator tests: the event heap, traffic generation, deterministic
+   recording, and the structural properties of the observer feed the paper's
+   recorder would capture. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let small_params =
+  { Netsim.Sim.default_params with duration = 90.0; tx_rate = 6.0; seed = 11; n_users = 60 }
+
+let heap_tests =
+  [ t "heap pops in time order" (fun () ->
+        let h = Netsim.Heap.create () in
+        List.iter (fun x -> Netsim.Heap.push h x x) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+        let rec drain acc =
+          match Netsim.Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+        in
+        Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain []));
+    t "heap is FIFO for equal times" (fun () ->
+        let h = Netsim.Heap.create () in
+        List.iter (fun v -> Netsim.Heap.push h 1.0 v) [ 1; 2; 3 ];
+        let rec drain acc =
+          match Netsim.Heap.pop h with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+        in
+        Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ] (drain []));
+    t "heap grows" (fun () ->
+        let h = Netsim.Heap.create () in
+        for i = 1000 downto 1 do
+          Netsim.Heap.push h (float_of_int i) i
+        done;
+        match Netsim.Heap.pop h with
+        | Some (_, 1) -> ()
+        | _ -> Alcotest.fail "expected min element")
+  ]
+
+let gen_tests =
+  [ t "generator produces sequential nonces per sender" (fun () ->
+        let pop = Workload.Population.make ~n_users:3 ~n_observers:2 in
+        let g = Workload.Gen.create ~seed:3 ~tx_rate:1.0 pop in
+        let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        for _ = 1 to 200 do
+          let tx, _ = Workload.Gen.generate g ~now:1_600_000_000L in
+          let key = State.Address.to_hex tx.sender in
+          let expected = match Hashtbl.find_opt seen key with Some n -> n + 1 | None -> 0 in
+          Alcotest.(check int) "nonce sequence" expected tx.nonce;
+          Hashtbl.replace seen key tx.nonce
+        done);
+    t "mix respects configured kinds" (fun () ->
+        let pop = Workload.Population.make ~n_users:5 ~n_observers:2 in
+        let g =
+          Workload.Gen.create ~mix:[ (Workload.Gen.Eth_transfer, 1.0) ] ~seed:4 ~tx_rate:1.0 pop
+        in
+        for _ = 1 to 50 do
+          let _, kind = Workload.Gen.generate g ~now:0L in
+          Alcotest.(check string) "only transfers" "eth_transfer" (Workload.Gen.kind_name kind)
+        done);
+    t "interarrival times are positive with the right mean" (fun () ->
+        let pop = Workload.Population.make ~n_users:2 ~n_observers:1 in
+        let g = Workload.Gen.create ~seed:5 ~tx_rate:10.0 pop in
+        let n = 2000 in
+        let total = ref 0.0 in
+        for _ = 1 to n do
+          let d = Workload.Gen.next_interarrival g in
+          Alcotest.(check bool) "positive" true (d > 0.0);
+          total := !total +. d
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool) "mean ~ 1/rate" true (mean > 0.07 && mean < 0.14))
+  ]
+
+let sim_tests =
+  [ t "same seed gives identical recordings" (fun () ->
+        let r1 = Netsim.Sim.run ~params:small_params () in
+        let r2 = Netsim.Sim.run ~params:small_params () in
+        Alcotest.(check int) "same tx count" r1.n_txs r2.n_txs;
+        Alcotest.(check int) "same block count" r1.n_blocks r2.n_blocks;
+        Alcotest.(check int) "same event count" (Array.length r1.events) (Array.length r2.events);
+        (* block contents identical *)
+        let roots r =
+          Array.to_list r.Netsim.Record.events
+          |> List.filter_map (function
+               | Netsim.Record.Block (_, b) -> Some b.Chain.Block.header.state_root
+               | Netsim.Record.Heard _ -> None)
+        in
+        Alcotest.(check bool) "same roots" true (roots r1 = roots r2));
+    t "different seeds diverge" (fun () ->
+        let r1 = Netsim.Sim.run ~params:small_params () in
+        let r2 = Netsim.Sim.run ~params:{ small_params with seed = 12 } () in
+        Alcotest.(check bool) "different" true (r1.n_txs <> r2.n_txs || r1.n_blocks <> r2.n_blocks));
+    t "events are time ordered" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let last = ref neg_infinity in
+        Array.iter
+          (fun ev ->
+            let t = Netsim.Record.event_time ev in
+            Alcotest.(check bool) "monotone" true (t >= !last);
+            last := t)
+          r.events);
+    t "canonical numbers and timestamps increase" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let last_n = ref 0L and last_ts = ref 0L in
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) when Netsim.Record.is_canonical r b ->
+              Alcotest.(check bool) "number" true (b.header.number > !last_n);
+              Alcotest.(check bool) "timestamp" true (b.header.timestamp > !last_ts);
+              last_n := b.header.number;
+              last_ts := b.header.timestamp
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+          r.events);
+    t "per-sender nonces inside blocks are sequential" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let next : (string, int) Hashtbl.t = Hashtbl.create 64 in
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) when Netsim.Record.is_canonical r b ->
+              List.iter
+                (fun (tx : Evm.Env.tx) ->
+                  let k = State.Address.to_hex tx.sender in
+                  let expect = Option.value ~default:0 (Hashtbl.find_opt next k) in
+                  Alcotest.(check int) "nonce" expect tx.nonce;
+                  Hashtbl.replace next k (expect + 1))
+                b.txs
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+          r.events);
+    t "no transaction is packed twice on the canonical chain" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let seen = Hashtbl.create 256 in
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) when Netsim.Record.is_canonical r b ->
+              List.iter
+                (fun tx ->
+                  let h = Evm.Env.tx_hash tx in
+                  Alcotest.(check bool) "fresh" false (Hashtbl.mem seen h);
+                  Hashtbl.replace seen h ())
+                b.txs
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+          r.events);
+    t "heard fraction is high but not total" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let total, heard, _ = Netsim.Record.heard_stats r in
+        let pct = 100.0 *. float_of_int heard /. float_of_int (max 1 total) in
+        Alcotest.(check bool) "between 80 and 100" true (pct > 80.0 && pct <= 100.0));
+    t "heard delays span multiple seconds" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        let _, _, delays = Netsim.Record.heard_stats r in
+        Alcotest.(check bool) "some long waits" true (List.exists (fun d -> d > 4.0) delays));
+    t "temporary forks appear at the configured rate" (fun () ->
+        let params =
+          { small_params with duration = 400.0; p_fork = 0.5; seed = 99; tx_rate = 3.0 }
+        in
+        let r = Netsim.Sim.run ~params () in
+        Alcotest.(check bool) "some forks" true (r.n_fork_blocks > 0);
+        Alcotest.(check bool) "forks below canonical count" true (r.n_fork_blocks < r.n_blocks);
+        (* every non-canonical block shares a height with a canonical one *)
+        let canon_heights = Hashtbl.create 64 in
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) when Netsim.Record.is_canonical r b ->
+              Hashtbl.replace canon_heights b.header.number ()
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+          r.events;
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) when not (Netsim.Record.is_canonical r b) ->
+              Alcotest.(check bool) "fork height contested" true
+                (Hashtbl.mem canon_heights b.header.number)
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+          r.events);
+    t "forked replay validates all roots and counts side blocks" (fun () ->
+        let params =
+          { small_params with duration = 300.0; p_fork = 0.5; seed = 99; tx_rate = 3.0 }
+        in
+        let r = Netsim.Sim.run ~params () in
+        let result = Core.Node.replay ~policy:Core.Node.Baseline r in
+        List.iter
+          (fun (b : Core.Node.block_record) -> Alcotest.(check bool) "root ok" true b.root_ok)
+          result.blocks;
+        Alcotest.(check bool) "side blocks processed" true (result.fork_blocks > 0));
+    t "forerunner survives forks and reorgs" (fun () ->
+        let params =
+          { small_params with duration = 300.0; p_fork = 0.5; seed = 99; tx_rate = 3.0 }
+        in
+        let r = Netsim.Sim.run ~params () in
+        let result = Core.Node.replay ~policy:Core.Node.Forerunner r in
+        List.iter
+          (fun (b : Core.Node.block_record) -> Alcotest.(check bool) "root ok" true b.root_ok)
+          result.blocks);
+    t "blocks respect the gas limit" (fun () ->
+        let r = Netsim.Sim.run ~params:small_params () in
+        Array.iter
+          (function
+            | Netsim.Record.Block (_, b) ->
+              Alcotest.(check bool) "within limit" true
+                (Chain.Block.gas_used_upper_bound b <= b.header.gas_limit)
+            | Netsim.Record.Heard _ -> ())
+          r.events)
+  ]
+
+let suite = heap_tests @ gen_tests @ sim_tests

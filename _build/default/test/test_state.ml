@@ -1,0 +1,265 @@
+(* Statedb tests: journaled mutation, snapshot/revert nesting, commit
+   determinism, reopening roots, touch tracking and prefetch warming. *)
+
+open State
+
+let t name f = Alcotest.test_case name `Quick f
+let u = U256.of_int
+let check_u = Alcotest.testable U256.pp U256.equal
+let a1 = Address.of_int 0xA1
+let a2 = Address.of_int 0xA2
+
+let fresh () =
+  let bk = Statedb.Backend.create () in
+  (bk, Statedb.create bk ~root:Statedb.empty_root)
+
+let unit_tests =
+  [ t "fresh accounts are empty" (fun () ->
+        let _, st = fresh () in
+        Alcotest.check check_u "balance" U256.zero (Statedb.get_balance st a1);
+        Alcotest.(check int) "nonce" 0 (Statedb.get_nonce st a1);
+        Alcotest.(check string) "code" "" (Statedb.get_code st a1);
+        Alcotest.(check bool) "exists" false (Statedb.account_exists st a1));
+    t "balance arithmetic" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_balance st a1 (u 100);
+        Statedb.add_balance st a1 (u 20);
+        Statedb.sub_balance st a1 (u 50);
+        Alcotest.check check_u "70" (u 70) (Statedb.get_balance st a1));
+    t "sub_balance underflow raises" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_balance st a1 (u 5);
+        Alcotest.(check bool) "raises" true
+          (try
+             Statedb.sub_balance st a1 (u 6);
+             false
+           with Invalid_argument _ -> true));
+    t "storage set/get and zero default" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_storage st a1 (u 1) (u 42);
+        Alcotest.check check_u "set" (u 42) (Statedb.get_storage st a1 (u 1));
+        Alcotest.check check_u "other slot" U256.zero (Statedb.get_storage st a1 (u 2)));
+    t "snapshot/revert single level" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_balance st a1 (u 10);
+        let snap = Statedb.snapshot st in
+        Statedb.set_balance st a1 (u 99);
+        Statedb.set_storage st a1 (u 0) (u 7);
+        Statedb.incr_nonce st a1;
+        Statedb.revert st snap;
+        Alcotest.check check_u "balance back" (u 10) (Statedb.get_balance st a1);
+        Alcotest.check check_u "slot back" U256.zero (Statedb.get_storage st a1 (u 0));
+        Alcotest.(check int) "nonce back" 0 (Statedb.get_nonce st a1));
+    t "nested snapshots revert independently" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_storage st a1 (u 0) (u 1);
+        let s1 = Statedb.snapshot st in
+        Statedb.set_storage st a1 (u 0) (u 2);
+        let s2 = Statedb.snapshot st in
+        Statedb.set_storage st a1 (u 0) (u 3);
+        Statedb.revert st s2;
+        Alcotest.check check_u "inner" (u 2) (Statedb.get_storage st a1 (u 0));
+        Statedb.revert st s1;
+        Alcotest.check check_u "outer" (u 1) (Statedb.get_storage st a1 (u 0)));
+    t "revert removes created accounts" (fun () ->
+        let _, st = fresh () in
+        let snap = Statedb.snapshot st in
+        Statedb.set_balance st a1 (u 5);
+        Alcotest.(check bool) "created" true (Statedb.account_exists st a1);
+        Statedb.revert st snap;
+        Alcotest.(check bool) "gone" false (Statedb.account_exists st a1));
+    t "commit then reopen" (fun () ->
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (u 1000);
+        Statedb.set_storage st a1 (u 5) (u 55);
+        Statedb.set_code st a1 "\x60\x00";
+        let root = Statedb.commit st in
+        let st2 = Statedb.create bk ~root in
+        Alcotest.check check_u "balance" (u 1000) (Statedb.get_balance st2 a1);
+        Alcotest.check check_u "slot" (u 55) (Statedb.get_storage st2 a1 (u 5));
+        Alcotest.(check string) "code" "\x60\x00" (Statedb.get_code st2 a1));
+    t "commit is deterministic across op order" (fun () ->
+        let r1 =
+          let _, st = fresh () in
+          Statedb.set_balance st a1 (u 1);
+          Statedb.set_balance st a2 (u 2);
+          Statedb.set_storage st a1 (u 0) (u 9);
+          Statedb.commit st
+        in
+        let r2 =
+          let _, st = fresh () in
+          Statedb.set_storage st a1 (u 0) (u 9);
+          Statedb.set_balance st a2 (u 2);
+          Statedb.set_balance st a1 (u 1);
+          Statedb.commit st
+        in
+        Alcotest.(check string) "roots equal" (Khash.Keccak.to_hex r1) (Khash.Keccak.to_hex r2));
+    t "zeroing a slot removes it from the commitment" (fun () ->
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (u 1);
+        let clean_root = Statedb.commit st in
+        let st2 = Statedb.create bk ~root:clean_root in
+        Statedb.set_storage st2 a1 (u 3) (u 7);
+        let _with_slot = Statedb.commit st2 in
+        Statedb.set_storage st2 a1 (u 3) U256.zero;
+        let zeroed = Statedb.commit st2 in
+        Alcotest.(check string) "root back to clean" (Khash.Keccak.to_hex clean_root)
+          (Khash.Keccak.to_hex zeroed));
+    t "empty accounts are not persisted" (fun () ->
+        let _, st = fresh () in
+        (* read-only touch creates a cache entry but must not enter the trie *)
+        ignore (Statedb.get_balance st a1);
+        let root = Statedb.commit st in
+        Alcotest.(check string) "empty root" (Khash.Keccak.to_hex Statedb.empty_root)
+          (Khash.Keccak.to_hex root));
+    t "self destruct clears account at commit" (fun () ->
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (u 5);
+        Statedb.set_code st a1 "\x00";
+        let root1 = Statedb.commit st in
+        let st2 = Statedb.create bk ~root:root1 in
+        Statedb.self_destruct st2 a1;
+        ignore (Statedb.commit st2);
+        Alcotest.(check bool) "gone" false (Statedb.account_exists st2 a1));
+    t "committed storage vs dirty value" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_storage st a1 (u 0) (u 10);
+        ignore (Statedb.commit st);
+        Statedb.set_storage st a1 (u 0) (u 20);
+        Alcotest.check check_u "dirty" (u 20) (Statedb.get_storage st a1 (u 0));
+        Alcotest.check check_u "committed" (u 10) (Statedb.get_committed_storage st a1 (u 0)));
+    t "touch tracking records reads" (fun () ->
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (u 1);
+        Statedb.set_storage st a1 (u 7) (u 8);
+        let root = Statedb.commit st in
+        let st2 = Statedb.create bk ~root in
+        Statedb.set_tracking st2 true;
+        ignore (Statedb.get_balance st2 a1);
+        ignore (Statedb.get_storage st2 a1 (u 7));
+        let touches = Statedb.touches st2 in
+        Alcotest.(check bool) "account touch" true
+          (List.exists (function Statedb.T_account a -> Address.equal a a1 | _ -> false) touches);
+        Alcotest.(check bool) "slot touch" true
+          (List.exists
+             (function Statedb.T_slot (a, k) -> Address.equal a a1 && U256.equal k (u 7) | _ -> false)
+             touches));
+    t "warm turns misses into hits" (fun () ->
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (u 1);
+        Statedb.set_storage st a1 (u 7) (u 8);
+        let root = Statedb.commit st in
+        (* capture the read set *)
+        let probe = Statedb.create bk ~root in
+        Statedb.set_tracking probe true;
+        ignore (Statedb.get_balance probe a1);
+        ignore (Statedb.get_storage probe a1 (u 7));
+        let touches = Statedb.touches probe in
+        (* a warmed instance serves those reads from cache *)
+        let warm = Statedb.create bk ~root in
+        Statedb.warm warm touches;
+        Statedb.Backend.reset_io bk;
+        ignore (Statedb.get_balance warm a1);
+        ignore (Statedb.get_storage warm a1 (u 7));
+        Alcotest.(check int) "no trie reads after warming" 0 (Statedb.Backend.io_reads bk));
+    t "code is content addressed" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_code st a1 "same";
+        Statedb.set_code st a2 "same";
+        Alcotest.(check string) "hashes equal"
+          (Khash.Keccak.to_hex (Statedb.get_code_hash st a1))
+          (Khash.Keccak.to_hex (Statedb.get_code_hash st a2)))
+  ]
+
+let more_tests =
+  [ t "revert after commit is rejected" (fun () ->
+        let _, st = fresh () in
+        Statedb.set_balance st a1 (u 1);
+        let snap = Statedb.snapshot st in
+        Statedb.set_balance st a1 (u 2);
+        ignore (Statedb.commit st);
+        Alcotest.(check bool) "stale snapshot raises" true
+          (try
+             Statedb.revert st snap;
+             false
+           with Invalid_argument _ -> true));
+    t "large storage values round-trip through the trie" (fun () ->
+        (* values near and past RLP's 55-byte boundary in account encoding *)
+        let bk, st = fresh () in
+        Statedb.set_balance st a1 (U256.sub U256.max_value U256.one);
+        Statedb.set_storage st a1 U256.max_value (U256.sub U256.max_value (u 7));
+        let root = Statedb.commit st in
+        let st2 = Statedb.create bk ~root in
+        Alcotest.check check_u "balance" (U256.sub U256.max_value U256.one)
+          (Statedb.get_balance st2 a1);
+        Alcotest.check check_u "slot" (U256.sub U256.max_value (u 7))
+          (Statedb.get_storage st2 a1 U256.max_value));
+    t "many accounts commit deterministically" (fun () ->
+        let build order =
+          let _, st = fresh () in
+          List.iter (fun i -> Statedb.set_balance st (Address.of_int (1000 + i)) (u i)) order;
+          Statedb.commit st
+        in
+        let fwd = build (List.init 64 (fun i -> i + 1)) in
+        let rev = build (List.rev (List.init 64 (fun i -> i + 1))) in
+        Alcotest.(check string) "same root" (Khash.Keccak.to_hex fwd) (Khash.Keccak.to_hex rev));
+    t "incr_nonce journals correctly" (fun () ->
+        let _, st = fresh () in
+        let snap = Statedb.snapshot st in
+        Statedb.incr_nonce st a1;
+        Statedb.incr_nonce st a1;
+        Alcotest.(check int) "two" 2 (Statedb.get_nonce st a1);
+        Statedb.revert st snap;
+        Alcotest.(check int) "zero again" 0 (Statedb.get_nonce st a1))
+  ]
+
+(* model-based property: random journaled ops + snapshots/reverts agree with
+   a functional model *)
+type model = { bal : U256.t Address.Map.t; slot : U256.t Address.Map.t }
+
+let arb_script =
+  let open QCheck.Gen in
+  let addr = map (fun i -> Address.of_int (0xB0 + (i mod 4))) small_nat in
+  let op =
+    frequency
+      [ (3, map2 (fun a v -> `Bal (a, u (v mod 1000))) addr small_nat);
+        (3, map2 (fun a v -> `Slot (a, u (v mod 50))) addr small_nat);
+        (1, return `Snap);
+        (1, return `Revert) ]
+  in
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "<script of %d ops>" (List.length l))
+    (list_size (int_bound 40) op)
+
+let property_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150 ~name:"journal agrees with functional model" arb_script
+         (fun script ->
+           let _, st = fresh () in
+           let model = ref { bal = Address.Map.empty; slot = Address.Map.empty } in
+           let stack = ref [] in
+           List.iter
+             (fun op ->
+               match op with
+               | `Bal (a, v) ->
+                 Statedb.set_balance st a v;
+                 model := { !model with bal = Address.Map.add a v !model.bal }
+               | `Slot (a, v) ->
+                 Statedb.set_storage st a U256.zero v;
+                 model := { !model with slot = Address.Map.add a v !model.slot }
+               | `Snap -> stack := (Statedb.snapshot st, !model) :: !stack
+               | `Revert -> (
+                 match !stack with
+                 | (snap, m) :: rest ->
+                   Statedb.revert st snap;
+                   model := m;
+                   stack := rest
+                 | [] -> ()))
+             script;
+           Address.Map.for_all (fun a v -> U256.equal (Statedb.get_balance st a) v) !model.bal
+           && Address.Map.for_all
+                (fun a v -> U256.equal (Statedb.get_storage st a U256.zero) v)
+                !model.slot))
+  ]
+
+let suite = unit_tests @ more_tests @ property_tests

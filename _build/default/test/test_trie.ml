@@ -1,0 +1,139 @@
+(* Merkle-Patricia trie tests: commitment semantics (equal contents <=>
+   equal roots), persistence, deletion with node collapsing, and a
+   model-based property test against Map. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let hex = Khash.Keccak.to_hex
+
+let fresh () = Trie.create (Trie.Db.create ())
+
+let with_bindings l =
+  List.fold_left (fun tr (k, v) -> Trie.set tr k v) (fresh ()) l
+
+let unit_tests =
+  [ t "empty root constant" (fun () ->
+        Alcotest.(check string) "well-known hash"
+          "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+          (hex Trie.empty_root_hash);
+        Alcotest.(check string) "fresh trie" (hex Trie.empty_root_hash)
+          (hex (Trie.root_hash (fresh ()))));
+    t "get after set" (fun () ->
+        let tr = with_bindings [ ("key", "value") ] in
+        Alcotest.(check (option string)) "hit" (Some "value") (Trie.get tr "key");
+        Alcotest.(check (option string)) "miss" None (Trie.get tr "kex"));
+    t "overwrite" (fun () ->
+        let tr = with_bindings [ ("k", "v1"); ("k", "v2") ] in
+        Alcotest.(check (option string)) "latest" (Some "v2") (Trie.get tr "k"));
+    t "insertion order independence" (fun () ->
+        let l = [ ("do", "verb"); ("dog", "puppy"); ("doge", "coin"); ("horse", "stallion") ] in
+        let a = with_bindings l and b = with_bindings (List.rev l) in
+        Alcotest.(check string) "same root" (hex (Trie.root_hash a)) (hex (Trie.root_hash b)));
+    t "common-prefix splitting" (fun () ->
+        let tr = with_bindings [ ("abcdef", "1"); ("abcxyz", "2"); ("abc", "3") ] in
+        Alcotest.(check (option string)) "deep 1" (Some "1") (Trie.get tr "abcdef");
+        Alcotest.(check (option string)) "deep 2" (Some "2") (Trie.get tr "abcxyz");
+        Alcotest.(check (option string)) "prefix key" (Some "3") (Trie.get tr "abc"));
+    t "persistence of old roots" (fun () ->
+        let t1 = with_bindings [ ("a", "1") ] in
+        let t2 = Trie.set t1 "b" "2" in
+        Alcotest.(check (option string)) "old handle unaffected" None (Trie.get t1 "b");
+        Alcotest.(check (option string)) "new handle has both" (Some "1") (Trie.get t2 "a"));
+    t "reopen by root" (fun () ->
+        let tr = with_bindings [ ("x", "42"); ("y", "43") ] in
+        let reopened = Trie.of_root (Trie.db tr) (Trie.root_hash tr) in
+        Alcotest.(check (option string)) "x" (Some "42") (Trie.get reopened "x");
+        Alcotest.(check (option string)) "y" (Some "43") (Trie.get reopened "y"));
+    t "delete restores previous root" (fun () ->
+        let base = with_bindings [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+        let bigger = Trie.set base "tmp" "x" in
+        let back = Trie.remove bigger "tmp" in
+        Alcotest.(check string) "root restored" (hex (Trie.root_hash base))
+          (hex (Trie.root_hash back)));
+    t "delete absent is noop" (fun () ->
+        let tr = with_bindings [ ("a", "1") ] in
+        Alcotest.(check string) "unchanged" (hex (Trie.root_hash tr))
+          (hex (Trie.root_hash (Trie.remove tr "zzz"))));
+    t "delete to empty" (fun () ->
+        let tr = with_bindings [ ("only", "1") ] in
+        let tr = Trie.remove tr "only" in
+        Alcotest.(check bool) "empty" true (Trie.is_empty tr);
+        Alcotest.(check string) "empty root" (hex Trie.empty_root_hash)
+          (hex (Trie.root_hash tr)));
+    t "branch collapse on delete" (fun () ->
+        (* removing one of two siblings must collapse the branch so the root
+           equals a fresh single-entry trie *)
+        let two = with_bindings [ ("cat", "1"); ("car", "2") ] in
+        let one = Trie.remove two "car" in
+        let direct = with_bindings [ ("cat", "1") ] in
+        Alcotest.(check string) "collapsed" (hex (Trie.root_hash direct))
+          (hex (Trie.root_hash one)));
+    t "set rejects empty value" (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Trie.set: empty value (use remove)")
+          (fun () -> ignore (Trie.set (fresh ()) "k" "")));
+    t "fold visits all bindings" (fun () ->
+        let l = [ ("a", "1"); ("ab", "2"); ("abc", "3"); ("b", "4"); ("zzzz", "5") ] in
+        let tr = with_bindings l in
+        let seen = Trie.fold tr ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+        Alcotest.(check int) "count" (List.length l) (List.length seen);
+        List.iter
+          (fun (k, v) ->
+            Alcotest.(check bool) ("has " ^ k) true (List.mem (k, v) seen))
+          l);
+    t "node reads counted" (fun () ->
+        let db = Trie.Db.create () in
+        let tr = List.fold_left (fun tr i ->
+            Trie.set tr (Printf.sprintf "key-%04d" i) "v") (Trie.create db) (List.init 50 Fun.id) in
+        Trie.Db.reset_counters db;
+        ignore (Trie.get tr "key-0001");
+        Alcotest.(check bool) "reads > 0" true (Trie.Db.node_reads db > 0))
+  ]
+
+(* model-based: random interleavings of set/remove compared against a Map *)
+module SMap = Map.Make (String)
+
+let arb_ops =
+  let open QCheck.Gen in
+  let key = map (fun i -> Printf.sprintf "k%02d" (i mod 24)) small_nat in
+  let op =
+    frequency
+      [ (4, map2 (fun k v -> `Set (k, Printf.sprintf "v%d" v)) key small_nat);
+        (1, map (fun k -> `Remove k) key) ]
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function `Set (k, v) -> "set " ^ k ^ "=" ^ v | `Remove k -> "del " ^ k) ops))
+    (list_size (int_bound 60) op)
+
+let property_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"agrees with Map model" arb_ops (fun ops ->
+           let tr, model =
+             List.fold_left
+               (fun (tr, m) op ->
+                 match op with
+                 | `Set (k, v) -> (Trie.set tr k v, SMap.add k v m)
+                 | `Remove k -> (Trie.remove tr k, SMap.remove k m))
+               (fresh (), SMap.empty) ops
+           in
+           SMap.for_all (fun k v -> Trie.get tr k = Some v) model
+           && Trie.fold tr ~init:true ~f:(fun acc k v ->
+                  acc && SMap.find_opt k model = Some v)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"root is content-determined" arb_ops (fun ops ->
+           (* apply ops, then rebuild the final content directly: roots match *)
+           let tr, model =
+             List.fold_left
+               (fun (tr, m) op ->
+                 match op with
+                 | `Set (k, v) -> (Trie.set tr k v, SMap.add k v m)
+                 | `Remove k -> (Trie.remove tr k, SMap.remove k m))
+               (fresh (), SMap.empty) ops
+           in
+           let direct =
+             SMap.fold (fun k v tr -> Trie.set tr k v) model (fresh ())
+           in
+           String.equal (Trie.root_hash tr) (Trie.root_hash direct)))
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,102 @@
+(* Workload-generator tests: genesis determinism, mix composition, auction
+   price floor dynamics, heavy-work bounds and per-kind plumbing. *)
+
+open State
+
+let t name f = Alcotest.test_case name `Quick f
+
+let unit_tests =
+  [ t "genesis is deterministic" (fun () ->
+        let pop = Workload.Population.make ~n_users:20 ~n_observers:4 in
+        let r1 = Workload.Population.genesis pop (Statedb.Backend.create ()) in
+        let r2 = Workload.Population.genesis pop (Statedb.Backend.create ()) in
+        Alcotest.(check string) "same root" (Khash.Keccak.to_hex r1) (Khash.Keccak.to_hex r2));
+    t "genesis funds users and seeds the AMM" (fun () ->
+        let pop = Workload.Population.make ~n_users:5 ~n_observers:2 in
+        let bk = Statedb.Backend.create () in
+        let root = Workload.Population.genesis pop bk in
+        let st = Statedb.create bk ~root in
+        Alcotest.(check bool) "user funded" true
+          (U256.gt (Statedb.get_balance st pop.users.(0)) U256.zero);
+        Alcotest.(check bool) "pair has code" true (Statedb.get_code st pop.pair <> "");
+        Alcotest.(check bool) "reserves set" true
+          (U256.gt (Statedb.get_storage st pop.pair (U256.of_int 2)) U256.zero));
+    t "default mix weights sum to one" (fun () ->
+        let total =
+          List.fold_left (fun acc (_, w) -> acc +. w) 0.0 Workload.Gen.default_mix
+        in
+        Alcotest.(check bool) "sums to ~1" true (abs_float (total -. 1.0) < 1e-9));
+    t "defi mix weights sum to one" (fun () ->
+        let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 Workload.Gen.defi_mix in
+        Alcotest.(check bool) "sums to ~1" true (abs_float (total -. 1.0) < 1e-9));
+    t "every kind appears in a long stream" (fun () ->
+        let pop = Workload.Population.make ~n_users:30 ~n_observers:4 in
+        let g = Workload.Gen.create ~seed:9 ~tx_rate:1.0 pop in
+        let seen = Hashtbl.create 16 in
+        for _ = 1 to 3000 do
+          let _, kind = Workload.Gen.generate g ~now:1_600_000_123L in
+          Hashtbl.replace seen (Workload.Gen.kind_name kind) ()
+        done;
+        List.iter
+          (fun (k, _) ->
+            Alcotest.(check bool) (Workload.Gen.kind_name k) true
+              (Hashtbl.mem seen (Workload.Gen.kind_name k)))
+          Workload.Gen.default_mix);
+    t "auction bids carry value and mostly rise" (fun () ->
+        let pop = Workload.Population.make ~n_users:10 ~n_observers:2 in
+        let g =
+          Workload.Gen.create ~mix:[ (Workload.Gen.Auction_bid, 1.0) ] ~seed:3 ~tx_rate:1.0
+            pop
+        in
+        let last_floor = ref U256.zero in
+        let rising = ref 0 and total = ref 0 in
+        for _ = 1 to 100 do
+          let tx, _ = Workload.Gen.generate g ~now:0L in
+          Alcotest.(check bool) "to auction" true
+            (tx.to_ = Some pop.auction);
+          Alcotest.(check bool) "has value" true (U256.gt tx.value U256.zero);
+          incr total;
+          if U256.gt tx.value !last_floor then begin
+            incr rising;
+            last_floor := tx.value
+          end
+        done;
+        Alcotest.(check bool) "most bids raise the floor" true
+          (!rising * 3 > !total * 2));
+    t "heavy work sizes are bounded" (fun () ->
+        let pop = Workload.Population.make ~n_users:10 ~n_observers:2 in
+        let g =
+          Workload.Gen.create ~mix:[ (Workload.Gen.Heavy_work, 1.0) ] ~seed:4 ~tx_rate:1.0 pop
+        in
+        for _ = 1 to 50 do
+          let tx, _ = Workload.Gen.generate g ~now:0L in
+          Alcotest.(check bool) "worker target" true (tx.to_ = Some pop.worker);
+          (* senders estimate ~30k + 170/iteration; n ranges 40..639 *)
+          Alcotest.(check bool) "gas limit in range" true
+            (tx.gas_limit >= 30_000 + (40 * 170) && tx.gas_limit <= 30_000 + (640 * 170))
+        done);
+    t "oracle submissions follow the clock round" (fun () ->
+        let pop = Workload.Population.make ~n_users:4 ~n_observers:3 in
+        let g =
+          Workload.Gen.create ~mix:[ (Workload.Gen.Oracle_submit, 1.0) ] ~seed:5 ~tx_rate:1.0
+            pop
+        in
+        let now = 1_600_000_450L in
+        let tx, _ = Workload.Gen.generate g ~now in
+        (* round id = now - now mod 300 encoded as the first argument *)
+        let round = Evm.Abi.decode_word (String.sub tx.data 4 64) 0 in
+        Alcotest.(check int) "round" (1_600_000_450 / 300 * 300) (U256.to_int_exn round));
+    t "gas prices come from the popular levels" (fun () ->
+        let pop = Workload.Population.make ~n_users:10 ~n_observers:2 in
+        let g = Workload.Gen.create ~seed:6 ~tx_rate:1.0 pop in
+        let levels =
+          List.map (fun p -> U256.of_int (p * 1_000_000_000)) [ 50; 60; 80; 100; 120; 150 ]
+        in
+        for _ = 1 to 200 do
+          let tx, _ = Workload.Gen.generate g ~now:0L in
+          Alcotest.(check bool) "known level" true
+            (List.exists (U256.equal tx.gas_price) levels)
+        done)
+  ]
+
+let suite = unit_tests
