@@ -373,12 +373,26 @@ let experiments =
     ("fig15", fig15); ("sec55", sec55); ("sec56", sec56); ("ablation", ablation);
     ("micro", micro) ]
 
+(* [--metrics] / [--metrics-json FILE] enable the Obs registry around the
+   experiments; remaining arguments name experiments as before. *)
+let rec parse_args names metrics json = function
+  | [] -> (List.rev names, metrics, json)
+  | "--metrics" :: rest -> parse_args names true json rest
+  | "--metrics-json" :: file :: rest -> parse_args names metrics (Some file) rest
+  | "--metrics-json" :: [] ->
+    Printf.eprintf "--metrics-json requires a FILE argument\n";
+    exit 1
+  | a :: rest -> parse_args (a :: names) metrics json rest
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ :: [] | [] -> List.map fst experiments
+  let names, metrics, metrics_json =
+    parse_args [] false None (List.tl (Array.to_list Sys.argv))
   in
+  let requested = if names = [] then List.map fst experiments else names in
+  if metrics || metrics_json <> None then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -388,4 +402,19 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 1)
     requested;
+  if metrics || metrics_json <> None then begin
+    Obs.set_enabled false;
+    if metrics then begin
+      section "Obs instrument registry";
+      print_string (Obs.to_table ())
+    end;
+    match metrics_json with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.to_json ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics written to %s\n%!" file
+    | None -> ()
+  end;
   Printf.printf "\nall requested experiments completed.\n"

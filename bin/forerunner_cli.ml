@@ -41,6 +41,43 @@ let validate_arg =
     value & flag
     & info [ "validate" ] ~doc:"Cross-check every AP hit against a full EVM execution.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Enable the Obs instrument registry and print it as a table after the run.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Enable the Obs instrument registry and dump it as JSON to $(docv).")
+
+(* Run [f] with the observability registry enabled when either flag asks for
+   it, then render the readout.  Enabling resets the registry so the dump
+   covers exactly this invocation. *)
+let with_metrics ~metrics ~metrics_json f =
+  let wanted = metrics || metrics_json <> None in
+  if wanted then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  let r = f () in
+  if wanted then begin
+    Obs.set_enabled false;
+    if metrics then print_string (Obs.to_table ());
+    match metrics_json with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.to_json ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics written to %s\n%!" file
+    | None -> ()
+  end;
+  r
+
 let simulate ~seed ~duration ~rate =
   let params =
     { Netsim.Sim.default_params with seed; duration; tx_rate = rate }
@@ -60,8 +97,9 @@ let print_outcomes (r : Core.Node.result) =
     (count Core.Node.O_unheard) (List.length r.txs);
   Printf.printf "all %d block state roots validated.\n" (List.length r.blocks)
 
-let run_cmd =
-  let run seed duration rate policy validate =
+let run_term =
+  let run seed duration rate policy validate metrics metrics_json =
+    with_metrics ~metrics ~metrics_json @@ fun () ->
     let record = simulate ~seed ~duration ~rate in
     let config = { Core.Node.default_config with validate_hits = validate } in
     let r = Core.Node.replay ~config ~policy record in
@@ -89,12 +127,16 @@ let run_cmd =
            Printf.printf "%-16s %9.1f%% %10d\n"
              k (100.0 *. float_of_int hit /. float_of_int (max 1 total)) total)
   in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Simulate traffic and replay it under one policy.")
-    Term.(const run $ seed_arg $ duration_arg $ rate_arg $ policy_arg $ validate_arg)
+  Term.(
+    const run $ seed_arg $ duration_arg $ rate_arg $ policy_arg $ validate_arg $ metrics_arg
+    $ metrics_json_arg)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Simulate traffic and replay it under one policy.") run_term
 
 let compare_cmd =
-  let run seed duration rate =
+  let run seed duration rate metrics metrics_json =
+    with_metrics ~metrics ~metrics_json @@ fun () ->
     let record = simulate ~seed ~duration ~rate in
     let baseline = Core.Node.replay ~policy:Core.Node.Baseline record in
     Printf.printf "%-15s %10s %12s %12s\n" "policy" "speedup" "e2e" "%satisfied";
@@ -111,7 +153,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Replay the same traffic under all four policies (Table 2).")
-    Term.(const run $ seed_arg $ duration_arg $ rate_arg)
+    Term.(const run $ seed_arg $ duration_arg $ rate_arg $ metrics_arg $ metrics_json_arg)
 
 let contracts_cmd =
   let run () =
@@ -129,7 +171,9 @@ let contracts_cmd =
     Term.(const run $ const ())
 
 let main =
-  Cmd.group
+  (* no subcommand defaults to [run], so
+     [forerunner --metrics-json out.json] measures the default workload *)
+  Cmd.group ~default:run_term
     (Cmd.info "forerunner" ~version:"1.0.0"
        ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
     [ run_cmd; compare_cmd; contracts_cmd ]

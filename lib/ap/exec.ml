@@ -16,6 +16,13 @@ type stats = {
 
 type outcome = Hit of Evm.Processor.receipt * stats | Violation
 
+let obs_guard_checks = Obs.counter "ap.guard_checks"
+let obs_shortcut_hits = Obs.counter "ap.shortcut_hits"
+let obs_hits = Obs.counter "ap.hits"
+let obs_violations = Obs.counter "ap.violations"
+let obs_instrs_executed = Obs.counter "ap.instrs_executed"
+let obs_instrs_skipped = Obs.counter "ap.instrs_skipped"
+
 let value_of regs = function I.Const v -> v | I.Reg r -> regs.(r)
 
 let eval_read st (benv : Evm.Env.block_env) regs = function
@@ -68,7 +75,8 @@ let rec exec_block ~use_memos st benv regs stats (b : Program.block) =
   in
   if use_memos && List.exists try_memo b.memos then begin
     stats.memo_hits <- stats.memo_hits + 1;
-    stats.skipped <- stats.skipped + Array.length b.instrs
+    stats.skipped <- stats.skipped + Array.length b.instrs;
+    Obs.incr obs_shortcut_hits
   end
   else
     match b.sub with
@@ -113,12 +121,14 @@ let rec exec_node ~use_memos st benv regs stats tx = function
     exec_node ~use_memos st benv regs stats tx k
   | Program.Branch (op, cases) -> (
     stats.guards <- stats.guards + 1;
+    Obs.incr obs_guard_checks;
     let v = value_of regs op in
     match List.find_opt (fun (v', _) -> U256.equal v v') cases with
     | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
     | None -> raise Violated)
   | Program.Branch_size (op, cases) -> (
     stats.guards <- stats.guards + 1;
+    Obs.incr obs_guard_checks;
     let n = U256.byte_size (value_of regs op) in
     match List.find_opt (fun (n', _) -> n = n') cases with
     | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
@@ -145,9 +155,16 @@ let execute ?(use_memos = true) (ap : Program.t) st benv (tx : Evm.Env.tx) : out
   let regs = Array.make (max ap.reg_count 1) U256.zero in
   let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
   let rec try_roots = function
-    | [] -> Violation
+    | [] ->
+      Obs.incr obs_violations;
+      Violation
     | root :: rest -> (
-      try Hit (exec_node ~use_memos st benv regs stats tx root, stats)
+      try
+        let receipt = exec_node ~use_memos st benv regs stats tx root in
+        Obs.incr obs_hits;
+        Obs.add obs_instrs_executed stats.executed;
+        Obs.add obs_instrs_skipped stats.skipped;
+        Hit (receipt, stats)
       with Violated -> try_roots rest)
   in
   try_roots ap.roots

@@ -134,12 +134,20 @@ let heard_delay_rcdf (record : Netsim.Record.t) ~points =
   let _, _, delays = Netsim.Record.heard_stats record in
   let n = List.length delays in
   let sorted = Array.of_list (List.sort compare delays) in
+  (* binary search for the first delay > xf: everything after it exceeds the
+     threshold, so each point costs O(log n) instead of a full scan *)
+  let first_above xf =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) > xf then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
   List.map
     (fun x ->
       let xf = float_of_int x in
-      (* fraction of delays exceeding xf *)
-      let rec count i acc = if i >= n then acc else count (i + 1) (if sorted.(i) > xf then acc + 1 else acc) in
-      (x, 100.0 *. float_of_int (count 0 0) /. float_of_int (max 1 n)))
+      (x, 100.0 *. float_of_int (n - first_above xf) /. float_of_int (max 1 n)))
     points
 
 (* ---- Table 1 rows ---- *)
@@ -231,7 +239,13 @@ type ap_shape = {
 }
 
 let ap_shape (run : Node.result) =
-  let heard = List.filter (fun (t : Node.tx_record) -> t.heard && t.ap_futures > 0) run.txs in
+  (* canonical only, like [join]: a transaction executed again on a fork
+     branch would otherwise be double-counted and skew the §5.5 shares *)
+  let heard =
+    List.filter
+      (fun (t : Node.tx_record) -> t.canonical && t.heard && t.ap_futures > 0)
+      run.txs
+  in
   let n = max 1 (List.length heard) in
   let frac f = pct (List.length (List.filter f heard)) n in
   let more_avg get =
@@ -240,7 +254,7 @@ let ap_shape (run : Node.result) =
   in
   let hits =
     List.filter
-      (fun (t : Node.tx_record) -> t.instrs_executed + t.instrs_skipped > 0)
+      (fun (t : Node.tx_record) -> t.canonical && t.instrs_executed + t.instrs_skipped > 0)
       run.txs
   in
   let skipped = List.fold_left (fun a (t : Node.tx_record) -> a + t.instrs_skipped) 0 hits in

@@ -101,11 +101,24 @@ let single_future_config =
 
 type pending_entry = { p : Predictor.pending; spec : Speculator.spec }
 
+(* Why each re-speculation was triggered (paper §4.4: the predictor keeps
+   tracking the pool as it shifts). *)
+let obs_respec_same_sender = Obs.counter "predictor.respec.same_sender"
+let obs_respec_same_receiver = Obs.counter "predictor.respec.same_receiver"
+let obs_respec_new_head = Obs.counter "predictor.respec.new_head"
+
 let is_speculative = function
   | Forerunner | Perfect_match | Perfect_multi -> true
   | Baseline -> false
 
 let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : result =
+  (* per-policy wall-time breakdown by phase (labels precomputed so span
+     bookkeeping costs no allocation on the hot path) *)
+  let phase_pfx = "replay." ^ policy_name policy in
+  let l_speculate = phase_pfx ^ ".speculate" in
+  let l_execute = phase_pfx ^ ".execute" in
+  let l_commit = phase_pfx ^ ".commit" in
+  let l_respec = phase_pfx ^ ".respec" in
   let bk = record.backend in
   let head_root = ref record.genesis_root in
   let head_hash = ref record.genesis_hash in
@@ -249,7 +262,8 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
           in
           Hashtbl.replace pending hash entry;
           if is_speculative policy then begin
-            speculate_tx t entry config.max_contexts_initial;
+            Obs.span l_speculate (fun () ->
+                speculate_tx t entry config.max_contexts_initial);
             (* The new arrival may belong to the dependency group of already
                pending transactions whose contexts are now stale: re-speculate
                them (the paper's predictor continuously tracks the pool).
@@ -270,16 +284,21 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
                     | (Some _ | None), _ -> ()
                 end)
               pending;
-            List.iter (fun e -> speculate_tx t e config.max_contexts_respec) !same_sender;
-            let recent =
-              List.sort
-                (fun (a : pending_entry) b -> compare b.p.heard_at a.p.heard_at)
-                !same_to
-            in
-            List.iteri
-              (fun i e ->
-                if i < 3 then speculate_tx t e config.max_contexts_respec)
-              recent
+            Obs.span l_respec (fun () ->
+                Obs.add obs_respec_same_sender (List.length !same_sender);
+                List.iter (fun e -> speculate_tx t e config.max_contexts_respec) !same_sender;
+                let recent =
+                  List.sort
+                    (fun (a : pending_entry) b -> compare b.p.heard_at a.p.heard_at)
+                    !same_to
+                in
+                List.iteri
+                  (fun i e ->
+                    if i < 3 then begin
+                      Obs.incr obs_respec_same_receiver;
+                      speculate_tx t e config.max_contexts_respec
+                    end)
+                  recent)
           end
         end
       | Netsim.Record.Block (t, b) -> (
@@ -299,12 +318,14 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
           let gas = ref 0 in
           List.iter
             (fun tx ->
-              let tr, _receipt = exec_one exec_st ~canonical benv t tx in
+              let tr, _receipt =
+                Obs.span l_execute (fun () -> exec_one exec_st ~canonical benv t tx)
+              in
               block_ns := !block_ns + tr.exec_ns;
               gas := !gas + tr.gas_used;
               txs := tr :: !txs)
             b.txs;
-          let root = Statedb.commit exec_st in
+          let root = Obs.span l_commit (fun () -> Statedb.commit exec_st) in
           let root_ok = String.equal root b.header.state_root in
           if not root_ok then
             invalid_arg
@@ -367,10 +388,12 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
               let entries =
                 List.filteri (fun i _ -> i < config.max_respec_per_block) entries
               in
-              List.iter (fun e -> speculate_tx t e config.max_contexts_respec) entries;
-              (* warm the new StateDB with everything we believe is coming *)
-              if config.prefetch then
-                List.iter (fun e -> Statedb.warm !next_st e.spec.touches) entries
+              Obs.span l_respec (fun () ->
+                  Obs.add obs_respec_new_head (List.length entries);
+                  List.iter (fun e -> speculate_tx t e config.max_contexts_respec) entries;
+                  (* warm the new StateDB with everything we believe is coming *)
+                  if config.prefetch then
+                    List.iter (fun e -> Statedb.warm !next_st e.spec.touches) entries)
             end
           end))
     record.events;

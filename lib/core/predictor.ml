@@ -153,8 +153,12 @@ let orderings t ~required ~optional ~n =
   in
   List.filteri (fun i _ -> i < n) (List.map (List.map (fun (p : pending) -> p.tx)) uniq)
 
+let obs_requests = Obs.counter "predictor.context_requests"
+let obs_contexts = Obs.counter "predictor.contexts_predicted"
+
 (* Construct up to [max_contexts] (env, preceding-txs) futures. *)
 let contexts t ~pool ~max_contexts ~tx_hash tx =
+  Obs.incr obs_requests;
   let required, optional = dependency_group ~pool ~tx_hash tx in
   let envs = predict_envs t ~n:4 in
   let ords = orderings t ~required ~optional ~n:2 in
@@ -169,4 +173,6 @@ let contexts t ~pool ~max_contexts ~tx_hash tx =
           (fun e -> (e, match ords with o :: _ -> o | [] -> []))
           other_envs
   in
-  List.filteri (fun i _ -> i < max_contexts) all
+  let picked = List.filteri (fun i _ -> i < max_contexts) all in
+  Obs.add obs_contexts (List.length picked);
+  picked

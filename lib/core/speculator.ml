@@ -79,6 +79,11 @@ let create_spec () =
 
 let max_paths_kept = 16
 
+let obs_contexts = Obs.counter "speculator.contexts_built"
+let obs_build_errors = Obs.counter "speculator.build_errors"
+let obs_paths = Obs.counter "speculator.paths_synthesized"
+let obs_build_ns = Obs.histogram "speculator.context_build_ns"
+
 (* Pre-execute [tx] in one future context and fold the result into [spec].
    [bk]/[root] give the chain head state; [pre_txs] are the predicted
    preceding transactions. *)
@@ -100,13 +105,18 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
         Statedb.set_tracking st false;
         spec.touches <- Statedb.touches st @ spec.touches;
         spec.contexts <- spec.contexts + 1;
+        Obs.incr obs_contexts;
         match Sevm.Builder.build tx env (get ()) receipt st with
         | Ok path ->
           acc_add spec.synth path.stats;
           Ap.Program.add_path spec.ap path;
+          Obs.incr obs_paths;
           if List.length spec.paths < max_paths_kept then spec.paths <- spec.paths @ [ path ]
-        | Error _ -> spec.build_errors <- spec.build_errors + 1)
+        | Error _ ->
+          spec.build_errors <- spec.build_errors + 1;
+          Obs.incr obs_build_errors)
   in
+  Obs.observe_int obs_build_ns elapsed;
   spec.spec_time_ns <- spec.spec_time_ns + elapsed
 
 (* Speculate on all [contexts]; marks the AP ready [spec_time] after [now]

@@ -51,15 +51,16 @@ let store_byte m off b =
   Bytes.set m.buf off (Char.chr (b land 0xff))
 
 (* Copy [len] bytes of [src] starting at [src_off] into memory at [dst],
-   zero-padding past the end of [src] (CALLDATACOPY / CODECOPY semantics). *)
+   zero-padding outside [src] (CALLDATACOPY / CODECOPY semantics).  One blit
+   for the in-bounds middle and bulk fills for the zero-padded edges — these
+   opcodes are hot in every traced execution, so no per-byte loop. *)
 let store_slice m ~dst ~src ~src_off ~len =
   if len > 0 then begin
     ensure m dst len;
-    for i = 0 to len - 1 do
-      let c =
-        if src_off + i < String.length src && src_off + i >= 0 then src.[src_off + i]
-        else '\000'
-      in
-      Bytes.set m.buf (dst + i) c
-    done
+    (* destination indices i with 0 <= src_off + i < |src| are copied *)
+    let lo = min len (max 0 (-src_off)) in
+    let hi = min len (max lo (String.length src - src_off)) in
+    if lo > 0 then Bytes.fill m.buf dst lo '\000';
+    if hi > lo then Bytes.blit_string src (src_off + lo) m.buf (dst + lo) (hi - lo);
+    if len > hi then Bytes.fill m.buf (dst + hi) (len - hi) '\000'
   end

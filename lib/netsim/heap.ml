@@ -8,17 +8,21 @@ type 'a t = {
   mutable seq : int;
 }
 
-let create () = { data = Array.make 256 (0.0, 0, Obj.magic 0); size = 0; seq = 0 }
+(* The backing array is allocated lazily on the first push (and dropped when
+   the heap drains), so no placeholder element is ever needed: every slot in
+   a live array holds either a live item or a duplicate of one. *)
+let create () = { data = [||]; size = 0; seq = 0 }
 let is_empty h = h.size = 0
 let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
 
 let push h time v =
-  if h.size = Array.length h.data then begin
+  let item = (time, h.seq, v) in
+  if Array.length h.data = 0 then h.data <- Array.make 256 item
+  else if h.size = Array.length h.data then begin
     let d = Array.make (2 * h.size) h.data.(0) in
     Array.blit h.data 0 d 0 h.size;
     h.data <- d
   end;
-  let item = (time, h.seq, v) in
   h.seq <- h.seq + 1;
   let i = ref h.size in
   h.size <- h.size + 1;
@@ -37,6 +41,10 @@ let pop h =
     let (time, _, v) = h.data.(0) in
     h.size <- h.size - 1;
     h.data.(0) <- h.data.(h.size);
+    (* Clear the vacated slot, or popped payloads stay reachable for the
+       life of the heap (a space leak across a whole simulation).  A live
+       element doubles as the dummy; an emptied heap drops the array. *)
+    if h.size = 0 then h.data <- [||] else h.data.(h.size) <- h.data.(0);
     let i = ref 0 in
     let continue = ref true in
     while !continue do

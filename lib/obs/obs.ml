@@ -1,0 +1,291 @@
+(* Process-wide observability registry (the measurement substrate behind the
+   paper's §5 evaluation): named counters, gauges and log2-scale histograms,
+   plus nesting span timers, all behind one [enabled] switch.
+
+   Design constraints:
+   - zero cost when disabled: every record operation starts with a single
+     [if !enabled] check and instruments are plain mutable cells, so leaving
+     the instrumentation compiled into the hot paths does not perturb the
+     critical-path timings the evaluation depends on;
+   - no dependencies beyond the monotonic clock stub the benchmarks already
+     use, so the lowest layers (trie, statedb) can link against it;
+   - readable output: the registry renders as JSON (machine diffable, for
+     [--metrics-json]) and as an aligned text table (for [--metrics]). *)
+
+let enabled = ref false
+let set_enabled on = enabled := on
+let now_ns () = Monotonic_clock.now ()
+
+(* ---- instruments ---- *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+
+(* Log2 bucketed distribution: bucket [i] counts samples in [2^i, 2^(i+1)).
+   63 buckets cover any positive OCaml int, so nanosecond timings and byte
+   sizes share the representation. *)
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type span_stat = {
+  s_name : string;
+  mutable s_count : int;
+  mutable s_total_ns : int; (* inclusive of nested spans *)
+  mutable s_self_ns : int; (* exclusive: total minus nested span time *)
+  s_hist : histogram; (* distribution of inclusive durations *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Span of span_stat
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let register name v =
+  match Hashtbl.find_opt registry name with
+  | Some existing ->
+    (* same name and kind -> share the instrument (modules may re-request) *)
+    (match (existing, v) with
+    | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ | Span _, Span _ ->
+      existing
+    | _ -> invalid_arg (Printf.sprintf "Obs: %S already registered with another kind" name))
+  | None ->
+    Hashtbl.replace registry name v;
+    v
+
+let counter name =
+  match register name (Counter { c_name = name; count = 0 }) with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge name =
+  match register name (Gauge { g_name = name; value = 0.0; g_set = false }) with
+  | Gauge g -> g
+  | _ -> assert false
+
+let fresh_hist name =
+  { h_name = name; h_buckets = Array.make 63 0; h_count = 0; h_sum = 0.0;
+    h_min = infinity; h_max = neg_infinity }
+
+let histogram name =
+  match register name (Histogram (fresh_hist name)) with
+  | Histogram h -> h
+  | _ -> assert false
+
+let span_stat name =
+  match
+    register name
+      (Span { s_name = name; s_count = 0; s_total_ns = 0; s_self_ns = 0; s_hist = fresh_hist name })
+  with
+  | Span s -> s
+  | _ -> assert false
+
+(* ---- recording ---- *)
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+let count c = c.count
+
+let set g v =
+  if !enabled then begin
+    g.value <- v;
+    g.g_set <- true
+  end
+
+(* Keep the running maximum (e.g. a high-water mark like journal depth). *)
+let set_max g v =
+  if !enabled && ((not g.g_set) || v > g.value) then begin
+    g.value <- v;
+    g.g_set <- true
+  end
+
+let bucket_of v = if v < 2.0 then 0 else min 62 (int_of_float (Float.log2 v))
+
+let observe_unchecked h v =
+  h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let observe h v = if !enabled then observe_unchecked h (max 0.0 v)
+let observe_int h v = observe h (float_of_int v)
+
+(* ---- spans ---- *)
+
+(* The open-span stack lets a span subtract the time its nested spans
+   consumed, giving each label both inclusive and self time. *)
+type frame = { mutable child_ns : int }
+
+let stack : frame list ref = ref []
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let fr = { child_ns = 0 } in
+    stack := fr :: !stack;
+    let t0 = now_ns () in
+    let finish () =
+      let dt = Int64.to_int (Int64.sub (now_ns ()) t0) in
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      (match !stack with parent :: _ -> parent.child_ns <- parent.child_ns + dt | [] -> ());
+      let st = span_stat name in
+      st.s_count <- st.s_count + 1;
+      st.s_total_ns <- st.s_total_ns + dt;
+      st.s_self_ns <- st.s_self_ns + (dt - fr.child_ns);
+      observe_unchecked st.s_hist (float_of_int (max 0 dt))
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ---- registry maintenance ---- *)
+
+(* Zero every instrument but keep the registrations (call sites hold direct
+   references to their instruments). *)
+let reset () =
+  stack := [];
+  Hashtbl.iter
+    (fun _ v ->
+      match v with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+        g.value <- 0.0;
+        g.g_set <- false
+      | Histogram h ->
+        Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity
+      | Span s ->
+        s.s_count <- 0;
+        s.s_total_ns <- 0;
+        s.s_self_ns <- 0;
+        Array.fill s.s_hist.h_buckets 0 (Array.length s.s_hist.h_buckets) 0;
+        s.s_hist.h_count <- 0;
+        s.s_hist.h_sum <- 0.0;
+        s.s_hist.h_min <- infinity;
+        s.s_hist.h_max <- neg_infinity)
+    registry
+
+let sorted_instruments () =
+  let all = Hashtbl.fold (fun _ v acc -> v :: acc) registry [] in
+  let name = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+    | Span s -> s.s_name
+  in
+  List.sort (fun a b -> compare (name a) (name b)) all
+
+(* ---- JSON serialization (hand-rolled; no json dependency) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let hist_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let hist_json h =
+  let buckets = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        buckets := Printf.sprintf "[%.0f,%d]" (if i = 0 then 0.0 else Float.pow 2.0 (float_of_int i)) c :: !buckets)
+    h.h_buckets;
+  Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\"buckets\":[%s]}"
+    h.h_count (json_float h.h_sum)
+    (json_float (if h.h_count = 0 then 0.0 else h.h_min))
+    (json_float (if h.h_count = 0 then 0.0 else h.h_max))
+    (json_float (hist_mean h))
+    (String.concat "," (List.rev !buckets))
+
+let to_json () =
+  let field kind body = Printf.sprintf "\"%s\":{%s}" kind (String.concat "," body) in
+  let cs = ref [] and gs = ref [] and hs = ref [] and ss = ref [] in
+  List.iter
+    (fun v ->
+      match v with
+      | Counter c -> cs := Printf.sprintf "\"%s\":%d" (json_escape c.c_name) c.count :: !cs
+      | Gauge g -> gs := Printf.sprintf "\"%s\":%s" (json_escape g.g_name) (json_float g.value) :: !gs
+      | Histogram h -> hs := Printf.sprintf "\"%s\":%s" (json_escape h.h_name) (hist_json h) :: !hs
+      | Span s ->
+        ss :=
+          Printf.sprintf
+            "\"%s\":{\"count\":%d,\"total_ns\":%d,\"self_ns\":%d,\"mean_ns\":%s,\"hist\":%s}"
+            (json_escape s.s_name) s.s_count s.s_total_ns s.s_self_ns
+            (json_float (if s.s_count = 0 then 0.0 else float_of_int s.s_total_ns /. float_of_int s.s_count))
+            (hist_json s.s_hist)
+          :: !ss)
+    (sorted_instruments ());
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       [ field "counters" (List.rev !cs); field "gauges" (List.rev !gs);
+         field "histograms" (List.rev !hs); field "spans" (List.rev !ss) ])
+
+(* ---- aligned text table ---- *)
+
+let to_table () =
+  let rows =
+    List.map
+      (fun v ->
+        match v with
+        | Counter c -> (c.c_name, "counter", Printf.sprintf "%d" c.count)
+        | Gauge g -> (g.g_name, "gauge", Printf.sprintf "%g" g.value)
+        | Histogram h ->
+          ( h.h_name,
+            "hist",
+            if h.h_count = 0 then "empty"
+            else
+              Printf.sprintf "n=%d mean=%.1f min=%.0f max=%.0f" h.h_count (hist_mean h) h.h_min
+                h.h_max )
+        | Span s ->
+          ( s.s_name,
+            "span",
+            if s.s_count = 0 then "empty"
+            else
+              Printf.sprintf "n=%d total=%.3fms self=%.3fms mean=%.1fus" s.s_count
+                (float_of_int s.s_total_ns /. 1e6)
+                (float_of_int s.s_self_ns /. 1e6)
+                (float_of_int s.s_total_ns /. float_of_int s.s_count /. 1e3) ))
+      (sorted_instruments ())
+  in
+  let w =
+    List.fold_left (fun acc (n, _, _) -> max acc (String.length n)) (String.length "instrument") rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%-*s %-7s %s\n" w "instrument" "kind" "value");
+  Buffer.add_string buf (String.make (w + 20) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (n, k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %-7s %s\n" w n k v))
+    rows;
+  Buffer.contents buf

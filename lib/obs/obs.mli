@@ -1,0 +1,71 @@
+(** Process-wide observability registry: named counters, gauges, log2-scale
+    histograms and nesting span timers, with JSON and text-table rendering.
+
+    Everything is gated on {!enabled} (off by default).  When disabled,
+    recording costs one boolean test and spans run their thunk untimed, so
+    instruments can live permanently on the critical paths measured by the
+    paper's evaluation (§5) without perturbing them.
+
+    Instruments are created (or re-fetched) by name; call sites keep the
+    returned handle and bump it directly — a counter update is a plain
+    [int] store, never a hashtable lookup. *)
+
+val enabled : bool ref
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int64
+(** The monotonic clock the spans use (CLOCK_MONOTONIC, nanoseconds). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find or create the counter registered under this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val count : counter -> int
+(** Current value (readable even while disabled). *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the running maximum — for high-water marks (e.g. journal depth). *)
+
+(** {1 Histograms}
+
+    Log2-bucketed: bucket [i] counts samples in [2{^i}, 2{^i+1}), so
+    nanosecond latencies and byte sizes share one cheap representation. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val observe_int : histogram -> int -> unit
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span label f] times [f] and folds the duration into [label]'s
+    aggregate: call count, total (inclusive) time, self time (minus nested
+    spans) and a duration histogram.  Nesting is tracked through a span
+    stack; exceptions propagate after the span is closed. *)
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every instrument, keeping registrations (handles stay valid). *)
+
+val to_json : unit -> string
+(** The whole registry as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..},"spans":{..}}]. *)
+
+val to_table : unit -> string
+(** The registry as an aligned, name-sorted text table. *)

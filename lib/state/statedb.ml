@@ -68,6 +68,14 @@ type t = {
 
 let backend t = t.backend
 
+(* process-wide instruments (per-instance [hits]/[misses] stay for the
+   existing [cache_stats] API) *)
+let obs_hits = Obs.counter "statedb.cache.hits"
+let obs_misses = Obs.counter "statedb.cache.misses"
+let obs_journal_depth = Obs.gauge "statedb.journal.max_depth"
+let obs_commits = Obs.counter "statedb.commits"
+let obs_warm = Obs.counter "statedb.warm.touches"
+
 let create bk ~root =
   {
     backend = bk;
@@ -90,7 +98,8 @@ let touch t what = if t.tracking then t.touch_log <- what :: t.touch_log
 
 let journal_push t e =
   t.journal <- e :: t.journal;
-  t.jlen <- t.jlen + 1
+  t.jlen <- t.jlen + 1;
+  Obs.set_max obs_journal_depth (float_of_int t.jlen)
 
 (* ---- account encoding in the accounts trie ---- *)
 
@@ -128,9 +137,11 @@ let get_acct t addr =
   match Address.Tbl.find_opt t.cache addr with
   | Some binding ->
     t.hits <- t.hits + 1;
+    Obs.incr obs_hits;
     binding
   | None ->
     t.misses <- t.misses + 1;
+    Obs.incr obs_misses;
     touch t (T_account addr);
     let binding =
       match Trie.get t.base (account_trie_key addr) with
@@ -210,9 +221,11 @@ let get_storage t addr slot =
     match Umap.find_opt a.slots slot with
     | Some v ->
       t.hits <- t.hits + 1;
+      Obs.incr obs_hits;
       v
     | None ->
       t.misses <- t.misses + 1;
+      Obs.incr obs_misses;
       let v = storage_read_committed t a slot in
       Umap.replace a.slots slot v;
       v)
@@ -322,6 +335,8 @@ let commit_acct t a =
   a.dirty_acct <- false
 
 let commit t =
+  Obs.incr obs_commits;
+  Obs.span "statedb.commit" @@ fun () ->
   let bindings = Address.Tbl.fold (fun addr b acc -> (addr, b) :: acc) t.cache [] in
   let bindings = List.sort (fun (a, _) (b, _) -> Address.compare a b) bindings in
   List.iter
@@ -344,6 +359,7 @@ let commit t =
 let warm t touch_list =
   let was = t.tracking in
   t.tracking <- false;
+  Obs.add obs_warm (List.length touch_list);
   List.iter
     (fun tc ->
       match tc with

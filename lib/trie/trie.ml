@@ -5,6 +5,11 @@ module Db = struct
     mutable writes : int;
   }
 
+  (* process-wide totals across every Db instance (the per-instance counters
+     above reset per experiment) *)
+  let obs_reads = Obs.counter "trie.node_reads"
+  let obs_writes = Obs.counter "trie.node_writes"
+
   let create () = { store = Hashtbl.create 1024; reads = 0; writes = 0 }
   let node_reads t = t.reads
   let node_writes t = t.writes
@@ -19,12 +24,14 @@ module Db = struct
     let h = Khash.Keccak.digest encoded in
     if not (Hashtbl.mem t.store h) then begin
       Hashtbl.replace t.store h encoded;
-      t.writes <- t.writes + 1
+      t.writes <- t.writes + 1;
+      Obs.incr obs_writes
     end;
     h
 
   let get t h =
     t.reads <- t.reads + 1;
+    Obs.incr obs_reads;
     match Hashtbl.find_opt t.store h with
     | Some enc -> enc
     | None -> invalid_arg "Trie.Db: missing node (corrupted store or bad root)"

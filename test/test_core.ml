@@ -273,4 +273,93 @@ let node_tests =
           (abs_float (s.pct_constraint +. s.pct_fastpath -. s.pct_ap) < 0.01))
   ]
 
-let suite = predictor_tests @ perfect_tests @ node_tests
+(* ---- metrics regressions ---- *)
+
+(* A hand-built replay result with one transaction executed both on the
+   canonical chain and again on a fork branch: §5.5 statistics must count
+   the canonical execution only. *)
+let metrics_tests =
+  let txr ?(canonical = true) ~hash ~executed ~skipped ~paths () : Core.Node.tx_record =
+    {
+      hash;
+      kind = None;
+      gas_used = 21_000;
+      heard = true;
+      outcome = Core.Node.O_imperfect;
+      exec_ns = 1_000;
+      instrs_executed = executed;
+      instrs_skipped = skipped;
+      ap_paths = paths;
+      ap_futures = 1;
+      ap_contexts = 1;
+      ap_shortcuts = 2;
+      block_number = 1L;
+      canonical;
+    }
+  in
+  let result txs : Core.Node.result =
+    {
+      policy = Core.Node.Forerunner;
+      txs;
+      blocks = [];
+      spec_total_ns = 0;
+      spec_base_exec_ns = 0;
+      spec_contexts = 0;
+      spec_build_errors = 0;
+      reorgs = 0;
+      fork_blocks = 1;
+      synth = Core.Speculator.empty_acc ();
+    }
+  in
+  [ t "ap_shape counts canonical executions only" (fun () ->
+        let run =
+          result
+            [ txr ~hash:"aa" ~executed:50 ~skipped:50 ~paths:1 ();
+              (* the same traffic re-executed on a fork branch, with a very
+                 different shape: must not influence the statistics *)
+              txr ~canonical:false ~hash:"aa" ~executed:0 ~skipped:100 ~paths:2 ();
+              txr ~canonical:false ~hash:"bb" ~executed:0 ~skipped:100 ~paths:2 () ]
+        in
+        let s = Core.Metrics.ap_shape run in
+        Alcotest.(check (float 0.001)) "skip%% from the canonical tx alone" 50.0 s.skip_pct;
+        Alcotest.(check (float 0.001)) "single-path share" 100.0 s.paths_1;
+        Alcotest.(check (float 0.001)) "no two-path txs" 0.0 s.paths_2;
+        Alcotest.(check (float 0.001)) "shortcut average over canonical heard" 2.0
+          s.avg_shortcuts);
+    t "ap_shape on a forked replay stays within bounds" (fun () ->
+        let params =
+          { Netsim.Sim.default_params with
+            duration = 200.0; tx_rate = 4.0; seed = 99; p_fork = 0.5; n_users = 60 }
+        in
+        let record = Netsim.Sim.run ~params () in
+        let r = Core.Node.replay ~policy:Core.Node.Forerunner record in
+        Alcotest.(check bool) "record has fork blocks" true (r.fork_blocks > 0);
+        let s = Core.Metrics.ap_shape r in
+        Alcotest.(check bool) "skip%% within [0,100]" true
+          (s.skip_pct >= 0.0 && s.skip_pct <= 100.0);
+        let shares = s.paths_1 +. s.paths_2 +. s.paths_3 +. s.paths_more in
+        Alcotest.(check bool) "path shares sum to ~100" true
+          (shares > 99.0 && shares < 101.0));
+    t "heard_delay_rcdf is monotone and matches a linear scan" (fun () ->
+        let record = Lazy.force small_record in
+        let points = [ 0; 1; 2; 4; 8; 16; 32 ] in
+        let rcdf = Core.Metrics.heard_delay_rcdf record ~points in
+        let _, _, delays = Netsim.Record.heard_stats record in
+        let n = List.length delays in
+        List.iter
+          (fun (x, p) ->
+            (* reference: brute-force count of delays above the threshold *)
+            let above =
+              List.length (List.filter (fun d -> d > float_of_int x) delays)
+            in
+            let expect = 100.0 *. float_of_int above /. float_of_int (max 1 n) in
+            Alcotest.(check (float 0.0001)) (Printf.sprintf "point %d" x) expect p)
+          rcdf;
+        let rec monotone = function
+          | (_, a) :: ((_, b) :: _ as rest) -> a >= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "reverse CDF decreases" true (monotone rcdf))
+  ]
+
+let suite = predictor_tests @ perfect_tests @ node_tests @ metrics_tests

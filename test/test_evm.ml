@@ -229,5 +229,63 @@ let storage_log_tests =
         Alcotest.(check int) "no logs" 0 (List.length r.logs))
   ]
 
+(* Direct Memory.store_slice checks (CALLDATACOPY/CODECOPY kernel): the
+   blit+fill fast path must keep the per-byte reference semantics at every
+   edge — offsets past the source, zero length, and zero padding. *)
+let memory_slice_tests =
+  let slice ~dst ~src ~src_off ~len =
+    let m = Memory.create () in
+    (* pre-dirty the window so padding must actively write zeroes *)
+    Memory.store m 0 (String.make 96 '\xff');
+    Memory.store_slice m ~dst ~src ~src_off ~len;
+    m
+  in
+  [ t "zero length copies nothing and grows nothing" (fun () ->
+        let m = Memory.create () in
+        Memory.store_slice m ~dst:1000 ~src:"abcd" ~src_off:0 ~len:0;
+        Alcotest.(check int) "size untouched" 0 (Memory.size m));
+    t "src_off past the end zero-fills the whole range" (fun () ->
+        let m = slice ~dst:8 ~src:"abcd" ~src_off:4 ~len:8 in
+        Alcotest.(check string) "all zero" (String.make 8 '\000') (Memory.load m 8 8);
+        (* neighbours untouched *)
+        Alcotest.(check string) "prefix kept" (String.make 8 '\xff') (Memory.load m 0 8));
+    t "tail past the source is zero-padded" (fun () ->
+        let m = slice ~dst:0 ~src:"abcd" ~src_off:2 ~len:6 in
+        Alcotest.(check string) "copy then pad" "cd\000\000\000\000" (Memory.load m 0 6));
+    t "negative src_off zero-fills the prefix" (fun () ->
+        let m = slice ~dst:0 ~src:"ab" ~src_off:(-2) ~len:6 in
+        Alcotest.(check string) "pad, copy, pad" "\000\000ab\000\000" (Memory.load m 0 6));
+    t "fast path matches the per-byte reference on a parameter grid" (fun () ->
+        let src = "0123456789" in
+        let reference ~dst ~src_off ~len =
+          let m = Memory.create () in
+          Memory.store m 0 (String.make 96 '\xff');
+          if len > 0 then
+            for i = 0 to len - 1 do
+              let c =
+                if src_off + i < String.length src && src_off + i >= 0 then src.[src_off + i]
+                else '\000'
+              in
+              Memory.store_byte m (dst + i) (Char.code c)
+            done;
+          Memory.load m 0 64
+        in
+        List.iter
+          (fun src_off ->
+            List.iter
+              (fun len ->
+                List.iter
+                  (fun dst ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "src_off=%d len=%d dst=%d" src_off len dst)
+                      (reference ~dst ~src_off ~len)
+                      (let m = slice ~dst ~src ~src_off ~len in
+                       Memory.load m 0 64))
+                  [ 0; 5; 31 ])
+              [ 0; 1; 7; 10; 15 ])
+          [ -3; 0; 2; 9; 10; 20 ])
+  ]
+
 let suite =
   arithmetic_tests @ stack_memory_tests @ env_tests @ control_tests @ storage_log_tests
+  @ memory_slice_tests

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "forerunner"
     [ ("u256", Test_u256.suite);
+      ("obs", Test_obs.suite);
       ("khash", Test_khash.suite);
       ("rlp", Test_rlp.suite);
       ("trie", Test_trie.suite);

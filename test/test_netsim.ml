@@ -29,7 +29,40 @@ let heap_tests =
         done;
         match Netsim.Heap.pop h with
         | Some (_, 1) -> ()
-        | _ -> Alcotest.fail "expected min element")
+        | _ -> Alcotest.fail "expected min element");
+    t "heap survives draining to empty and reuse" (fun () ->
+        let h = Netsim.Heap.create () in
+        Alcotest.(check bool) "fresh heap empty" true (Netsim.Heap.is_empty h);
+        Alcotest.(check bool) "pop on empty" true (Netsim.Heap.pop h = None);
+        for round = 1 to 3 do
+          Netsim.Heap.push h 2.0 (round * 10);
+          Netsim.Heap.push h 1.0 round;
+          (match Netsim.Heap.pop h with
+          | Some (1.0, v) -> Alcotest.(check int) "min first" round v
+          | _ -> Alcotest.fail "expected the earlier event");
+          (match Netsim.Heap.pop h with
+          | Some (2.0, v) -> Alcotest.(check int) "then max" (round * 10) v
+          | _ -> Alcotest.fail "expected the later event");
+          Alcotest.(check bool) "drained" true (Netsim.Heap.is_empty h)
+        done);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"heap push/pop equals stable sort"
+         QCheck.(list (pair (int_range 0 15) small_nat))
+         (fun pairs ->
+           (* payloads carry the insertion index, so equal-time events must
+              come back in FIFO order (stable for equal keys) *)
+           let h = Netsim.Heap.create () in
+           List.iteri (fun i (time, v) -> Netsim.Heap.push h (float_of_int time) (i, v)) pairs;
+           let rec drain acc =
+             match Netsim.Heap.pop h with
+             | Some (time, v) -> drain ((time, v) :: acc)
+             | None -> List.rev acc
+           in
+           let expected =
+             List.mapi (fun i (time, v) -> (float_of_int time, (i, v))) pairs
+             |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+           in
+           drain [] = expected))
   ]
 
 let gen_tests =

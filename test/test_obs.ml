@@ -1,0 +1,329 @@
+(* Observability-layer tests: counter/gauge/histogram/span semantics, the
+   enabled gate, and a JSON round-trip through a minimal parser (the dump
+   must be valid JSON for external tooling, and the numbers must match the
+   instruments). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Every test runs against the process-wide registry: reset first, enable
+   for the duration, and always disable after so the other suites keep
+   running uninstrumented. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+(* ---- a minimal JSON parser (validation only; no external dependency) ---- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    String.iter (fun c -> expect c) lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' ->
+          Buffer.add_char buf '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char buf '\t';
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          Buffer.add_char buf '?';
+          go ()
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+        | None -> fail "dangling escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_arr (elems [])
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | J_obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "missing JSON member %S" name))
+  | _ -> Alcotest.fail (Printf.sprintf "not an object looking for %S" name)
+
+let num = function J_num f -> f | _ -> Alcotest.fail "expected JSON number"
+let registry_json () = parse_json (Obs.to_json ())
+
+(* ---- tests ---- *)
+
+let counter_tests =
+  [ t "counter bumps only when enabled" (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        let c = Obs.counter "test.counter.gate" in
+        Obs.incr c;
+        Obs.add c 41;
+        Alcotest.(check int) "disabled is a no-op" 0 (Obs.count c);
+        with_obs (fun () ->
+            Obs.incr c;
+            Obs.add c 41;
+            Alcotest.(check int) "enabled counts" 42 (Obs.count c)));
+    t "same name returns the same counter" (fun () ->
+        with_obs (fun () ->
+            let a = Obs.counter "test.counter.shared" in
+            let b = Obs.counter "test.counter.shared" in
+            Obs.add a 7;
+            Obs.add b 5;
+            Alcotest.(check int) "shared cell" 12 (Obs.count a)));
+    t "reset zeroes but keeps handles valid" (fun () ->
+        with_obs (fun () ->
+            let c = Obs.counter "test.counter.reset" in
+            Obs.add c 9;
+            Obs.reset ();
+            Alcotest.(check int) "zeroed" 0 (Obs.count c);
+            Obs.incr c;
+            Alcotest.(check int) "still usable" 1 (Obs.count c)));
+    t "gauge set_max keeps the high-water mark" (fun () ->
+        with_obs (fun () ->
+            let g = Obs.gauge "test.gauge.hwm" in
+            Obs.set_max g 5.0;
+            Obs.set_max g 3.0;
+            Obs.set_max g 11.0;
+            Obs.set_max g 7.0;
+            let j = registry_json () in
+            Alcotest.(check (float 0.001)) "max retained" 11.0
+              (num (member "test.gauge.hwm" (member "gauges" j)))))
+  ]
+
+let histogram_tests =
+  [ t "histogram aggregates count/sum/min/max/mean" (fun () ->
+        with_obs (fun () ->
+            let h = Obs.histogram "test.hist.basic" in
+            List.iter (Obs.observe h) [ 1.0; 3.0; 1000.0 ];
+            let j = member "test.hist.basic" (member "histograms" (registry_json ())) in
+            Alcotest.(check (float 0.001)) "count" 3.0 (num (member "count" j));
+            Alcotest.(check (float 0.001)) "sum" 1004.0 (num (member "sum" j));
+            Alcotest.(check (float 0.001)) "min" 1.0 (num (member "min" j));
+            Alcotest.(check (float 0.001)) "max" 1000.0 (num (member "max" j));
+            Alcotest.(check (float 0.01)) "mean" (1004.0 /. 3.0) (num (member "mean" j))));
+    t "histogram buckets are log2-scaled" (fun () ->
+        with_obs (fun () ->
+            let h = Obs.histogram "test.hist.log2" in
+            (* 600 and 1000 share bucket [512, 1024); 3 goes to [2, 4) *)
+            List.iter (Obs.observe h) [ 600.0; 1000.0; 3.0 ];
+            let j = member "test.hist.log2" (member "histograms" (registry_json ())) in
+            match member "buckets" j with
+            | J_arr [ J_arr [ J_num lo1; J_num c1 ]; J_arr [ J_num lo2; J_num c2 ] ] ->
+              Alcotest.(check (float 0.001)) "small bucket lower bound" 2.0 lo1;
+              Alcotest.(check (float 0.001)) "small bucket count" 1.0 c1;
+              Alcotest.(check (float 0.001)) "big bucket lower bound" 512.0 lo2;
+              Alcotest.(check (float 0.001)) "big bucket count" 2.0 c2
+            | _ -> Alcotest.fail "expected exactly two buckets"));
+    t "observing while disabled records nothing" (fun () ->
+        with_obs (fun () -> ignore (Obs.histogram "test.hist.gate"));
+        Obs.observe (Obs.histogram "test.hist.gate") 5.0;
+        with_obs (fun () ->
+            let j = member "test.hist.gate" (member "histograms" (registry_json ())) in
+            Alcotest.(check (float 0.001)) "empty" 0.0 (num (member "count" j))))
+  ]
+
+let span_tests =
+  [ t "span returns the thunk's value and aggregates per label" (fun () ->
+        with_obs (fun () ->
+            let v = Obs.span "test.span.value" (fun () -> 40 + 2) in
+            Alcotest.(check int) "value" 42 v;
+            ignore (Obs.span "test.span.value" (fun () -> 0));
+            let j = member "test.span.value" (member "spans" (registry_json ())) in
+            Alcotest.(check (float 0.001)) "two calls aggregated" 2.0 (num (member "count" j));
+            Alcotest.(check bool) "total >= 0" true (num (member "total_ns" j) >= 0.0)));
+    t "nested spans split self from total time" (fun () ->
+        with_obs (fun () ->
+            let spin () =
+              (* enough work for a measurable duration on any clock *)
+              let x = ref 0 in
+              for i = 1 to 200_000 do
+                x := !x + i
+              done;
+              ignore !x
+            in
+            Obs.span "test.span.outer" (fun () ->
+                Obs.span "test.span.inner" spin;
+                spin ());
+            let spans = member "spans" (registry_json ()) in
+            let outer = member "test.span.outer" spans in
+            let inner = member "test.span.inner" spans in
+            let o_total = num (member "total_ns" outer) in
+            let o_self = num (member "self_ns" outer) in
+            let i_total = num (member "total_ns" inner) in
+            Alcotest.(check bool) "inner within outer" true (i_total <= o_total);
+            Alcotest.(check (float 1.0)) "self = total - nested" (o_total -. i_total) o_self));
+    t "span closes on exception and keeps the stack sane" (fun () ->
+        with_obs (fun () ->
+            (try Obs.span "test.span.raise" (fun () -> failwith "boom")
+             with Failure _ -> ());
+            (* a following span must still nest correctly at top level *)
+            ignore (Obs.span "test.span.after" (fun () -> ()));
+            let spans = member "spans" (registry_json ()) in
+            Alcotest.(check (float 0.001)) "raised span recorded" 1.0
+              (num (member "count" (member "test.span.raise" spans)));
+            let after = member "test.span.after" spans in
+            Alcotest.(check (float 1.0)) "not parented under the dead span"
+              (num (member "total_ns" after))
+              (num (member "self_ns" after))));
+    t "disabled span is transparent" (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        Alcotest.(check int) "value passes through" 7 (Obs.span "test.span.off" (fun () -> 7)))
+  ]
+
+let json_tests =
+  [ t "registry dump is valid JSON with all four sections" (fun () ->
+        with_obs (fun () ->
+            Obs.incr (Obs.counter "test.json.counter");
+            Obs.set (Obs.gauge "test.json.gauge") 2.5;
+            Obs.observe (Obs.histogram "test.json.hist") 9.0;
+            ignore (Obs.span "test.json.span" (fun () -> ()));
+            let j = registry_json () in
+            Alcotest.(check (float 0.001)) "counter" 1.0
+              (num (member "test.json.counter" (member "counters" j)));
+            Alcotest.(check (float 0.001)) "gauge" 2.5
+              (num (member "test.json.gauge" (member "gauges" j)));
+            Alcotest.(check (float 0.001)) "hist count" 1.0
+              (num (member "count" (member "test.json.hist" (member "histograms" j))));
+            Alcotest.(check (float 0.001)) "span count" 1.0
+              (num (member "count" (member "test.json.span" (member "spans" j))))));
+    t "text table lists every instrument name" (fun () ->
+        with_obs (fun () ->
+            Obs.incr (Obs.counter "test.table.counter");
+            ignore (Obs.span "test.table.span" (fun () -> ()));
+            let table = Obs.to_table () in
+            let contains needle =
+              let nl = String.length needle and tl = String.length table in
+              let rec go i = i + nl <= tl && (String.sub table i nl = needle || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "counter listed" true (contains "test.table.counter");
+            Alcotest.(check bool) "span listed" true (contains "test.table.span")))
+  ]
+
+let suite = counter_tests @ histogram_tests @ span_tests @ json_tests
