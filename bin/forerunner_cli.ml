@@ -170,12 +170,74 @@ let contracts_cmd =
     (Cmd.info "contracts" ~doc:"Disassemble the bundled workload contracts.")
     Term.(const run $ const ())
 
+let fuzz_cmd =
+  let iters_arg =
+    Arg.(value & opt int 1000 & info [ "iters" ] ~docv:"N" ~doc:"Fuzzing iterations.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Counterexample corpus directory: existing entries are replayed as regression \
+             tests before fuzzing, and new shrunk counterexamples are saved there.")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Intentionally mis-compile ADD in the AP executor (test-only fault injection) \
+             to demonstrate that the differential oracle detects divergences.")
+  in
+  let run seed iters corpus mutate metrics metrics_json =
+    with_metrics ~metrics ~metrics_json @@ fun () ->
+    if mutate then Ap.Exec.miscompile_add_for_tests := true;
+    let corpus_failures, n_replayed = Fuzz.Driver.replay_corpus corpus in
+    if n_replayed > 0 then begin
+      Printf.printf "corpus: replayed %d entries, %d diverged\n%!" n_replayed
+        (List.length corpus_failures);
+      List.iter
+        (fun (f : Fuzz.Driver.corpus_failure) -> Printf.printf "  %s: %s\n" f.path f.problem)
+        corpus_failures
+    end;
+    Printf.printf "fuzzing: %d iterations, seed %d%s\n%!" iters seed
+      (if mutate then " [AP EXECUTOR MUTATED]" else "");
+    let s = Fuzz.Driver.fuzz ~corpus_dir:corpus ~seed ~iters () in
+    Printf.printf
+      "ran %d iterations: %d txs, %d build fallbacks, %d perturbed violations, %d perturbed \
+       hits\n%!"
+      s.iters_run s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits;
+    match s.finding with
+    | None ->
+      Printf.printf "no divergences: EVM, S-EVM replay and AP fast path agree.\n%!";
+      if corpus_failures <> [] then exit 1
+    | Some f ->
+      Printf.printf "DIVERGENCE at iteration %d (scenario size %d, shrunk to %d):\n%!" f.iter
+        (Fuzz.Scenario.size f.original) (Fuzz.Scenario.size f.scenario);
+      List.iter (fun d -> Fmt.pr "  %a@." Fuzz.Oracle.pp_divergence d) f.divergences;
+      (match f.file with
+      | Some file -> Printf.printf "shrunk counterexample saved to %s\n%!" file
+      | None -> ());
+      print_string (Fuzz.Scenario.to_string f.scenario);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: random contracts and tx batches executed by the \
+          EVM interpreter, S-EVM trace replay, and the AP fast path must agree on receipts, \
+          state roots and touched accounts.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
+      $ metrics_json_arg)
+
 let main =
   (* no subcommand defaults to [run], so
      [forerunner --metrics-json out.json] measures the default workload *)
   Cmd.group ~default:run_term
     (Cmd.info "forerunner" ~version:"1.0.0"
        ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
-    [ run_cmd; compare_cmd; contracts_cmd ]
+    [ run_cmd; compare_cmd; contracts_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

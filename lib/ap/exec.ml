@@ -25,6 +25,10 @@ let obs_instrs_skipped = Obs.counter "ap.instrs_skipped"
 
 let value_of regs = function I.Const v -> v | I.Reg r -> regs.(r)
 
+(* Fault injection for the conformance fuzzer's mutation smoke test: when
+   set, every C_add computes a+b+1.  Must never be set outside tests. *)
+let miscompile_add_for_tests = ref false
+
 let eval_read st (benv : Evm.Env.block_env) regs = function
   | I.R_timestamp -> U256.of_int64 benv.timestamp
   | I.R_number -> U256.of_int64 benv.number
@@ -51,7 +55,9 @@ let eval_read st (benv : Evm.Env.block_env) regs = function
 let exec_instr st benv regs stats ins =
   stats.executed <- stats.executed + 1;
   match ins with
-  | I.Compute (r, op, args) -> regs.(r) <- I.eval_compute op (Array.map (value_of regs) args)
+  | I.Compute (r, op, args) ->
+    let v = I.eval_compute op (Array.map (value_of regs) args) in
+    regs.(r) <- (if !miscompile_add_for_tests && op = I.C_add then U256.add v U256.one else v)
   | I.Keccak (r, pieces) ->
     regs.(r) <- Khash.Keccak.digest_u256 (I.bytes_of_pieces regs pieces)
   | I.Sha256 (r, pieces) ->

@@ -16,6 +16,12 @@ type stats = {
 
 type outcome = Hit of Evm.Processor.receipt * stats | Violation
 
+val miscompile_add_for_tests : bool ref
+(** Test-only fault injection: when set, every [C_add] the executor runs
+    returns [a + b + 1].  The conformance fuzzer's mutation smoke test
+    flips this to prove its oracle detects a miscompiled AP; production
+    code must leave it false. *)
+
 val eval_read :
   State.Statedb.t -> Evm.Env.block_env -> U256.t array -> Sevm.Ir.read_src -> U256.t
 (** Evaluate one context read against the actual state and block

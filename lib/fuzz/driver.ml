@@ -1,0 +1,133 @@
+(* The fuzzing loop: per-iteration deterministic RNG -> generate -> oracle;
+   on the first divergence, shrink to a minimal scenario and (optionally)
+   save it to the corpus directory.  Corpus entries double as regression
+   tests: [replay_corpus] re-runs every saved counterexample through the
+   oracle and reports any that still diverge. *)
+
+type finding = {
+  iter : int;
+  original : Scenario.t;
+  scenario : Scenario.t;  (** shrunk *)
+  divergences : Oracle.divergence list;  (** of the shrunk scenario *)
+  file : string option;
+}
+
+type summary = {
+  iters_run : int;
+  finding : finding option;
+  total_txs : int;
+  build_fallbacks : int;
+  perturbed_hits : int;
+  perturbed_violations : int;
+}
+
+let obs_iters = Obs.counter "fuzz.iterations"
+let obs_findings = Obs.counter "fuzz.findings"
+let obs_shrink_probes = Obs.counter "fuzz.shrink_probes"
+
+(* Every iteration reseeds from (seed, iteration), so iteration [i] of
+   [--seed n] is reproducible in isolation no matter what ran before. *)
+let iteration_rng ~seed iter = Random.State.make [| 0xF0E2; seed; iter |]
+
+let generate ~seed iter = Generate.scenario (iteration_rng ~seed iter)
+
+let diverges s = (Oracle.run s).divergences <> []
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
+let save_counterexample ~dir ~seed ~iter s =
+  mkdir_p dir;
+  let file = Filename.concat dir (Printf.sprintf "cx-seed%d-iter%d.sexp" seed iter) in
+  let oc = open_out file in
+  output_string oc (Scenario.to_string s);
+  close_out oc;
+  file
+
+let fuzz ?corpus_dir ?(shrink = true) ~seed ~iters () : summary =
+  let total_txs = ref 0 and fallbacks = ref 0 and p_hits = ref 0 and p_viols = ref 0 in
+  let finding = ref None in
+  let i = ref 0 in
+  while !finding = None && !i < iters do
+    Obs.incr obs_iters;
+    let s = generate ~seed !i in
+    let r = Oracle.run s in
+    total_txs := !total_txs + r.txs;
+    fallbacks := !fallbacks + r.build_fallbacks;
+    p_hits := !p_hits + r.perturbed_hits;
+    p_viols := !p_viols + r.perturbed_violations;
+    if r.divergences <> [] then begin
+      Obs.incr obs_findings;
+      let shrunk =
+        if shrink then
+          Shrink.minimize
+            ~diverges:(fun c ->
+              Obs.incr obs_shrink_probes;
+              diverges c)
+            s
+        else s
+      in
+      let divs = (Oracle.run shrunk).divergences in
+      (* shrinking preserves *some* divergence by construction, but guard
+         against a flaky predicate: fall back to the original if the
+         minimal form stopped reproducing *)
+      let shrunk, divs = if divs = [] then (s, r.divergences) else (shrunk, divs) in
+      let file =
+        Option.map (fun dir -> save_counterexample ~dir ~seed ~iter:!i shrunk) corpus_dir
+      in
+      finding :=
+        Some { iter = !i; original = s; scenario = shrunk; divergences = divs; file }
+    end;
+    incr i
+  done;
+  {
+    iters_run = !i;
+    finding = !finding;
+    total_txs = !total_txs;
+    build_fallbacks = !fallbacks;
+    perturbed_hits = !p_hits;
+    perturbed_violations = !p_viols;
+  }
+
+(* ---- corpus replay ---- *)
+
+type corpus_failure = { path : string; problem : string }
+
+let replay_file path : corpus_failure option =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Scenario.of_string s
+  with
+  | exception exn -> Some { path; problem = "read error: " ^ Printexc.to_string exn }
+  | Error m -> Some { path; problem = "parse error: " ^ m }
+  | Ok scenario -> (
+    match (Oracle.run scenario).divergences with
+    | [] -> None
+    | ds ->
+      Some
+        { path;
+          problem =
+            Fmt.str "%d divergence(s): %a" (List.length ds)
+              Fmt.(list ~sep:semi Oracle.pp_divergence)
+              ds })
+
+let replay_corpus dir : corpus_failure list * int =
+  if not (Sys.file_exists dir) then ([], 0)
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    in
+    (List.filter_map replay_file files, List.length files)
+  end

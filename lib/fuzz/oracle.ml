@@ -1,0 +1,286 @@
+(* The three-engine differential oracle.  One scenario is executed:
+
+     1. by the reference EVM interpreter (Evm.Processor.execute_tx),
+     2. by S-EVM synthesis + linear path replay (Sevm.Builder + Sevm.Replay),
+     3. by AP compile + fast-path execution (Ap.Program + Ap.Exec), in a
+        satisfied context both with and without memoization shortcuts, and
+        in a deliberately perturbed context (one constrained storage slot
+        changed) where a Hit must still match the EVM on the perturbed
+        state and a Violation must leave the state untouched for fallback.
+
+   Every receipt field (status, gas, output, logs), every per-transaction
+   committed state root, and the per-transaction touched-account set must
+   agree with engine 1 — this is the paper's CD-Equiv claim, checked
+   empirically.  Builder "Unsupported" results are not divergences: the
+   real system falls back to the EVM there, and so do we (counted). *)
+
+open State
+
+type divergence = { tx : int; engine : string; field : string; detail : string }
+
+type report = {
+  divergences : divergence list;
+  txs : int;
+  build_fallbacks : int;
+  perturbed_hits : int;
+  perturbed_violations : int;
+}
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "tx %d [%s] %s: %s" d.tx d.engine d.field d.detail
+
+let obs_txs = Obs.counter "fuzz.txs"
+let obs_divergences = Obs.counter "fuzz.divergences"
+let obs_fallbacks = Obs.counter "fuzz.build_fallbacks"
+let obs_perturbed_hits = Obs.counter "fuzz.perturbed_hits"
+let obs_perturbed_violations = Obs.counter "fuzz.perturbed_violations"
+
+(* ---- receipt / state comparison ---- *)
+
+let receipt_divs ~tx ~engine (ref_ : Evm.Processor.receipt) (got : Evm.Processor.receipt) =
+  let d field detail = { tx; engine; field; detail } in
+  let acc = ref [] in
+  if not (Evm.Processor.status_equal ref_.status got.status) then
+    acc :=
+      d "status"
+        (Fmt.str "%a vs %a" Evm.Processor.pp_status ref_.status Evm.Processor.pp_status
+           got.status)
+      :: !acc;
+  if ref_.gas_used <> got.gas_used then
+    acc := d "gas_used" (Fmt.str "%d vs %d" ref_.gas_used got.gas_used) :: !acc;
+  if not (String.equal ref_.output got.output) then
+    acc :=
+      d "output"
+        (Fmt.str "%s vs %s" (Sexp.hex_of_string ref_.output) (Sexp.hex_of_string got.output))
+      :: !acc;
+  let nl = List.length ref_.logs and ml = List.length got.logs in
+  if nl <> ml || not (List.for_all2 Evm.Env.log_equal ref_.logs got.logs) then
+    acc :=
+      d "logs"
+        (Fmt.str "%a vs %a" (Fmt.list Evm.Env.pp_log) ref_.logs (Fmt.list Evm.Env.pp_log)
+           got.logs)
+      :: !acc;
+  List.rev !acc
+
+(* The closed address universe a scenario can touch. *)
+let universe (s : Scenario.t) =
+  List.init Scenario.n_senders Scenario.sender_addr
+  @ List.mapi (fun i _ -> Scenario.contract_addr i) s.contracts
+  @ [ Scenario.benv.coinbase ]
+
+let fingerprint st addr =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (U256.to_hex (Statedb.get_balance st addr));
+  Buffer.add_string buf (Printf.sprintf "/n%d/c%d" (Statedb.get_nonce st addr)
+                           (String.length (Statedb.get_code st addr)));
+  for slot = 0 to Scenario.n_slots - 1 do
+    let v = Statedb.get_storage st addr (U256.of_int slot) in
+    if not (U256.is_zero v) then
+      Buffer.add_string buf (Printf.sprintf "/s%d=%s" slot (U256.to_hex v))
+  done;
+  Buffer.contents buf
+
+(* Accounts whose fingerprint changed between two committed roots, with
+   their post-state fingerprints — the oracle's "touched-account set". *)
+let touched_set s bk ~pre_root ~post_root =
+  let stp = Statedb.create bk ~root:pre_root in
+  let stq = Statedb.create bk ~root:post_root in
+  List.filter_map
+    (fun a ->
+      let p = fingerprint stp a and q = fingerprint stq a in
+      if String.equal p q then None else Some (Address.to_hex a ^ ":" ^ q))
+    (universe s)
+
+let root_divs s bk ~tx ~engine ~pre_root ~ref_root ~got_root =
+  if String.equal ref_root got_root then []
+  else begin
+    let ref_t = touched_set s bk ~pre_root ~post_root:ref_root in
+    let got_t = touched_set s bk ~pre_root ~post_root:got_root in
+    let d field detail = { tx; engine; field; detail } in
+    if ref_t <> got_t then
+      [ d "touched_accounts"
+          (Fmt.str "{%a} vs {%a}"
+             Fmt.(list ~sep:comma string) ref_t
+             Fmt.(list ~sep:comma string) got_t) ]
+    else [ d "state_root" "roots differ but account fingerprints agree (trie-level skew)" ]
+  end
+
+(* ---- building one path (the speculator's trace-and-revert idiom) ---- *)
+
+let build_path st benv tx =
+  let snap = Statedb.snapshot st in
+  let sink, get = Evm.Trace.collector () in
+  let receipt = Evm.Processor.execute_tx ~trace:sink st benv tx in
+  Statedb.revert st snap;
+  Sevm.Builder.build tx benv (get ()) receipt st
+
+(* Storage slot to perturb for the violated-context run: prefer one the
+   constraint section depends on (flipping it must trip a guard); fall
+   back to any storage read (fast-path reads evaluate live at AP-exec
+   time, so a Hit must still match the EVM on the perturbed state). *)
+let constrained_slot (p : Sevm.Ir.path) =
+  let found = ref None in
+  (try
+     for i = 0 to Array.length p.instrs - 1 do
+       match p.instrs.(i) with
+       | Sevm.Ir.Read (_, Sevm.Ir.R_storage (addr, key)) ->
+         if i < p.first_fast then begin
+           found := Some (addr, key);
+           raise Exit
+         end
+         else if !found = None then found := Some (addr, key)
+       | _ -> ()
+     done
+   with Exit -> ());
+  !found
+
+(* ---- the oracle ---- *)
+
+let run (s : Scenario.t) : report =
+  let bk = Statedb.Backend.create () in
+  let root0 = Scenario.install s bk in
+  let benv = Scenario.benv in
+  let txs = Scenario.txs s in
+  let divs = ref [] in
+  let fallbacks = ref 0 and p_hits = ref 0 and p_viols = ref 0 in
+  let add ds =
+    Obs.add obs_divergences (List.length ds);
+    divs := !divs @ ds
+  in
+  let guarded ~tx ~engine f =
+    try f ()
+    with exn ->
+      add [ { tx; engine; field = "exception"; detail = Printexc.to_string exn } ]
+  in
+
+  (* engine 1: reference interpreter, committing after every tx *)
+  let st1 = Statedb.create bk ~root:root0 in
+  let reference =
+    List.map
+      (fun tx ->
+        let r = Evm.Processor.execute_tx st1 benv tx in
+        (r, Statedb.commit st1))
+      txs
+  in
+
+  (* engine 2: S-EVM build + linear replay *)
+  let st2 = Statedb.create bk ~root:root0 in
+  let pre2 = ref root0 in
+  List.iteri
+    (fun i tx ->
+      Obs.incr obs_txs;
+      let ref_r, ref_root = List.nth reference i in
+      guarded ~tx:i ~engine:"sevm-replay" (fun () ->
+          (match build_path st2 benv tx with
+          | Error _ ->
+            incr fallbacks;
+            Obs.incr obs_fallbacks;
+            add (receipt_divs ~tx:i ~engine:"sevm-fallback" ref_r
+                   (Evm.Processor.execute_tx st2 benv tx))
+          | Ok path -> (
+            match Sevm.Replay.run path st2 benv tx with
+            | Sevm.Replay.Replayed r -> add (receipt_divs ~tx:i ~engine:"sevm-replay" ref_r r)
+            | Sevm.Replay.Violated v ->
+              (* the path was synthesized against this very state — every
+                 guard must hold *)
+              add
+                [ { tx = i; engine = "sevm-replay"; field = "spurious_violation";
+                    detail = Fmt.str "guard %d: %s" v.index v.detail } ];
+              ignore (Evm.Processor.execute_tx st2 benv tx)));
+          let root2 = Statedb.commit st2 in
+          add
+            (root_divs s bk ~tx:i ~engine:"sevm-replay" ~pre_root:!pre2 ~ref_root
+               ~got_root:root2);
+          pre2 := root2))
+    txs;
+
+  (* engine 3: AP compile + fast-path execution *)
+  let st3 = Statedb.create bk ~root:root0 in
+  let pre3 = ref root0 in
+  List.iteri
+    (fun i tx ->
+      let ref_r, ref_root = List.nth reference i in
+      guarded ~tx:i ~engine:"ap" (fun () ->
+          (match build_path st3 benv tx with
+          | Error _ ->
+            (* same fallback as engine 2; already counted there *)
+            add (receipt_divs ~tx:i ~engine:"ap-fallback" ref_r
+                   (Evm.Processor.execute_tx st3 benv tx))
+          | Ok path ->
+            let ap = Ap.Program.create () in
+            Ap.Program.add_path ap path;
+
+            (* (a) perturbed context: flip one constrained slot *)
+            (match constrained_slot path with
+            | None -> ()
+            | Some (addr, key) ->
+              let perturbed () =
+                let st = Statedb.create bk ~root:!pre3 in
+                Statedb.set_storage st addr key
+                  (U256.add (Statedb.get_storage st addr key) U256.one);
+                st
+              in
+              let st_ap = perturbed () in
+              (match Ap.Exec.execute ap st_ap benv tx with
+              | Ap.Exec.Violation ->
+                (* correct report; fallback on the untouched perturbed state
+                   must equal a fresh EVM run (nothing was written) *)
+                incr p_viols;
+                Obs.incr obs_perturbed_violations;
+                let fb = Evm.Processor.execute_tx st_ap benv tx in
+                let st_ref = perturbed () in
+                let ref_p = Evm.Processor.execute_tx st_ref benv tx in
+                add (receipt_divs ~tx:i ~engine:"ap-perturbed-fallback" ref_p fb);
+                if not (String.equal (Statedb.commit st_ap) (Statedb.commit st_ref)) then
+                  add
+                    [ { tx = i; engine = "ap-perturbed-fallback"; field = "state_root";
+                        detail = "fallback-after-violation state differs from plain EVM" } ]
+              | Ap.Exec.Hit (r_ap, _) ->
+                (* the guard set did not cover the slot we flipped (it was
+                   not constraint-relevant); a Hit is only sound if it
+                   still matches the EVM on the perturbed state *)
+                incr p_hits;
+                Obs.incr obs_perturbed_hits;
+                let st_ref = perturbed () in
+                let ref_p = Evm.Processor.execute_tx st_ref benv tx in
+                add (receipt_divs ~tx:i ~engine:"ap-perturbed-hit" ref_p r_ap);
+                if not (String.equal (Statedb.commit st_ap) (Statedb.commit st_ref)) then
+                  add
+                    [ { tx = i; engine = "ap-perturbed-hit"; field = "state_root";
+                        detail = "perturbed fast-path state differs from plain EVM" } ]));
+
+            (* (b) satisfied context, memoization disabled: every
+               instruction actually executes *)
+            (let st_nm = Statedb.create bk ~root:!pre3 in
+             match Ap.Exec.execute ~use_memos:false ap st_nm benv tx with
+             | Ap.Exec.Violation ->
+               add
+                 [ { tx = i; engine = "ap-nomemo"; field = "spurious_violation";
+                     detail = "violation in the very context the path was built from" } ]
+             | Ap.Exec.Hit (r, _) ->
+               add (receipt_divs ~tx:i ~engine:"ap-nomemo" ref_r r);
+               add
+                 (root_divs s bk ~tx:i ~engine:"ap-nomemo" ~pre_root:!pre3 ~ref_root
+                    ~got_root:(Statedb.commit st_nm)));
+
+            (* (c) satisfied context with memoization, carrying state
+               forward tx by tx *)
+            (match Ap.Exec.execute ap st3 benv tx with
+            | Ap.Exec.Violation ->
+              add
+                [ { tx = i; engine = "ap"; field = "spurious_violation";
+                    detail = "violation in the very context the path was built from" } ];
+              ignore (Evm.Processor.execute_tx st3 benv tx)
+            | Ap.Exec.Hit (r, _) -> add (receipt_divs ~tx:i ~engine:"ap" ref_r r)));
+          let root3 = Statedb.commit st3 in
+          add (root_divs s bk ~tx:i ~engine:"ap" ~pre_root:!pre3 ~ref_root ~got_root:root3);
+          pre3 := root3))
+    txs;
+
+  {
+    divergences = !divs;
+    txs = List.length txs;
+    build_fallbacks = !fallbacks;
+    perturbed_hits = !p_hits;
+    perturbed_violations = !p_viols;
+  }

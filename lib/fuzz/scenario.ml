@@ -1,0 +1,366 @@
+(* The fuzzer's world model: a scenario is a set of randomly generated
+   contracts (compiled to real EVM bytecode through Evm.Asm), a storage /
+   balance pre-state, and a batch of transactions.  Contracts are built
+   from stack-neutral "gadgets" over eight 32-byte memory scratch words
+   (byte offsets 0, 32, ..., 224) so that any gadget sequence assembles
+   into a valid program; every contract ends by returning scratch words 0
+   and 1.
+
+   The same type doubles as the corpus format: [to_sexp]/[of_sexp] give a
+   stable on-disk encoding for shrunk counterexamples. *)
+
+open State
+
+let n_scratch = 8
+let n_senders = 3
+let max_contracts = 4
+let n_slots = 8
+
+let sender_addr i = Address.of_int (0xAAA00 + (i mod n_senders))
+let contract_addr i = Address.of_int (0xCC000 + i)
+let gas_price = U256.of_int 1_000_000_000
+
+let benv : Evm.Env.block_env =
+  {
+    coinbase = Address.of_int 0xC0FFEE;
+    timestamp = 1_700_000_000L;
+    number = 1024L;
+    difficulty = U256.of_int 2500;
+    gas_limit = 30_000_000;
+    chain_id = 1;
+    block_hash = (fun n -> Khash.Keccak.digest_u256 (Printf.sprintf "fuzz-block-%Ld" n));
+  }
+
+(* Binary/unary compute ops the G_arith gadget draws from (EXP excluded:
+   its gas cost depends on the exponent's byte size, which is exercised
+   separately by the builder's Guard_size machinery in workload tests). *)
+let arith_pool : (Evm.Op.t * int) array =
+  [| (ADD, 2); (MUL, 2); (SUB, 2); (DIV, 2); (SDIV, 2); (MOD, 2); (SMOD, 2); (ADDMOD, 3);
+     (MULMOD, 3); (SIGNEXTEND, 2); (LT, 2); (GT, 2); (SLT, 2); (SGT, 2); (EQ, 2);
+     (ISZERO, 1); (AND, 2); (OR, 2); (XOR, 2); (NOT, 1); (BYTE, 2); (SHL, 2); (SHR, 2);
+     (SAR, 2) |]
+
+type gadget =
+  | G_set of int * U256.t  (** m[d] := const *)
+  | G_calldata of int * int  (** m[d] := calldataload(byte_off) *)
+  | G_calldatacopy of int * int * int  (** copy [len] calldata bytes at [src] to m[d] *)
+  | G_arith of int * int * int * int * int  (** pool idx, dst, then up to 3 scratch args *)
+  | G_sload of int * int  (** m[d] := sload(slot) *)
+  | G_sstore of int * int  (** sstore(slot, m[s]) *)
+  | G_sstore_dyn of int * int  (** sstore(m[k] land 7, m[s]) — data-dependent key *)
+  | G_incr of int * int  (** sstore(slot, sload(slot) + k) *)
+  | G_mstore8 of int * int  (** mem byte [off] := low byte of m[s] *)
+  | G_sha3 of int * int  (** m[d] := keccak256(mem[0..len)) *)
+  | G_balance of int * int  (** m[d] := balance(contract j) *)
+  | G_log of int * int  (** LOG[n] with topics m[0..n), 32-byte data at m[s] *)
+  | G_call of bool * int * int * int * int
+      (** static?, callee idx, wei value, arg word, result word; success bit in m[7] *)
+  | G_returndata of int  (** m[d] := first returndata word, when >= 32 bytes *)
+  | G_revert of int  (** REVERT(0, len) *)
+  | G_stop
+  | G_if of int * U256.t * gadget list * gadget list  (** if m[i] < c then .. else .. *)
+  | G_loop of int * gadget list  (** run body n times *)
+
+type contract = { body : gadget list }
+
+type tx_spec = {
+  sender : int;  (** sender index (mod n_senders) *)
+  target : int;  (** contract index *)
+  value : U256.t;
+  data : string;
+  gas : int;
+}
+
+type t = {
+  contracts : contract list;
+  storage : (int * int * U256.t) list;  (** contract idx, slot, value *)
+  balances : (int * U256.t) list;  (** extra wei on a contract *)
+  txs : tx_spec list;
+}
+
+(* ---- compilation to bytecode ---- *)
+
+let word_off i = (i mod n_scratch) * 32
+
+(* m[i] onto the stack *)
+let load i = Evm.Asm.[ push_int (word_off i); op MLOAD ]
+
+(* store stack top into m[i] *)
+let store i = Evm.Asm.[ push_int (word_off i); op MSTORE ]
+
+let compile_body contracts_len body =
+  let next_label = ref 0 in
+  let fresh () =
+    incr next_label;
+    Printf.sprintf "L%d" !next_label
+  in
+  let open Evm.Asm in
+  let rec emit gs = List.concat_map emit_g gs
+  and emit_g g =
+    match g with
+    | G_set (d, v) -> (push v :: store d)
+    | G_calldata (d, off) -> (push_int off :: op CALLDATALOAD :: store d)
+    | G_calldatacopy (d, src, len) ->
+      (* CALLDATACOPY pops dst, src, len *)
+      [ push_int len; push_int src; push_int (word_off d); op CALLDATACOPY ]
+    | G_arith (opi, d, a, b, c) ->
+      let evm_op, arity = arith_pool.(opi mod Array.length arith_pool) in
+      let args = [ a; b; c ] in
+      (* push arguments so that the first popped operand is [a] *)
+      let pushes =
+        List.concat_map load (List.rev (List.filteri (fun i _ -> i < arity) args))
+      in
+      pushes @ (op evm_op :: store d)
+    | G_sload (d, slot) -> (push_int (slot mod n_slots) :: op SLOAD :: store d)
+    | G_sstore (slot, s) ->
+      (* SSTORE pops key then value *)
+      load s @ [ push_int (slot mod n_slots); op SSTORE ]
+    | G_sstore_dyn (k, s) ->
+      load s @ (push_int (n_slots - 1) :: load k) @ [ op AND; op SSTORE ]
+    | G_incr (slot, k) ->
+      let slot = slot mod n_slots in
+      [ push_int k; push_int slot; op SLOAD; op ADD; push_int slot; op SSTORE ]
+    | G_mstore8 (off, s) -> load s @ [ push_int (off mod 256); op MSTORE8 ]
+    | G_sha3 (d, len) -> (push_int (max 1 len) :: push_int 0 :: op SHA3 :: store d)
+    | G_balance (d, j) ->
+      (push (Address.to_u256 (contract_addr (j mod contracts_len))) :: op BALANCE :: store d)
+    | G_log (n, s) ->
+      let n = n mod 3 in
+      (* LOG[n] pops offset, length, then the topics *)
+      List.concat_map load (List.init n (fun i -> n - 1 - i))
+      @ [ push_int 32; push_int (word_off s); op (LOG n) ]
+    | G_call (static, callee, value, argw, dstw) ->
+      (* CALL pops gas, target, value, in_off, in_len, out_off, out_len;
+         STATICCALL the same minus value.  Push in reverse. *)
+      [ push_int 32; push_int (word_off dstw); push_int 32; push_int (word_off argw) ]
+      @ (if static then [] else [ push_int value ])
+      @ [ push (Address.to_u256 (contract_addr (callee mod contracts_len)));
+          push_int 90_000; op (if static then STATICCALL else CALL) ]
+      @ store (n_scratch - 1)
+    | G_returndata d ->
+      (* copy only when at least one word came back, else leave m[d] alone *)
+      let skip = fresh () in
+      [ push_int 32; op RETURNDATASIZE; op LT ]
+      @ jumpi skip
+      @ [ push_int 32; push_int 0; push_int (word_off d); op RETURNDATACOPY ]
+      @ [ label skip ]
+    | G_revert len -> [ push_int (len mod 65); push_int 0; op REVERT ]
+    | G_stop -> [ op STOP ]
+    | G_if (i, c, then_, else_) ->
+      let l_then = fresh () and l_end = fresh () in
+      (push c :: load i)
+      @ (op LT :: jumpi l_then)
+      @ emit else_
+      @ jump l_end
+      @ (label l_then :: emit then_)
+      @ [ label l_end ]
+    | G_loop (n, gs) ->
+      let l_start = fresh () and l_end = fresh () in
+      (push_int (max 1 (n mod 7)) :: label l_start :: op (DUP 1) :: op ISZERO :: jumpi l_end)
+      @ emit gs
+      @ (push_int 1 :: op (SWAP 1) :: op SUB :: jump l_start)
+      @ [ label l_end; op POP ]
+  in
+  emit body @ [ push_int 64; push_int 0; op RETURN ]
+
+let compile (s : t) (c : contract) : string =
+  Evm.Asm.assemble (compile_body (max 1 (List.length s.contracts)) c.body)
+
+(* ---- pre-state installation ---- *)
+
+let sender_funds = U256.of_string "1000000000000000000000" (* 1000 ether *)
+
+let install (s : t) bk : string =
+  let st = Statedb.create bk ~root:Statedb.empty_root in
+  for i = 0 to n_senders - 1 do
+    Statedb.set_balance st (sender_addr i) sender_funds
+  done;
+  List.iteri
+    (fun i c ->
+      let a = contract_addr i in
+      Statedb.set_code st a (compile s c);
+      Statedb.set_balance st a (U256.of_int 1_000_000_000))
+    s.contracts;
+  List.iter
+    (fun (ci, slot, v) ->
+      Statedb.set_storage st (contract_addr (ci mod max 1 (List.length s.contracts)))
+        (U256.of_int (slot mod n_slots))
+        v)
+    s.storage;
+  List.iter
+    (fun (ci, v) ->
+      let a = contract_addr (ci mod max 1 (List.length s.contracts)) in
+      Statedb.set_balance st a (U256.add (Statedb.get_balance st a) v))
+    s.balances;
+  Statedb.commit st
+
+(* Materialize the tx batch, assigning per-sender nonces in order (so the
+   shrinker can drop txs and the batch stays valid). *)
+let txs (s : t) : Evm.Env.tx list =
+  let nc = max 1 (List.length s.contracts) in
+  let nonces = Array.make n_senders 0 in
+  List.map
+    (fun (x : tx_spec) ->
+      let si = x.sender mod n_senders in
+      let nonce = nonces.(si) in
+      nonces.(si) <- nonce + 1;
+      {
+        Evm.Env.sender = sender_addr si;
+        to_ = Some (contract_addr (x.target mod nc));
+        nonce;
+        value = x.value;
+        data = x.data;
+        gas_limit = x.gas;
+        gas_price;
+      })
+    s.txs
+
+(* ---- sizing (shrinker progress metric) ---- *)
+
+let rec gadget_size g =
+  match g with
+  | G_if (_, _, a, b) -> 1 + gadgets_size a + gadgets_size b
+  | G_loop (_, gs) -> 1 + gadgets_size gs
+  | _ -> 1
+
+and gadgets_size gs = List.fold_left (fun acc g -> acc + gadget_size g) 0 gs
+
+let size (s : t) =
+  List.fold_left (fun acc c -> acc + 1 + gadgets_size c.body) 0 s.contracts
+  + List.length s.storage + List.length s.balances
+  + List.fold_left (fun acc (x : tx_spec) -> acc + 1 + String.length x.data) 0 s.txs
+
+(* ---- corpus serialization ---- *)
+
+let word_sexp (v : U256.t) = Sexp.atom (U256.to_hex v)
+
+let rec gadget_sexp g =
+  let open Sexp in
+  match g with
+  | G_set (d, v) -> tagged "set" [ int d; word_sexp v ]
+  | G_calldata (d, off) -> tagged "calldata" [ int d; int off ]
+  | G_calldatacopy (d, src, len) -> tagged "cdcopy" [ int d; int src; int len ]
+  | G_arith (o, d, a, b, c) -> tagged "arith" [ int o; int d; int a; int b; int c ]
+  | G_sload (d, slot) -> tagged "sload" [ int d; int slot ]
+  | G_sstore (slot, s) -> tagged "sstore" [ int slot; int s ]
+  | G_sstore_dyn (k, s) -> tagged "sstore-dyn" [ int k; int s ]
+  | G_incr (slot, k) -> tagged "incr" [ int slot; int k ]
+  | G_mstore8 (off, s) -> tagged "mstore8" [ int off; int s ]
+  | G_sha3 (d, len) -> tagged "sha3" [ int d; int len ]
+  | G_balance (d, j) -> tagged "balance" [ int d; int j ]
+  | G_log (n, s) -> tagged "log" [ int n; int s ]
+  | G_call (st, callee, v, a, d) ->
+    tagged "call" [ int (if st then 1 else 0); int callee; int v; int a; int d ]
+  | G_returndata d -> tagged "retdata" [ int d ]
+  | G_revert len -> tagged "revert" [ int len ]
+  | G_stop -> tagged "stop" []
+  | G_if (i, c, t, e) ->
+    tagged "if" [ int i; word_sexp c; list (List.map gadget_sexp t); list (List.map gadget_sexp e) ]
+  | G_loop (n, gs) -> tagged "loop" [ int n; list (List.map gadget_sexp gs) ]
+
+let to_sexp (s : t) =
+  let open Sexp in
+  tagged "scenario"
+    [ tagged "contracts"
+        (List.map (fun c -> list (List.map gadget_sexp c.body)) s.contracts);
+      tagged "storage"
+        (List.map (fun (ci, sl, v) -> list [ int ci; int sl; word_sexp v ]) s.storage);
+      tagged "balances" (List.map (fun (ci, v) -> list [ int ci; word_sexp v ]) s.balances);
+      tagged "txs"
+        (List.map
+           (fun (x : tx_spec) ->
+             list
+               [ int x.sender; int x.target; word_sexp x.value;
+                 atom (Sexp.hex_of_string x.data); int x.gas ])
+           s.txs) ]
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let as_int s = match Sexp.to_int s with Ok i -> i | Error m -> fail "%s" m
+
+let as_word = function
+  | Sexp.Atom a -> ( try U256.of_string a with _ -> fail "bad word %S" a)
+  | Sexp.List _ -> fail "expected word"
+
+let as_bytes = function
+  | Sexp.Atom a -> (
+    match Sexp.string_of_hex a with Ok s -> s | Error m -> fail "%s" m)
+  | Sexp.List _ -> fail "expected hex bytes"
+
+let rec gadget_of_sexp s =
+  match s with
+  | Sexp.List (Sexp.Atom tag :: rest) -> (
+    match (tag, rest) with
+    | "set", [ d; v ] -> G_set (as_int d, as_word v)
+    | "calldata", [ d; off ] -> G_calldata (as_int d, as_int off)
+    | "cdcopy", [ d; src; len ] -> G_calldatacopy (as_int d, as_int src, as_int len)
+    | "arith", [ o; d; a; b; c ] -> G_arith (as_int o, as_int d, as_int a, as_int b, as_int c)
+    | "sload", [ d; slot ] -> G_sload (as_int d, as_int slot)
+    | "sstore", [ slot; src ] -> G_sstore (as_int slot, as_int src)
+    | "sstore-dyn", [ k; src ] -> G_sstore_dyn (as_int k, as_int src)
+    | "incr", [ slot; k ] -> G_incr (as_int slot, as_int k)
+    | "mstore8", [ off; src ] -> G_mstore8 (as_int off, as_int src)
+    | "sha3", [ d; len ] -> G_sha3 (as_int d, as_int len)
+    | "balance", [ d; j ] -> G_balance (as_int d, as_int j)
+    | "log", [ n; src ] -> G_log (as_int n, as_int src)
+    | "call", [ st; callee; v; a; d ] ->
+      G_call (as_int st <> 0, as_int callee, as_int v, as_int a, as_int d)
+    | "retdata", [ d ] -> G_returndata (as_int d)
+    | "revert", [ len ] -> G_revert (as_int len)
+    | "stop", [] -> G_stop
+    | "if", [ i; c; Sexp.List t; Sexp.List e ] ->
+      G_if (as_int i, as_word c, List.map gadget_of_sexp t, List.map gadget_of_sexp e)
+    | "loop", [ n; Sexp.List gs ] -> G_loop (as_int n, List.map gadget_of_sexp gs)
+    | _ -> fail "bad gadget tag %S" tag)
+  | _ -> fail "expected gadget"
+
+let of_sexp (s : Sexp.t) : (t, string) result =
+  let section name = function
+    | Sexp.List (Sexp.Atom tag :: rest) when String.equal tag name -> rest
+    | _ -> fail "expected (%s ...)" name
+  in
+  match s with
+  | Sexp.List [ Sexp.Atom "scenario"; cs; st; bs; txs ] -> (
+    try
+      Ok
+        {
+          contracts =
+            List.map
+              (function
+                | Sexp.List gs -> { body = List.map gadget_of_sexp gs }
+                | _ -> fail "expected contract body")
+              (section "contracts" cs);
+          storage =
+            List.map
+              (function
+                | Sexp.List [ ci; sl; v ] -> (as_int ci, as_int sl, as_word v)
+                | _ -> fail "bad storage entry")
+              (section "storage" st);
+          balances =
+            List.map
+              (function
+                | Sexp.List [ ci; v ] -> (as_int ci, as_word v)
+                | _ -> fail "bad balance entry")
+              (section "balances" bs);
+          txs =
+            List.map
+              (function
+                | Sexp.List [ se; ta; v; d; g ] ->
+                  { sender = as_int se; target = as_int ta; value = as_word v;
+                    data = as_bytes d; gas = as_int g }
+                | _ -> fail "bad tx entry")
+              (section "txs" txs);
+        }
+    with Bad m -> Error m)
+  | _ -> Error "expected (scenario ...)"
+
+let to_string (s : t) = Sexp.to_string (to_sexp s)
+
+let of_string str : (t, string) result =
+  match Sexp.of_string str with Ok sx -> of_sexp sx | Error m -> Error m
+
+let equal a b = String.equal (to_string a) (to_string b)
+
+let pp ppf s = Fmt.string ppf (to_string s)

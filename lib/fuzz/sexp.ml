@@ -1,0 +1,111 @@
+(* A deliberately tiny s-expression reader/writer for the on-disk
+   counterexample corpus.  Atoms are restricted to a shell-safe alphabet
+   (identifiers, decimal/hex numbers) so no quoting machinery is needed;
+   arbitrary byte strings are hex-encoded by the caller. *)
+
+type t = Atom of string | List of t list
+
+let atom_ok s =
+  s <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true | _ -> false)
+       s
+
+let rec write buf = function
+  | Atom s ->
+    if not (atom_ok s) then invalid_arg (Printf.sprintf "Sexp.write: bad atom %S" s);
+    Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        write buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string s : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let rec parse () =
+    skip_ws ();
+    if !pos >= n then raise (Parse_error "unexpected end of input");
+    if s.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then raise (Parse_error "unterminated list");
+        if s.[!pos] = ')' then incr pos
+        else begin
+          items := parse () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else if s.[!pos] = ')' then raise (Parse_error "unexpected )")
+    else begin
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' | '(' | ')' -> false | _ -> true
+      do
+        incr pos
+      done;
+      Atom (String.sub s start (!pos - start))
+    end
+  in
+  match
+    let t = parse () in
+    skip_ws ();
+    if !pos <> n then raise (Parse_error "trailing garbage");
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+(* -- small building helpers used by the scenario (de)serializer -- *)
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+let list l = List l
+let tagged tag items = List (Atom tag :: items)
+
+let to_int = function
+  | Atom s -> (
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "expected int, got %S" s))
+  | List _ -> Error "expected int, got list"
+
+let hex_of_string s =
+  let buf = Buffer.create ((2 * String.length s) + 2) in
+  Buffer.add_string buf "0x";
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  if String.length h < 2 || h.[0] <> '0' || h.[1] <> 'x' then Error "expected 0x-hex"
+  else if String.length h mod 2 <> 0 then Error "odd-length hex"
+  else
+    try
+      Ok
+        (String.init
+           ((String.length h - 2) / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h ((2 * i) + 2) 2))))
+    with _ -> Error "bad hex digit"

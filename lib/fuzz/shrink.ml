@@ -1,0 +1,79 @@
+(* Greedy counterexample minimization: enumerate one-step reductions of a
+   scenario (drop a tx, drop a gadget, unwrap a branch/loop body, drop a
+   pre-state entry, clear calldata), keep any reduction under which the
+   divergence persists, and iterate to a fixpoint.  The [diverges]
+   predicate is supplied by the driver (a full oracle run), so the
+   shrinker itself stays oracle-agnostic. *)
+
+open Scenario
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+let replace_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
+let splice_nth l n xs = List.concat (List.mapi (fun i y -> if i = n then xs else [ y ]) l)
+
+let rec shrink_glist (gs : gadget list) : gadget list list =
+  List.concat
+    (List.mapi
+       (fun i g ->
+         (remove_nth gs i
+         ::
+         (match g with
+         | G_if (_, _, t, e) -> [ splice_nth gs i t; splice_nth gs i e ]
+         | G_loop (_, b) -> [ splice_nth gs i b ]
+         | _ -> []))
+         @ List.map (fun g' -> replace_nth gs i g') (shrink_gadget g))
+       gs)
+
+and shrink_gadget = function
+  | G_if (i, c, t, e) ->
+    List.map (fun t' -> G_if (i, c, t', e)) (shrink_glist t)
+    @ List.map (fun e' -> G_if (i, c, t, e')) (shrink_glist e)
+  | G_loop (n, b) ->
+    (if n > 1 then [ G_loop (1, b) ] else [])
+    @ List.map (fun b' -> G_loop (n, b')) (shrink_glist b)
+  | _ -> []
+
+(* One-step reductions, cheapest-win-first: txs, then pre-state, then
+   contract bodies. *)
+let candidates (s : t) : t list =
+  let tx_drops = List.mapi (fun i _ -> { s with txs = remove_nth s.txs i }) s.txs in
+  let tx_data =
+    List.concat
+      (List.mapi
+         (fun i (x : tx_spec) ->
+           if String.length x.data = 0 then []
+           else [ { s with txs = replace_nth s.txs i { x with data = "" } } ])
+         s.txs)
+  in
+  let storage_drops =
+    List.mapi (fun i _ -> { s with storage = remove_nth s.storage i }) s.storage
+  in
+  let balance_drops =
+    List.mapi (fun i _ -> { s with balances = remove_nth s.balances i }) s.balances
+  in
+  let body_shrinks =
+    List.concat
+      (List.mapi
+         (fun ci (c : contract) ->
+           List.map
+             (fun body' -> { s with contracts = replace_nth s.contracts ci { body = body' } })
+             (shrink_glist c.body))
+         s.contracts)
+  in
+  tx_drops @ tx_data @ storage_drops @ balance_drops @ body_shrinks
+
+let minimize ?(max_probes = 600) ~(diverges : t -> bool) (s : t) : t =
+  let probes = ref 0 in
+  let rec go s =
+    let rec first = function
+      | [] -> s
+      | c :: rest ->
+        if !probes >= max_probes then s
+        else begin
+          incr probes;
+          if diverges c then go c else first rest
+        end
+    in
+    first (candidates s)
+  in
+  go s

@@ -259,6 +259,7 @@ let balance_read b addr =
     let pre_val = Statedb.get_balance b.pre addr in
     let r = fresh b pre_val in
     emit b (I.Read (r, I.R_balance (I.Const (Address.to_u256 addr))));
+    let pending = match AKey.find_opt k b.world.deltas with Some ds -> ds | None -> [] in
     let op, traced =
       List.fold_left
         (fun (op, traced) (is_add, amount) ->
@@ -266,10 +267,7 @@ let balance_read b addr =
           let cop = if is_add then I.C_add else I.C_sub in
           let traced' = if is_add then U256.add traced amt else U256.sub traced amt in
           (compute b cop [| op; amount |] traced', traced'))
-        (I.Reg r, pre_val)
-        (match AKey.find_opt k b.world.deltas with
-        | Some ds -> List.rev ds
-        | None -> [])
+        (I.Reg r, pre_val) (List.rev pending)
     in
     b.world <-
       {
@@ -277,6 +275,12 @@ let balance_read b addr =
         balances = AKey.add k op b.world.balances;
         deltas = AKey.remove k b.world.deltas;
         balance_traced = AKey.add k traced b.world.balance_traced;
+        (* folded-in deltas are real balance changes: without the dirty
+           mark, emit_writes would drop the write-back entirely (a
+           received transfer would vanish if the balance was read after) *)
+        balance_dirty =
+          (if pending <> [] then AKey.add k () b.world.balance_dirty
+           else b.world.balance_dirty);
       };
     op
 

@@ -1,0 +1,29 @@
+(** Linear replay of a single synthesized S-EVM path.
+
+    This is the "trace build + replay" leg of the three-engine conformance
+    oracle: it walks [Ir.path.instrs] in order against a concrete state and
+    block environment, checks every guard, and — only if all guards held —
+    applies the deferred write set and rebuilds the receipt.
+
+    It deliberately shares no evaluation code with [Ap.Exec]: the point is an
+    independent re-implementation of the S-EVM semantics, so a bug in the AP
+    executor and a bug in the replayer would have to coincide to go
+    unnoticed. *)
+
+open State
+
+type violation = {
+  index : int;  (** index into [path.instrs] of the failing guard *)
+  detail : string;
+}
+
+type outcome =
+  | Replayed of Evm.Processor.receipt
+  | Violated of violation
+      (** a guard failed; no state was written (writes are deferred) *)
+
+val run : Ir.path -> Statedb.t -> Evm.Env.block_env -> Evm.Env.tx -> outcome
+(** [run path st benv tx] replays [path] against [st].  On [Replayed r],
+    the deferred writes have been applied to [st] and [r] mirrors what
+    [Evm.Processor.execute_tx] would have returned (modulo
+    [contract_address], which paths never carry). *)

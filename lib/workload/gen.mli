@@ -30,6 +30,11 @@ val defi_mix : mix
 type t
 
 val create : ?mix:mix -> seed:int -> tx_rate:float -> Population.t -> t
+(** All randomness flows from [seed] through an explicit [Random.State.t]:
+    no [Random.self_init], no ambient generator, no wall clock.  Two
+    generators created with equal arguments emit identical transaction
+    streams — the determinism regression test in [test_workload.ml] pins
+    this down, and CLI runs are reproducible from [--seed] alone. *)
 
 val generate : t -> now:int64 -> Evm.Env.tx * kind
 (** Produce the next transaction (with a fresh per-sender nonce) as of

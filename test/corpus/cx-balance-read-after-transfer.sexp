@@ -1,0 +1,1 @@
+(scenario (contracts ((balance 3 0)) ()) (storage) (balances) (txs (1 0 0x593 0x 65981)))

@@ -1,0 +1,1 @@
+(scenario (contracts () ()) (storage) (balances) (txs (1 1 0x0 0x 600000)))

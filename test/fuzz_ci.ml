@@ -1,0 +1,28 @@
+(* The @fuzz alias: replay every checked-in corpus counterexample, then a
+   bounded fixed-seed fuzz pass.  Exit non-zero on any divergence — this is
+   the conformance toll every PR pays via `dune runtest`. *)
+
+let iters = 500
+let seed = 42
+
+let () =
+  let corpus_failures, n_replayed = Fuzz.Driver.replay_corpus "corpus" in
+  Printf.printf "fuzz-ci: corpus %d/%d entries clean\n%!"
+    (n_replayed - List.length corpus_failures)
+    n_replayed;
+  List.iter
+    (fun (f : Fuzz.Driver.corpus_failure) ->
+      Printf.printf "fuzz-ci: CORPUS FAILURE %s: %s\n%!" f.path f.problem)
+    corpus_failures;
+  let s = Fuzz.Driver.fuzz ~seed ~iters () in
+  Printf.printf "fuzz-ci: %d iterations (seed %d): %d txs, %d fallbacks, %d perturbed \
+                 violations, %d perturbed hits\n%!"
+    s.iters_run seed s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits;
+  match (s.finding, corpus_failures) with
+  | None, [] -> print_string "fuzz-ci: all three engines agree\n"
+  | Some f, _ ->
+    Printf.printf "fuzz-ci: DIVERGENCE at iteration %d, shrunk scenario:\n%s%!" f.iter
+      (Fuzz.Scenario.to_string f.scenario);
+    List.iter (fun d -> Fmt.pr "fuzz-ci:   %a@." Fuzz.Oracle.pp_divergence d) f.divergences;
+    exit 1
+  | None, _ :: _ -> exit 1

@@ -178,4 +178,95 @@ let structure_tests =
         Alcotest.(check bool) "merging shares the prefix" true (two < 2 * one))
   ]
 
-let suite = structure_tests
+(* ---- end-to-end guard violation handling (satellite of the conformance
+   fuzzer): a real contract whose control flow is pinned by a storage
+   guard.  Perturbing the constrained slot must yield [Violation] — never a
+   stale fast-path result — and the fallback EVM execution on the very
+   state the AP saw must match a from-scratch EVM run exactly. *)
+
+let violation_tests =
+  let contract = Address.of_int 0xBEEF in
+  let sender = Address.of_int 0xA11 in
+  (* if sload(0) == 5 then sstore(1, 111) else sstore(1, 222) *)
+  let code =
+    let open Evm.Asm in
+    assemble
+      ([ push_int 5; push_int 0; op SLOAD; op EQ ]
+      @ jumpi "then"
+      @ [ push_int 222; push_int 1; op SSTORE; op STOP ]
+      @ [ label "then"; push_int 111; push_int 1; op SSTORE; op STOP ])
+  in
+  let mk_world () =
+    let bk = Statedb.Backend.create () in
+    let st0 = Statedb.create bk ~root:Statedb.empty_root in
+    Statedb.set_code st0 contract code;
+    Statedb.set_balance st0 sender (U256.of_string "1000000000000000000");
+    Statedb.set_storage st0 contract U256.zero (u 5);
+    (bk, Statedb.commit st0)
+  in
+  let tx : Evm.Env.tx =
+    { sender; to_ = Some contract; nonce = 0; value = U256.zero; data = "";
+      gas_limit = 100_000; gas_price = U256.one }
+  in
+  let speculate bk root =
+    let st = Statedb.create bk ~root in
+    let snap = Statedb.snapshot st in
+    let sink, get = Evm.Trace.collector () in
+    let receipt = Evm.Processor.execute_tx ~trace:sink st benv tx in
+    Statedb.revert st snap;
+    match Sevm.Builder.build tx benv (get ()) receipt st with
+    | Ok path -> (receipt, path)
+    | Error m -> Alcotest.failf "path should build: %s" m
+  in
+  [ t "satisfied context: fast path takes the speculated branch" (fun () ->
+        let bk, root0 = mk_world () in
+        let _, path = speculate bk root0 in
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap path;
+        let st = Statedb.create bk ~root:root0 in
+        match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Violation -> Alcotest.fail "satisfied context must hit"
+        | Ap.Exec.Hit (r, _) ->
+          Alcotest.(check bool) "success" true
+            (Evm.Processor.status_equal r.status Evm.Processor.Success);
+          Alcotest.(check bool) "then-branch write landed" true
+            (U256.equal (Statedb.get_storage st contract U256.one) (u 111)));
+    t "perturbed slot: Violation reported, nothing written" (fun () ->
+        let bk, root0 = mk_world () in
+        let _, path = speculate bk root0 in
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap path;
+        let st = Statedb.create bk ~root:root0 in
+        Statedb.set_storage st contract U256.zero (u 6);
+        (match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Hit _ -> Alcotest.fail "stale fast-path result on a violated constraint"
+        | Ap.Exec.Violation -> ());
+        Alcotest.(check bool) "no write to slot 1" true
+          (U256.is_zero (Statedb.get_storage st contract U256.one));
+        Alcotest.(check bool) "sender nonce untouched" true
+          (Statedb.get_nonce st sender = 0));
+    t "fallback after violation matches a from-scratch EVM run" (fun () ->
+        let bk, root0 = mk_world () in
+        let _, path = speculate bk root0 in
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap path;
+        (* the accelerator's state: perturbed, AP tried and violated *)
+        let st = Statedb.create bk ~root:root0 in
+        Statedb.set_storage st contract U256.zero (u 6);
+        (match Ap.Exec.execute ap st benv tx with
+        | Ap.Exec.Hit _ -> Alcotest.fail "expected a violation"
+        | Ap.Exec.Violation -> ());
+        let fb = Evm.Processor.execute_tx st benv tx in
+        (* reference: same perturbation, EVM only *)
+        let st_ref = Statedb.create bk ~root:root0 in
+        Statedb.set_storage st_ref contract U256.zero (u 6);
+        let r = Evm.Processor.execute_tx st_ref benv tx in
+        Alcotest.(check bool) "status" true (Evm.Processor.status_equal fb.status r.status);
+        Alcotest.(check int) "gas_used" r.gas_used fb.gas_used;
+        Alcotest.(check string) "output" r.output fb.output;
+        Alcotest.(check bool) "else-branch write landed" true
+          (U256.equal (Statedb.get_storage st contract U256.one) (u 222));
+        Alcotest.(check string) "post-state roots agree" (Statedb.commit st_ref)
+          (Statedb.commit st)) ]
+
+let suite = structure_tests @ violation_tests

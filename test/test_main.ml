@@ -18,4 +18,5 @@ let () =
       ("netsim", Test_netsim.suite);
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
-      ("differential", Test_differential.suite) ]
+      ("differential", Test_differential.suite);
+      ("fuzz", Test_fuzz.suite) ]
