@@ -262,6 +262,34 @@ let ablation () =
     | Some p -> p
     | None -> Node.replay ~policy:Node.Perfect_multi r.record)
 
+(* ---- Scheduler: parallel speculation throughput (lib/sched) ---- *)
+
+let sched () =
+  section "Scheduler: parallel speculation (jobs=1 vs jobs=N, DESIGN.md)";
+  let jobs =
+    match Sys.getenv_opt "FORERUNNER_JOBS" with
+    | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+    | None -> min 4 (max 2 (Domain.recommended_domain_count () - 1))
+  in
+  let params =
+    {
+      Netsim.Sim.default_params with
+      seed = 4242;
+      duration = 120.0 *. Datasets.scale ();
+      tx_rate = 14.0;
+      n_users = 120;
+      tick_interval = Some 1.0;
+    }
+  in
+  Printf.printf "simulating %.0fs of traffic (seed %d)...\n%!" params.duration params.seed;
+  let record = Netsim.Sim.run ~params () in
+  Printf.printf "%d blocks / %d txs; replaying with jobs=1 and jobs=%d...\n%!"
+    record.n_blocks record.n_txs jobs;
+  let c = Schedbench.compare_jobs ~jobs record in
+  Schedbench.print c;
+  Schedbench.write_json ~file:"BENCH_sched.json" c;
+  Printf.printf "scheduler benchmark written to BENCH_sched.json\n%!"
+
 (* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
 
 let micro () =
@@ -371,7 +399,7 @@ let experiments =
   [ ("fig2", fig2); ("table1", table1); ("fig11", fig11); ("table2", table2);
     ("table3", table3); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("sec55", sec55); ("sec56", sec56); ("ablation", ablation);
-    ("micro", micro) ]
+    ("sched", sched); ("micro", micro) ]
 
 (* [--metrics] / [--metrics-json FILE] enable the Obs registry around the
    experiments; remaining arguments name experiments as before. *)

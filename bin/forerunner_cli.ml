@@ -41,6 +41,15 @@ let validate_arg =
     value & flag
     & info [ "validate" ] ~doc:"Cross-check every AP hit against a full EVM execution.")
 
+let jobs_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Speculation worker domains. 1 runs every speculation inline (the \
+           deterministic sequential pipeline); N>1 drains the pending set on N OCaml \
+           domains in parallel.")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -98,10 +107,10 @@ let print_outcomes (r : Core.Node.result) =
   Printf.printf "all %d block state roots validated.\n" (List.length r.blocks)
 
 let run_term =
-  let run seed duration rate policy validate metrics metrics_json =
+  let run seed duration rate policy validate jobs metrics metrics_json =
     with_metrics ~metrics ~metrics_json @@ fun () ->
     let record = simulate ~seed ~duration ~rate in
-    let config = { Core.Node.default_config with validate_hits = validate } in
+    let config = { Core.Node.default_config with validate_hits = validate; jobs } in
     let r = Core.Node.replay ~config ~policy record in
     print_outcomes r;
     (* per-kind table *)
@@ -128,22 +137,24 @@ let run_term =
              k (100.0 *. float_of_int hit /. float_of_int (max 1 total)) total)
   in
   Term.(
-    const run $ seed_arg $ duration_arg $ rate_arg $ policy_arg $ validate_arg $ metrics_arg
-    $ metrics_json_arg)
+    const run $ seed_arg $ duration_arg $ rate_arg $ policy_arg $ validate_arg
+    $ jobs_arg ~default:1 $ metrics_arg $ metrics_json_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Simulate traffic and replay it under one policy.") run_term
 
 let compare_cmd =
-  let run seed duration rate metrics metrics_json =
+  let run seed duration rate jobs metrics metrics_json =
     with_metrics ~metrics ~metrics_json @@ fun () ->
     let record = simulate ~seed ~duration ~rate in
+    let config = { Core.Node.default_config with jobs } in
     let baseline = Core.Node.replay ~policy:Core.Node.Baseline record in
     Printf.printf "%-15s %10s %12s %12s\n" "policy" "speedup" "e2e" "%satisfied";
     List.iter
       (fun policy ->
         let r =
-          if policy = Core.Node.Baseline then baseline else Core.Node.replay ~policy record
+          if policy = Core.Node.Baseline then baseline
+          else Core.Node.replay ~config ~policy record
         in
         let s = Core.Metrics.summarize ~baseline r in
         Printf.printf "%-15s %9.2fx %11.2fx %11.2f%%\n%!" s.name s.effective_speedup
@@ -153,7 +164,54 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Replay the same traffic under all four policies (Table 2).")
-    Term.(const run $ seed_arg $ duration_arg $ rate_arg $ metrics_arg $ metrics_json_arg)
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ jobs_arg ~default:1 $ metrics_arg
+      $ metrics_json_arg)
+
+let bench_cmd =
+  let run seed duration rate jobs metrics metrics_json =
+    (* exit only after with_metrics has dumped, so a divergence still
+       leaves the metrics JSON behind for diagnosis *)
+    let ok =
+      with_metrics ~metrics ~metrics_json @@ fun () ->
+      let params =
+        {
+          Netsim.Sim.default_params with
+          seed;
+          duration;
+          tx_rate = rate;
+          (* a tick each simulated second lets the replay collect finished
+             speculation between deliveries, like the live pipeline *)
+          tick_interval = Some 1.0;
+        }
+      in
+      Printf.printf "simulating %.0fs of traffic (seed %d, %.0f tx/s)...\n%!" duration seed
+        rate;
+      let record = Netsim.Sim.run ~params () in
+      Printf.printf "-> %d blocks, %d txs; replaying with jobs=1, jobs=%d...\n%!"
+        record.n_blocks record.n_txs jobs;
+      let c = Core.Schedbench.compare_jobs ~jobs record in
+      Core.Schedbench.print c;
+      if metrics_json <> None then begin
+        Core.Schedbench.write_json ~file:"BENCH_sched.json" c;
+        Printf.printf "scheduler benchmark written to BENCH_sched.json\n%!"
+      end;
+      c.outcomes_match && c.blocks_match
+    in
+    if not ok then begin
+      Printf.eprintf "ERROR: parallel replay diverged from sequential replay\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the speculation scheduler: replay the same traffic with jobs=1 and \
+          jobs=N and compare speculation throughput; per-tx outcomes and block results \
+          must be identical.  With --metrics-json, also writes BENCH_sched.json.")
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ jobs_arg ~default:4 $ metrics_arg
+      $ metrics_json_arg)
 
 let contracts_cmd =
   let run () =
@@ -238,6 +296,6 @@ let main =
   Cmd.group ~default:run_term
     (Cmd.info "forerunner" ~version:"1.0.0"
        ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
-    [ run_cmd; compare_cmd; contracts_cmd; fuzz_cmd ]
+    [ run_cmd; compare_cmd; bench_cmd; contracts_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -281,6 +281,17 @@ let add_path ap (p : I.path) =
   | None -> if List.length ap.roots < max_roots then ap.roots <- ap.roots @ [ node ]);
   refresh_counts ap
 
+(* Structural digest.  Every constituent type (instrs, operands, pieces,
+   writes, statuses, U256 int64 limbs) is pure data — no closures, no
+   custom blocks beyond int64 — so marshalling with [No_sharing] yields
+   identical bytes for structurally identical programs regardless of how
+   physical sharing happened to arise during construction. *)
+let fingerprint ap =
+  Khash.Keccak.digest
+    (Marshal.to_string
+       (ap.roots, ap.reg_count, ap.n_paths, ap.n_futures, ap.shortcut_count)
+       [ Marshal.No_sharing ])
+
 let instr_count ap =
   let rec block_len b = Array.length b.instrs
   and node_len = function

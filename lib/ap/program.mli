@@ -70,5 +70,12 @@ val max_memo_alternatives : int
 val instr_count : t -> int
 (** Total S-EVM instructions across the program (for Fig. 15-style stats). *)
 
+val fingerprint : t -> string
+(** A 32-byte structural digest of the whole program (trees, memos, counts).
+    Structurally identical programs digest identically, independent of how
+    they were built — the parallel-speculation oracle uses this to assert
+    that worker-domain and sequential speculation produce byte-identical
+    APs. *)
+
 val count_paths : node -> int
 val count_shortcuts : node -> int

@@ -67,6 +67,7 @@ type result = {
   reorgs : int; (* head switches onto a previously non-head branch *)
   fork_blocks : int; (* side blocks processed *)
   synth : Speculator.synth_acc; (* summed per-path synthesis stats *)
+  sched : Sched.stats; (* speculation scheduler accounting *)
 }
 
 type config = {
@@ -77,6 +78,11 @@ type config = {
   use_memos : bool; (* ablation: disable memoization shortcuts *)
   prefetch : bool; (* ablation: disable StateDB warming *)
   seed : int;
+  jobs : int; (* speculation worker domains; 1 = inline, fully sequential *)
+  drop_stale_spec : bool;
+      (* async invalidation: on a head-extending block, cancel queued
+         speculations (now-included txs) and requeue the rest against the
+         new head instead of completing the whole backlog first *)
 }
 
 let default_config =
@@ -88,6 +94,8 @@ let default_config =
     use_memos = true;
     prefetch = true;
     seed = 7;
+    jobs = 1;
+    drop_stale_spec = false;
   }
 
 (* Single-future ablation: the traditional one-prediction pipeline. *)
@@ -119,6 +127,7 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
   let l_execute = phase_pfx ^ ".execute" in
   let l_commit = phase_pfx ^ ".commit" in
   let l_respec = phase_pfx ^ ".respec" in
+  let l_barrier = phase_pfx ^ ".barrier" in
   let bk = record.backend in
   let head_root = ref record.genesis_root in
   let head_hash = ref record.genesis_hash in
@@ -137,14 +146,35 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
   let synth_global = Speculator.empty_acc () in
   let pool () = Hashtbl.fold (fun _ e acc -> e.p :: acc) pending [] in
 
+  (* The speculation scheduler.  Prediction stays on this thread (it draws
+     from the replay's RNG stream, so its order must not depend on worker
+     timing); the pre-execution + AP synthesis runs as a scheduler job.
+     With jobs = 1 the job executes inline at submit — the sequential
+     pipeline — so worker count never changes what gets speculated, only
+     where and when. *)
+  let sched : pending_entry Sched.t = Sched.create ~jobs:(max 1 config.jobs) () in
+
   let speculate_tx now entry n_contexts =
     let ctxs =
       Predictor.contexts predictor ~pool:(pool ()) ~max_contexts:n_contexts
         ~tx_hash:entry.p.hash entry.p.tx
     in
-    Speculator.speculate entry.spec bk ~root:!head_root ~now ctxs entry.p.tx;
-    (* prefetch: warm the next execution StateDB with the read set *)
-    if config.prefetch then Statedb.warm !next_st entry.spec.touches
+    let root = !head_root in
+    Sched.submit sched ~hash:entry.p.hash ~root ~priority:entry.p.tx.gas_price (fun () ->
+        Speculator.speculate entry.spec bk ~root ~now ctxs entry.p.tx;
+        entry)
+  in
+
+  (* Collect finished speculations and warm the next execution StateDB with
+     their read sets (the prefetcher).  Results are applied in submission
+     order, so the cache fill order is independent of worker timing. *)
+  let apply_results () =
+    List.iter
+      (fun (r : pending_entry Sched.result) ->
+        match r.r_value with
+        | Error e -> raise e
+        | Ok entry -> if config.prefetch then Statedb.warm !next_st entry.spec.touches)
+      (Sched.drain sched)
   in
 
   let exec_one st ~canonical benv t_block (tx : Evm.Env.tx) : tx_record * Evm.Processor.receipt =
@@ -251,6 +281,9 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
         | `Miss receipt -> record_of receipt O_missed ns None))
   in
 
+  Fun.protect
+    ~finally:(fun () -> Sched.shutdown sched)
+    (fun () ->
   Array.iter
     (fun ev ->
       match ev with
@@ -301,11 +334,30 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
                   recent)
           end
         end
+      | Netsim.Record.Tick _ ->
+        (* speculation-budget boundary: collect whatever the workers have
+           finished so prefetching proceeds between deliveries *)
+        if is_speculative policy then apply_results ()
       | Netsim.Record.Block (t, b) -> (
         match Hashtbl.find_opt roots_by_hash b.header.parent_hash with
         | None -> () (* orphan: parent never seen; a real node would fetch it *)
         | Some parent_root ->
           let extends_head = String.equal b.header.parent_hash !head_hash in
+          (* Block boundary: quiesce the workers before executing — the
+             commit below writes trie nodes into the shared backend the
+             workers read.  In drop-stale mode a head-extending block first
+             sheds the stale backlog: queued speculation for the included
+             txs is cancelled outright and the rest is dropped, to be
+             requeued against the new head after the commit. *)
+          let requeue = ref [] in
+          if is_speculative policy then begin
+            if config.drop_stale_spec && extends_head then begin
+              Sched.cancel sched (List.map Evm.Env.tx_hash b.txs);
+              requeue := Sched.invalidate sched ~root:b.header.state_root
+            end;
+            Obs.span l_barrier (fun () -> Sched.barrier sched);
+            apply_results ()
+          end;
           let exec_st =
             if extends_head then !next_st else Statedb.create bk ~root:parent_root
           in
@@ -388,15 +440,37 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
               let entries =
                 List.filteri (fun i _ -> i < config.max_respec_per_block) entries
               in
+              (* drop-stale mode: speculations invalidated at block arrival
+                 are requeued against the new head ahead of the budgeted
+                 hottest-pending refresh *)
+              let entries =
+                if !requeue = [] then entries
+                else begin
+                  let inv =
+                    List.filter_map (fun (h, _) -> Hashtbl.find_opt pending h) !requeue
+                  in
+                  let seen = Hashtbl.create 16 in
+                  List.iter
+                    (fun (e : pending_entry) -> Hashtbl.replace seen e.p.hash ())
+                    inv;
+                  inv
+                  @ List.filter
+                      (fun (e : pending_entry) -> not (Hashtbl.mem seen e.p.hash))
+                      entries
+                end
+              in
               Obs.span l_respec (fun () ->
                   Obs.add obs_respec_new_head (List.length entries);
-                  List.iter (fun e -> speculate_tx t e config.max_contexts_respec) entries;
-                  (* warm the new StateDB with everything we believe is coming *)
-                  if config.prefetch then
-                    List.iter (fun e -> Statedb.warm !next_st e.spec.touches) entries)
+                  List.iter (fun e -> speculate_tx t e config.max_contexts_respec) entries)
             end
           end))
     record.events;
+  (* settle the tail: finish outstanding speculation and surface any
+     worker-side exception before the domains are joined *)
+  if is_speculative policy then begin
+    Sched.barrier sched;
+    apply_results ()
+  end);
   {
     policy;
     txs = List.rev !txs;
@@ -408,4 +482,5 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
     reorgs = !reorgs;
     fork_blocks = !fork_blocks;
     synth = synth_global;
+    sched = Sched.stats sched;
   }

@@ -59,6 +59,7 @@ type result = {
   reorgs : int;  (** head switches onto a previously non-head branch *)
   fork_blocks : int;  (** temporary-fork blocks processed *)
   synth : Speculator.synth_acc;  (** summed per-path synthesis statistics *)
+  sched : Sched.stats;  (** speculation scheduler accounting *)
 }
 
 type config = {
@@ -69,6 +70,13 @@ type config = {
   use_memos : bool;  (** ablation: disable memoization shortcuts *)
   prefetch : bool;  (** ablation: disable StateDB warming *)
   seed : int;
+  jobs : int;
+      (** speculation worker domains; 1 (the default) runs every
+          speculation inline at submission — the sequential pipeline *)
+  drop_stale_spec : bool;
+      (** async invalidation: on a head-extending block, cancel queued
+          speculation for the included txs and requeue the rest against the
+          new head, instead of completing the whole backlog first *)
 }
 
 val default_config : config

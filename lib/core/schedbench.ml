@@ -1,0 +1,131 @@
+(* jobs=1 vs jobs=N comparison harness for the speculation scheduler.
+
+   The same Record.t is replayed three times under Forerunner: inline
+   (jobs=1), parallel with barrier semantics (jobs=N, the default node
+   configuration — bitwise-identical speculation results, just produced on
+   worker domains), and parallel with drop-stale invalidation (sheds the
+   queued backlog at every head-extending block, exercising the
+   cancel/requeue protocol).  Replays share the backend (the trie store is
+   content-addressed and append-only), so later runs see a warmer node
+   database — which favours the FIRST run, so a throughput ratio above 1
+   understates, never overstates, the parallel speedup. *)
+
+type run_stats = {
+  jobs : int;
+  drop_stale : bool;
+  replay_wall_ns : int;
+  speculated : int;
+  spec_txs_per_sec : float;
+  hit_rate_pct : float;
+  perfect : int;
+  imperfect : int;
+  missed : int;
+  unheard : int;
+  cancelled : int;
+  requeued : int;
+  merged : int;
+  high_water : int;
+}
+
+type comparison = {
+  seq : run_stats;
+  par : run_stats;
+  stale : run_stats;
+  throughput_ratio : float;
+  outcomes_match : bool;
+  blocks_match : bool;
+}
+
+let count_outcome (r : Node.result) o =
+  List.length (List.filter (fun (t : Node.tx_record) -> t.outcome = o) r.txs)
+
+let one_run ~jobs ~drop_stale ~config record =
+  let config = { config with Node.jobs; drop_stale_spec = drop_stale } in
+  let result, wall_ns =
+    Clock.time (fun () -> Node.replay ~config ~policy:Node.Forerunner record)
+  in
+  let perfect = count_outcome result Node.O_perfect in
+  let imperfect = count_outcome result Node.O_imperfect in
+  let missed = count_outcome result Node.O_missed in
+  let unheard = count_outcome result Node.O_unheard in
+  let heard = perfect + imperfect + missed in
+  let s = result.sched in
+  ( result,
+    {
+      jobs;
+      drop_stale;
+      replay_wall_ns = wall_ns;
+      speculated = s.completed;
+      spec_txs_per_sec =
+        float_of_int s.completed /. (float_of_int (max 1 wall_ns) /. 1e9);
+      hit_rate_pct =
+        100.0 *. float_of_int (perfect + imperfect) /. float_of_int (max 1 heard);
+      perfect;
+      imperfect;
+      missed;
+      unheard;
+      cancelled = s.cancelled;
+      requeued = s.requeued;
+      merged = s.merged;
+      high_water = s.high_water;
+    } )
+
+let tx_key (t : Node.tx_record) = (t.hash, t.outcome, t.gas_used, t.block_number)
+let block_key (b : Node.block_record) = (b.number, b.root_ok, b.gas_used)
+
+let compare_jobs ?(config = Node.default_config) ~jobs record =
+  let r_seq, seq = one_run ~jobs:1 ~drop_stale:false ~config record in
+  let r_par, par = one_run ~jobs ~drop_stale:false ~config record in
+  let _, stale = one_run ~jobs ~drop_stale:true ~config record in
+  {
+    seq;
+    par;
+    stale;
+    throughput_ratio = par.spec_txs_per_sec /. Float.max 1e-9 seq.spec_txs_per_sec;
+    outcomes_match =
+      List.map tx_key r_seq.txs = List.map tx_key r_par.txs;
+    blocks_match =
+      List.map block_key r_seq.blocks = List.map block_key r_par.blocks;
+  }
+
+let print c =
+  (* the throughput ratio is bounded by available cores: on a single-core
+     host the parallel replays timeshare (and pay the multi-domain GC
+     sync), so only a multicore run can show the scaling *)
+  Printf.printf "host parallelism: %d recommended domain(s)\n\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-22s %8s %10s %12s %9s %9s %9s %8s\n" "variant" "jobs" "wall (s)"
+    "spec tx/s" "hit rate" "cancelled" "requeued" "merged";
+  let row name (s : run_stats) =
+    Printf.printf "%-22s %8d %10.2f %12.1f %8.2f%% %9d %9d %8d\n" name s.jobs
+      (float_of_int s.replay_wall_ns /. 1e9)
+      s.spec_txs_per_sec s.hit_rate_pct s.cancelled s.requeued s.merged
+  in
+  row "sequential" c.seq;
+  row "parallel (barrier)" c.par;
+  row "parallel (drop-stale)" c.stale;
+  Printf.printf "\nthroughput ratio (parallel/sequential): %.2fx\n" c.throughput_ratio;
+  Printf.printf "per-tx outcomes identical: %b; per-block results identical: %b\n"
+    c.outcomes_match c.blocks_match
+
+let json_of_run (s : run_stats) =
+  Printf.sprintf
+    "{\"jobs\":%d,\"drop_stale\":%b,\"replay_wall_ns\":%d,\"speculated\":%d,\
+     \"spec_txs_per_sec\":%.3f,\"hit_rate_pct\":%.3f,\"perfect\":%d,\
+     \"imperfect\":%d,\"missed\":%d,\"unheard\":%d,\"cancelled\":%d,\
+     \"requeued\":%d,\"merged\":%d,\"queue_high_water\":%d}"
+    s.jobs s.drop_stale s.replay_wall_ns s.speculated s.spec_txs_per_sec s.hit_rate_pct
+    s.perfect s.imperfect s.missed s.unheard s.cancelled s.requeued s.merged s.high_water
+
+let to_json c =
+  Printf.sprintf
+    "{\"seq\":%s,\"par\":%s,\"drop_stale\":%s,\"throughput_ratio\":%.3f,\
+     \"outcomes_match\":%b,\"blocks_match\":%b}"
+    (json_of_run c.seq) (json_of_run c.par) (json_of_run c.stale) c.throughput_ratio
+    c.outcomes_match c.blocks_match
+
+let write_json ~file c =
+  let oc = open_out file in
+  output_string oc (to_json c);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,45 @@
+(** Parallel-speculation benchmark: replay the same recorded traffic under
+    the Forerunner policy with [jobs = 1] and [jobs = N] and compare —
+    speculation throughput should scale with workers while every
+    speculation-visible result (per-tx outcomes, gas, block roots) stays
+    identical.  A third replay in drop-stale mode exercises the
+    invalidation protocol (cancelled / requeued counters) at scale. *)
+
+type run_stats = {
+  jobs : int;
+  drop_stale : bool;
+  replay_wall_ns : int;
+  speculated : int;  (** speculation jobs completed *)
+  spec_txs_per_sec : float;  (** completed jobs per replay wall second *)
+  hit_rate_pct : float;  (** AP hits among heard transactions *)
+  perfect : int;
+  imperfect : int;
+  missed : int;
+  unheard : int;
+  cancelled : int;
+  requeued : int;
+  merged : int;
+  high_water : int;
+}
+
+type comparison = {
+  seq : run_stats;  (** jobs = 1 *)
+  par : run_stats;  (** jobs = N, barrier semantics *)
+  stale : run_stats;  (** jobs = N, drop-stale invalidation *)
+  throughput_ratio : float;  (** par.spec_txs_per_sec / seq.spec_txs_per_sec *)
+  outcomes_match : bool;
+      (** per-tx (hash, outcome, gas) sequences of [seq] and [par] are equal *)
+  blocks_match : bool;
+      (** per-block (number, root validated) sequences of [seq] and [par] *)
+}
+
+val compare_jobs : ?config:Node.config -> jobs:int -> Netsim.Record.t -> comparison
+(** [config] defaults to {!Node.default_config}; its [jobs]/[drop_stale_spec]
+    fields are overridden per run. *)
+
+val print : comparison -> unit
+(** Human-readable comparison table on stdout. *)
+
+val to_json : comparison -> string
+
+val write_json : file:string -> comparison -> unit

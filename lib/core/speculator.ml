@@ -61,6 +61,7 @@ type spec = {
   mutable build_errors : int;
   mutable spec_time_ns : int; (* total time spent speculating, off critical path *)
   mutable base_exec_ns : int; (* time of the plain pre-executions (for §5.6) *)
+  mutable spec_gas : int; (* gas burned by pre-executions (readiness cost model) *)
   synth : synth_acc;
 }
 
@@ -74,6 +75,7 @@ let create_spec () =
     build_errors = 0;
     spec_time_ns = 0;
     base_exec_ns = 0;
+    spec_gas = 0;
     synth = empty_acc ();
   }
 
@@ -91,7 +93,11 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
   let (), elapsed =
     Clock.time (fun () ->
         let st = Statedb.create bk ~root in
-        List.iter (fun t -> ignore (Evm.Processor.execute_tx st env t)) pre_txs;
+        List.iter
+          (fun t ->
+            let (r : Evm.Processor.receipt) = Evm.Processor.execute_tx st env t in
+            spec.spec_gas <- spec.spec_gas + r.gas_used)
+          pre_txs;
         (* capture the target's read set for the prefetcher *)
         Statedb.set_tracking st true;
         Statedb.clear_touches st;
@@ -101,6 +107,7 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
           Clock.time (fun () -> Evm.Processor.execute_tx ~trace:sink st env tx)
         in
         spec.base_exec_ns <- spec.base_exec_ns + base_ns;
+        spec.spec_gas <- spec.spec_gas + receipt.gas_used;
         Statedb.revert st snap;
         Statedb.set_tracking st false;
         spec.touches <- Statedb.touches st @ spec.touches;
@@ -119,13 +126,21 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
   Obs.observe_int obs_build_ns elapsed;
   spec.spec_time_ns <- spec.spec_time_ns + elapsed
 
-(* Speculate on all [contexts]; marks the AP ready [spec_time] after [now]
-   (speculation runs off the critical path on spare cores, so its wall time
-   is when results become available). *)
+(* Readiness cost model: the AP becomes usable once the speculation work
+   completes after [now], where "work" is the gas the pre-executions burned
+   at a fixed modelled execution speed (20M gas/s, the ballpark of geth on
+   the paper's testbed).  Gas, not measured wall time: readiness in
+   *simulated* time must be a function of the work, not of the replaying
+   host's instantaneous load — otherwise a contended host (or the worker
+   domains of `--jobs N`) would flip hit/miss outcomes and replays would
+   not be reproducible across machines.  Wall time is still measured into
+   [spec_time_ns]/[base_exec_ns] for the §5.6 overhead accounting. *)
+let ns_per_gas = 50.0
+
 let speculate spec bk ~root ~now contexts tx =
-  let t0 = spec.spec_time_ns in
+  let g0 = spec.spec_gas in
   List.iter (fun (env, pre_txs) -> speculate_one spec bk ~root env ~pre_txs tx) contexts;
-  let elapsed_s = float_of_int (spec.spec_time_ns - t0) /. 1e9 in
+  let elapsed_s = float_of_int (spec.spec_gas - g0) *. ns_per_gas /. 1e9 in
   let candidate = now +. elapsed_s in
   if candidate < spec.ready_at then spec.ready_at <- candidate
   else spec.ready_at <- min spec.ready_at candidate

@@ -20,6 +20,7 @@ type spec = {
   mutable build_errors : int;  (** traces specialization couldn't cover *)
   mutable spec_time_ns : int;  (** wall time spent speculating *)
   mutable base_exec_ns : int;  (** plain-execution share (for §5.6) *)
+  mutable spec_gas : int;  (** gas burned pre-executing (readiness model) *)
   synth : synth_acc;
 }
 
@@ -35,4 +36,6 @@ val speculate :
   unit
 (** Pre-execute [tx] in every given future context against the chain head
     at [root], folding results into [spec].  The AP becomes ready once the
-    (measured) speculation work completes after [now]. *)
+    speculation work completes after [now], under a deterministic cost
+    model (gas burned at a fixed modelled execution speed) so replay
+    outcomes are reproducible across hosts and across [--jobs] settings. *)

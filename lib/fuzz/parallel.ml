@@ -1,0 +1,187 @@
+(* Parallel-speculation oracle: the same scenario's transactions are
+   speculated through the scheduler twice — inline ([jobs = 1], the
+   sequential reference) and on worker domains ([jobs = 4]) — and every
+   per-transaction artifact the node would act on must be byte-identical:
+   the AP's structural fingerprint, the constraint-satisfaction outcome
+   (Hit / Violation / builder fallback), and the receipt the fast path
+   produced.  This is the determinism claim of lib/sched checked against
+   real EVM traffic rather than synthetic jobs.
+
+   Speculation happens exactly as in the node: tx [i] is speculated against
+   the chain head after txs [0..i-1] committed (a main-thread reference
+   execution establishes those roots first), each job reads through its own
+   private Statedb over the shared backend, and results are drained in
+   submission order. *)
+
+open State
+
+type tx_result = {
+  fp : string option;  (** AP structural fingerprint; [None] on builder fallback *)
+  outcome : string;  (** ["hit"] / ["violation"] / ["fallback"] / ["exn:..."] *)
+  status : string;
+  gas_used : int;
+  output_hex : string;
+}
+
+type mismatch = { tx : int; field : string; seq_v : string; par_v : string }
+
+type report = {
+  txs : int;
+  fallbacks : int;  (** builder fallbacks in the sequential run *)
+  aps_checked : int;  (** fingerprints compared (both runs built an AP) *)
+  mismatches : mismatch list;
+}
+
+let obs_txs = Obs.counter "fuzz.parallel.txs"
+let obs_mismatches = Obs.counter "fuzz.parallel.mismatches"
+
+(* One speculation job, self-contained: private Statedb views over the
+   shared backend at the captured [root], exactly like a worker domain in
+   the node. *)
+let speculate bk benv ~root (tx : Evm.Env.tx) () : tx_result =
+  let st = Statedb.create bk ~root in
+  match Oracle.build_path st benv tx with
+  | Error _ ->
+    let r = Evm.Processor.execute_tx st benv tx in
+    {
+      fp = None;
+      outcome = "fallback";
+      status = Fmt.str "%a" Evm.Processor.pp_status r.status;
+      gas_used = r.gas_used;
+      output_hex = Sexp.hex_of_string r.output;
+    }
+  | Ok path ->
+    let ap = Ap.Program.create () in
+    Ap.Program.add_path ap path;
+    let fp = Ap.Program.fingerprint ap in
+    let st_exec = Statedb.create bk ~root in
+    (match Ap.Exec.execute ap st_exec benv tx with
+    | Ap.Exec.Violation ->
+      { fp = Some fp; outcome = "violation"; status = ""; gas_used = 0; output_hex = "" }
+    | Ap.Exec.Hit (r, _) ->
+      {
+        fp = Some fp;
+        outcome = "hit";
+        status = Fmt.str "%a" Evm.Processor.pp_status r.status;
+        gas_used = r.gas_used;
+        output_hex = Sexp.hex_of_string r.output;
+      })
+
+let run_with ~jobs (s : Scenario.t) : tx_result list =
+  let bk = Statedb.Backend.create () in
+  let root0 = Scenario.install s bk in
+  let benv = Scenario.benv in
+  let txs = Scenario.txs s in
+  (* reference chain: the pre-state root each tx speculates against *)
+  let st = Statedb.create bk ~root:root0 in
+  let pre = ref root0 in
+  let targets =
+    List.map
+      (fun tx ->
+        let root = !pre in
+        ignore (Evm.Processor.execute_tx st benv tx);
+        pre := Statedb.commit st;
+        (tx, root))
+      txs
+  in
+  let sched : tx_result Sched.t = Sched.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Sched.shutdown sched)
+    (fun () ->
+      List.iter
+        (fun ((tx : Evm.Env.tx), root) ->
+          Sched.submit sched ~hash:(Evm.Env.tx_hash tx) ~root ~priority:tx.gas_price
+            (speculate bk benv ~root tx))
+        targets;
+      Sched.barrier sched;
+      List.map
+        (fun (r : tx_result Sched.result) ->
+          match r.r_value with
+          | Ok v -> v
+          | Error e ->
+            {
+              fp = None;
+              outcome = "exn:" ^ Printexc.to_string e;
+              status = "";
+              gas_used = 0;
+              output_hex = "";
+            })
+        (Sched.drain sched))
+
+let check ?(jobs = 4) (s : Scenario.t) : report =
+  let seq = run_with ~jobs:1 s in
+  let par = run_with ~jobs s in
+  let mismatches = ref [] in
+  let add tx field seq_v par_v =
+    Obs.incr obs_mismatches;
+    mismatches := { tx; field; seq_v; par_v } :: !mismatches
+  in
+  let aps = ref 0 in
+  List.iteri
+    (fun i (a, b) ->
+      Obs.incr obs_txs;
+      (match (a.fp, b.fp) with
+      | Some fa, Some fb ->
+        incr aps;
+        if not (String.equal fa fb) then
+          add i "ap_fingerprint" (Sexp.hex_of_string fa) (Sexp.hex_of_string fb)
+      | None, None -> ()
+      | fa, fb ->
+        add i "ap_built"
+          (if fa = None then "fallback" else "built")
+          (if fb = None then "fallback" else "built"));
+      if not (String.equal a.outcome b.outcome) then add i "outcome" a.outcome b.outcome;
+      if not (String.equal a.status b.status) then add i "status" a.status b.status;
+      if a.gas_used <> b.gas_used then
+        add i "gas_used" (string_of_int a.gas_used) (string_of_int b.gas_used);
+      if not (String.equal a.output_hex b.output_hex) then
+        add i "output" a.output_hex b.output_hex)
+    (List.combine seq par);
+  {
+    txs = List.length seq;
+    fallbacks = List.length (List.filter (fun r -> r.fp = None) seq);
+    aps_checked = !aps;
+    mismatches = List.rev !mismatches;
+  }
+
+let pp_mismatch ppf m =
+  Fmt.pf ppf "tx %d %s: jobs=1 %s vs jobs=N %s" m.tx m.field m.seq_v m.par_v
+
+(* ---- corpus sweep (mirrors Driver.replay_corpus) ---- *)
+
+type corpus_failure = { path : string; problem : string }
+
+let check_file ?jobs path : corpus_failure option =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Scenario.of_string s
+  with
+  | exception exn -> Some { path; problem = "read error: " ^ Printexc.to_string exn }
+  | Error m -> Some { path; problem = "parse error: " ^ m }
+  | Ok scenario -> (
+    match (check ?jobs scenario).mismatches with
+    | [] -> None
+    | ms ->
+      Some
+        {
+          path;
+          problem =
+            Fmt.str "%d mismatch(es): %a" (List.length ms)
+              Fmt.(list ~sep:semi pp_mismatch)
+              ms;
+        })
+
+let check_corpus ?jobs dir : corpus_failure list * int =
+  if not (Sys.file_exists dir) then ([], 0)
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    in
+    (List.filter_map (check_file ?jobs) files, List.length files)
+  end

@@ -6,6 +6,9 @@
 type obs_event =
   | Heard of float * Evm.Env.tx  (** pending transaction heard at sim time *)
   | Block of float * Chain.Block.t  (** block received at sim time *)
+  | Tick of float
+      (** periodic idle point (speculation budget boundary): replay may
+          collect finished speculation work here, between deliveries *)
 
 type t = {
   events : obs_event array;  (** time-ordered observer feed *)
@@ -24,7 +27,7 @@ type t = {
 
 let is_canonical r b = Hashtbl.mem r.canonical (Chain.Block.hash b)
 
-let event_time = function Heard (t, _) -> t | Block (t, _) -> t
+let event_time = function Heard (t, _) -> t | Block (t, _) -> t | Tick t -> t
 
 (* Fraction of packed transactions heard before their block arrived, plus
    the heard-delay samples (block arrival - hear time) for Fig. 11. *)
@@ -48,6 +51,7 @@ let heard_stats r =
                 incr heard;
                 delays := (t -. th) :: !delays
               | Some _ | None -> ())
-            b.txs)
+            b.txs
+      | Tick _ -> ())
     r.events;
   (!total, !heard, !delays)

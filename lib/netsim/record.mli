@@ -7,6 +7,9 @@
 type obs_event =
   | Heard of float * Evm.Env.tx  (** pending transaction heard at sim time *)
   | Block of float * Chain.Block.t  (** block received at sim time *)
+  | Tick of float
+      (** periodic idle point (speculation budget boundary): replay may
+          collect finished speculation work here, between deliveries *)
 
 type t = {
   events : obs_event array;  (** time-ordered observer feed *)

@@ -31,6 +31,10 @@ type params = {
   n_users : int;
   n_observers : int;
   start_time : float; (* epoch seconds; aligns oracle rounds *)
+  tick_interval : float option;
+      (* when set, emit [Record.Tick] every so many simulated seconds: the
+         replay's hook for draining finished speculation between deliveries
+         (a speculation budget per simulated tick) *)
 }
 
 let default_params =
@@ -50,6 +54,7 @@ let default_params =
     n_users = 200;
     n_observers = 8;
     start_time = 1_600_000_000.0;
+    tick_interval = None;
   }
 
 type ev = E_tx | E_block | E_miner_hear of int * Evm.Env.tx
@@ -217,6 +222,14 @@ let run ?(params = default_params) () : Record.t =
           Heap.push q (t +. exp_sample rng p.mean_block_interval) E_block
       end
   done;
+  (match p.tick_interval with
+  | Some dt when dt > 0.0 ->
+    let t = ref dt in
+    while !t < p.duration do
+      events := Record.Tick !t :: !events;
+      t := !t +. dt
+    done
+  | Some _ | None -> ());
   let arr = Array.of_list !events in
   Array.sort (fun a b -> compare (Record.event_time a) (Record.event_time b)) arr;
   {

@@ -28,6 +28,10 @@ type params = {
   n_users : int;
   n_observers : int;  (** price-oracle submitters *)
   start_time : float;  (** epoch seconds; aligns oracle rounds *)
+  tick_interval : float option;
+      (** when set, emit {!Record.Tick} every so many simulated seconds: the
+          replay's hook for draining finished speculation work between
+          deliveries (a speculation budget per simulated tick) *)
 }
 
 val default_params : params

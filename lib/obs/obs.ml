@@ -4,9 +4,15 @@
 
    Design constraints:
    - zero cost when disabled: every record operation starts with a single
-     [if !enabled] check and instruments are plain mutable cells, so leaving
-     the instrumentation compiled into the hot paths does not perturb the
+     [if !enabled] check and instruments are plain cells, so leaving the
+     instrumentation compiled into the hot paths does not perturb the
      critical-path timings the evaluation depends on;
+   - safe under OCaml 5 domains: the speculation scheduler (lib/sched) bumps
+     instruments from worker domains concurrently with the main thread.
+     Counters and gauges are [Atomic]s (no lost updates), registry mutations
+     happen under one mutex, histograms serialize their bucket updates
+     through a per-instrument mutex, and the open-span stack is domain-local
+     so nested spans on different workers never see each other's frames;
    - no dependencies beyond the monotonic clock stub the benchmarks already
      use, so the lowest layers (trie, statedb) can link against it;
    - readable output: the registry renders as JSON (machine diffable, for
@@ -18,14 +24,17 @@ let now_ns () = Monotonic_clock.now ()
 
 (* ---- instruments ---- *)
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t; g_set : bool Atomic.t }
 
 (* Log2 bucketed distribution: bucket [i] counts samples in [2^i, 2^(i+1)).
    63 buckets cover any positive OCaml int, so nanosecond timings and byte
-   sizes share the representation. *)
+   sizes share the representation.  The whole record mutates under [h_mu]:
+   a histogram update is far off the disabled fast path, and an uncontended
+   lock is noise next to the work being measured. *)
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : float;
@@ -35,6 +44,7 @@ type histogram = {
 
 type span_stat = {
   s_name : string;
+  s_mu : Mutex.t;
   mutable s_count : int;
   mutable s_total_ns : int; (* inclusive of nested spans *)
   mutable s_self_ns : int; (* exclusive: total minus nested span time *)
@@ -48,32 +58,40 @@ type instrument =
   | Span of span_stat
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
 
 let register name v =
-  match Hashtbl.find_opt registry name with
-  | Some existing ->
-    (* same name and kind -> share the instrument (modules may re-request) *)
-    (match (existing, v) with
-    | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ | Span _, Span _ ->
-      existing
-    | _ -> invalid_arg (Printf.sprintf "Obs: %S already registered with another kind" name))
-  | None ->
-    Hashtbl.replace registry name v;
-    v
+  Mutex.lock registry_mu;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some existing ->
+      (* same name and kind -> share the instrument (modules may re-request) *)
+      (match (existing, v) with
+      | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ | Span _, Span _ ->
+        Ok existing
+      | _ -> Error name)
+    | None ->
+      Hashtbl.replace registry name v;
+      Ok v
+  in
+  Mutex.unlock registry_mu;
+  match r with
+  | Ok v -> v
+  | Error name -> invalid_arg (Printf.sprintf "Obs: %S already registered with another kind" name)
 
 let counter name =
-  match register name (Counter { c_name = name; count = 0 }) with
+  match register name (Counter { c_name = name; count = Atomic.make 0 }) with
   | Counter c -> c
   | _ -> assert false
 
 let gauge name =
-  match register name (Gauge { g_name = name; value = 0.0; g_set = false }) with
+  match register name (Gauge { g_name = name; value = Atomic.make 0.0; g_set = Atomic.make false }) with
   | Gauge g -> g
   | _ -> assert false
 
 let fresh_hist name =
-  { h_name = name; h_buckets = Array.make 63 0; h_count = 0; h_sum = 0.0;
-    h_min = infinity; h_max = neg_infinity }
+  { h_name = name; h_mu = Mutex.create (); h_buckets = Array.make 63 0; h_count = 0;
+    h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
 
 let histogram name =
   match register name (Histogram (fresh_hist name)) with
@@ -83,38 +101,51 @@ let histogram name =
 let span_stat name =
   match
     register name
-      (Span { s_name = name; s_count = 0; s_total_ns = 0; s_self_ns = 0; s_hist = fresh_hist name })
+      (Span { s_name = name; s_mu = Mutex.create (); s_count = 0; s_total_ns = 0;
+              s_self_ns = 0; s_hist = fresh_hist name })
   with
   | Span s -> s
   | _ -> assert false
 
 (* ---- recording ---- *)
 
-let incr c = if !enabled then c.count <- c.count + 1
-let add c n = if !enabled then c.count <- c.count + n
-let count c = c.count
+let incr c = if !enabled then Atomic.incr c.count
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.count n)
+let count c = Atomic.get c.count
 
 let set g v =
   if !enabled then begin
-    g.value <- v;
-    g.g_set <- true
+    Atomic.set g.value v;
+    Atomic.set g.g_set true
   end
 
-(* Keep the running maximum (e.g. a high-water mark like journal depth). *)
+(* Keep the running maximum (e.g. a high-water mark like journal depth);
+   the CAS loop makes concurrent maxima converge to the true maximum. *)
 let set_max g v =
-  if !enabled && ((not g.g_set) || v > g.value) then begin
-    g.value <- v;
-    g.g_set <- true
+  if !enabled then begin
+    let rec go () =
+      let cur = Atomic.get g.value in
+      if (not (Atomic.get g.g_set)) || v > cur then begin
+        if Atomic.compare_and_set g.value cur v then Atomic.set g.g_set true else go ()
+      end
+    in
+    go ()
   end
 
 let bucket_of v = if v < 2.0 then 0 else min 62 (int_of_float (Float.log2 v))
 
-let observe_unchecked h v =
+(* callers hold [h.h_mu] *)
+let observe_locked h v =
   h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
+
+let observe_unchecked h v =
+  Mutex.lock h.h_mu;
+  observe_locked h v;
+  Mutex.unlock h.h_mu
 
 let observe h v = if !enabled then observe_unchecked h (max 0.0 v)
 let observe_int h v = observe h (float_of_int v)
@@ -122,14 +153,17 @@ let observe_int h v = observe h (float_of_int v)
 (* ---- spans ---- *)
 
 (* The open-span stack lets a span subtract the time its nested spans
-   consumed, giving each label both inclusive and self time. *)
+   consumed, giving each label both inclusive and self time.  One stack per
+   domain: a worker's spans nest within that worker only. *)
 type frame = { mutable child_ns : int }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let span name f =
   if not !enabled then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let fr = { child_ns = 0 } in
     stack := fr :: !stack;
     let t0 = now_ns () in
@@ -138,9 +172,11 @@ let span name f =
       (match !stack with _ :: rest -> stack := rest | [] -> ());
       (match !stack with parent :: _ -> parent.child_ns <- parent.child_ns + dt | [] -> ());
       let st = span_stat name in
+      Mutex.lock st.s_mu;
       st.s_count <- st.s_count + 1;
       st.s_total_ns <- st.s_total_ns + dt;
       st.s_self_ns <- st.s_self_ns + (dt - fr.child_ns);
+      Mutex.unlock st.s_mu;
       observe_unchecked st.s_hist (float_of_int (max 0 dt))
     in
     match f () with
@@ -154,36 +190,43 @@ let span name f =
 
 (* ---- registry maintenance ---- *)
 
+let reset_hist h =
+  Mutex.lock h.h_mu;
+  Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+  h.h_count <- 0;
+  h.h_sum <- 0.0;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity;
+  Mutex.unlock h.h_mu
+
 (* Zero every instrument but keep the registrations (call sites hold direct
    references to their instruments). *)
 let reset () =
-  stack := [];
-  Hashtbl.iter
-    (fun _ v ->
+  Domain.DLS.get stack_key := [];
+  Mutex.lock registry_mu;
+  let all = Hashtbl.fold (fun _ v acc -> v :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  List.iter
+    (fun v ->
       match v with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Gauge g ->
-        g.value <- 0.0;
-        g.g_set <- false
-      | Histogram h ->
-        Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity
+        Atomic.set g.value 0.0;
+        Atomic.set g.g_set false
+      | Histogram h -> reset_hist h
       | Span s ->
+        Mutex.lock s.s_mu;
         s.s_count <- 0;
         s.s_total_ns <- 0;
         s.s_self_ns <- 0;
-        Array.fill s.s_hist.h_buckets 0 (Array.length s.s_hist.h_buckets) 0;
-        s.s_hist.h_count <- 0;
-        s.s_hist.h_sum <- 0.0;
-        s.s_hist.h_min <- infinity;
-        s.s_hist.h_max <- neg_infinity)
-    registry
+        Mutex.unlock s.s_mu;
+        reset_hist s.s_hist)
+    all
 
 let sorted_instruments () =
+  Mutex.lock registry_mu;
   let all = Hashtbl.fold (fun _ v acc -> v :: acc) registry [] in
+  Mutex.unlock registry_mu;
   let name = function
     | Counter c -> c.c_name
     | Gauge g -> g.g_name
@@ -234,8 +277,8 @@ let to_json () =
   List.iter
     (fun v ->
       match v with
-      | Counter c -> cs := Printf.sprintf "\"%s\":%d" (json_escape c.c_name) c.count :: !cs
-      | Gauge g -> gs := Printf.sprintf "\"%s\":%s" (json_escape g.g_name) (json_float g.value) :: !gs
+      | Counter c -> cs := Printf.sprintf "\"%s\":%d" (json_escape c.c_name) (Atomic.get c.count) :: !cs
+      | Gauge g -> gs := Printf.sprintf "\"%s\":%s" (json_escape g.g_name) (json_float (Atomic.get g.value)) :: !gs
       | Histogram h -> hs := Printf.sprintf "\"%s\":%s" (json_escape h.h_name) (hist_json h) :: !hs
       | Span s ->
         ss :=
@@ -258,8 +301,8 @@ let to_table () =
     List.map
       (fun v ->
         match v with
-        | Counter c -> (c.c_name, "counter", Printf.sprintf "%d" c.count)
-        | Gauge g -> (g.g_name, "gauge", Printf.sprintf "%g" g.value)
+        | Counter c -> (c.c_name, "counter", Printf.sprintf "%d" (Atomic.get c.count))
+        | Gauge g -> (g.g_name, "gauge", Printf.sprintf "%g" (Atomic.get g.value))
         | Histogram h ->
           ( h.h_name,
             "hist",

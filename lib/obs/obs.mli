@@ -7,8 +7,15 @@
     paper's evaluation (§5) without perturbing them.
 
     Instruments are created (or re-fetched) by name; call sites keep the
-    returned handle and bump it directly — a counter update is a plain
-    [int] store, never a hashtable lookup. *)
+    returned handle and bump it directly — a counter update is one atomic
+    add, never a hashtable lookup.
+
+    The registry is safe under OCaml 5 domains (the speculation scheduler
+    records from worker domains): counters and gauges are [Atomic]s,
+    registry mutations run under a mutex, histogram updates serialize
+    through a per-instrument mutex, and the span-nesting stack is
+    domain-local, so concurrent increments are never lost and spans on
+    different workers do not interleave. *)
 
 val enabled : bool ref
 val set_enabled : bool -> unit

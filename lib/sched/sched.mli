@@ -1,0 +1,90 @@
+(** The speculation scheduler: a pool of OCaml 5 worker domains draining a
+    bounded priority {!Workq} of speculation jobs and publishing results
+    through a lock-free {!Mailbox}.
+
+    The design centres on determinism.  Jobs are keyed by transaction hash;
+    jobs submitted for the same hash are {e chained} — they run on one
+    worker, in submission order, never concurrently — so a job may safely
+    mutate per-transaction state (the tx's accumulating AP/spec record).
+    Jobs for distinct hashes touch disjoint state and may run in any
+    interleaving; {!drain} returns results sorted by submission sequence,
+    so the order in which the caller {e applies} results is independent of
+    worker timing.  With [jobs = 1] no domains are spawned at all and every
+    job runs inline at {!submit} — byte-identical to the sequential code
+    path, which is what the tier-1 tests and the fuzzer pin.
+
+    The producer side is single-threaded: {!submit}, {!drain}, {!barrier},
+    {!cancel}, {!invalidate} and {!shutdown} must all be called from the
+    domain that called {!create} (in this codebase, the node's replay
+    loop).  Worker domains never call back into the scheduler API. *)
+
+module Workq : module type of Workq
+(** The bounded priority work queue (re-exported for its property tests). *)
+
+module Mailbox : module type of Mailbox
+(** The lock-free result mailbox (re-exported likewise). *)
+
+type 'r t
+
+type 'r result = {
+  r_seq : int;  (** submission sequence number, 0-based *)
+  r_hash : string;  (** the [~hash] the job was submitted under *)
+  r_root : string;  (** the [~root] the job was submitted against *)
+  r_value : ('r, exn) Stdlib.result;  (** [Error e] if the job raised [e] *)
+}
+
+type stats = {
+  jobs : int;
+  submitted : int;
+  completed : int;  (** results published (inline or by a worker) *)
+  cancelled : int;  (** queued jobs dropped + in-flight results suppressed *)
+  requeued : int;  (** jobs dropped by {!invalidate} for the caller to resubmit *)
+  merged : int;  (** submissions chained behind existing work for the same hash *)
+  queued : int;  (** jobs currently waiting (snapshot) *)
+  running : int;  (** jobs currently executing (snapshot) *)
+  high_water : int;  (** max depth the work queue ever reached *)
+}
+
+val create : ?capacity:int -> jobs:int -> unit -> 'r t
+(** Spawn [jobs] worker domains ([jobs = 1] spawns none: inline mode).
+    [capacity] bounds the work queue (default 4096); a full queue blocks
+    {!submit} until workers catch up. *)
+
+val jobs : 'r t -> int
+
+val submit : 'r t -> hash:string -> root:string -> priority:U256.t -> (unit -> 'r) -> unit
+(** Enqueue a job.  [priority] orders dispatch (higher first — predicted
+    inclusion order, i.e. gas price); [root] tags the job with the state
+    root it speculates against, for {!invalidate}.  Blocks when the queue
+    is at capacity.  In inline mode the job runs before [submit] returns. *)
+
+val drain : 'r t -> 'r result list
+(** Take every published result, sorted by submission sequence.  Does not
+    wait — use {!barrier} first to collect everything outstanding. *)
+
+val barrier : 'r t -> unit
+(** Block until no job is queued or running.  On return the workers are all
+    parked in the queue's pop wait — quiescent — so the caller may safely
+    write shared backend state (e.g. commit a block's trie nodes) before
+    submitting again.  No-op in inline mode. *)
+
+val cancel : 'r t -> string list -> unit
+(** Drop all queued jobs for these hashes and suppress the results of any
+    in-flight ones (used when a new block includes the txs: their
+    speculations are moot).  Already-published results are not recalled. *)
+
+val invalidate : 'r t -> root:string -> (string * U256.t) list
+(** Drop every queued job whose [~root] differs from [root] (the new chain
+    head) and return the distinct [(hash, priority)] pairs dropped, in
+    submission order, so the caller can resubmit them against the new head.
+    In-flight jobs are left to finish; their results carry their stale
+    [r_root] for the caller to filter.  Counted as [requeued]. *)
+
+val stats : 'r t -> stats
+
+val empty_stats : stats
+(** All-zero stats with [jobs = 1] (for synthetic results in tests). *)
+
+val shutdown : 'r t -> unit
+(** Finish all queued work, join the worker domains.  Idempotent; the
+    scheduler must not be used afterwards (except {!drain}/{!stats}). *)

@@ -1,0 +1,147 @@
+(* Bounded blocking priority queue: a binary max-heap ordered by
+   (priority desc, insertion sequence asc) under one mutex, with two
+   condition variables for the two blocking directions.  The heap array is
+   preallocated at [capacity], so steady-state operation never allocates
+   beyond the items themselves. *)
+
+type 'a entry = { prio : U256.t; seq : int; item : 'a }
+
+type 'a t = {
+  mu : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  heap : 'a entry option array; (* slots [0, len) live *)
+  cap : int;
+  mutable len : int;
+  mutable hw : int; (* high-water mark *)
+  mutable seq : int;
+  mutable is_closed : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Workq.create: capacity must be positive";
+  {
+    mu = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    heap = Array.make capacity None;
+    cap = capacity;
+    len = 0;
+    hw = 0;
+    seq = 0;
+    is_closed = false;
+  }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.len in
+  Mutex.unlock t.mu;
+  n
+
+let high_water t =
+  Mutex.lock t.mu;
+  let n = t.hw in
+  Mutex.unlock t.mu;
+  n
+
+let closed t =
+  Mutex.lock t.mu;
+  let c = t.is_closed in
+  Mutex.unlock t.mu;
+  c
+
+(* [a] pops before [b]: higher priority first, then earlier submission. *)
+let before a b =
+  let c = U256.compare a.prio b.prio in
+  if c <> 0 then c > 0 else a.seq < b.seq
+
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before (get t i) (get t parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.len && before (get t l) (get t !best) then best := l;
+  if r < t.len && before (get t r) (get t !best) then best := r;
+  if !best <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!best);
+    t.heap.(!best) <- tmp;
+    sift_down t !best
+  end
+
+(* callers hold [t.mu] and have checked there is room *)
+let insert t ~priority item =
+  t.heap.(t.len) <- Some { prio = priority; seq = t.seq; item };
+  t.seq <- t.seq + 1;
+  t.len <- t.len + 1;
+  if t.len > t.hw then t.hw <- t.len;
+  sift_up t (t.len - 1);
+  Condition.signal t.not_empty
+
+(* callers hold [t.mu] and have checked [t.len > 0] *)
+let remove_top t =
+  let top = get t 0 in
+  t.len <- t.len - 1;
+  t.heap.(0) <- t.heap.(t.len);
+  t.heap.(t.len) <- None;
+  if t.len > 0 then sift_down t 0;
+  Condition.signal t.not_full;
+  top.item
+
+let push t ~priority item =
+  Mutex.lock t.mu;
+  while t.len >= t.cap && not t.is_closed do
+    Condition.wait t.not_full t.mu
+  done;
+  let ok = not t.is_closed in
+  if ok then insert t ~priority item;
+  Mutex.unlock t.mu;
+  ok
+
+let try_push t ~priority item =
+  Mutex.lock t.mu;
+  let r =
+    if t.is_closed then `Closed
+    else if t.len >= t.cap then `Full
+    else begin
+      insert t ~priority item;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let pop t =
+  Mutex.lock t.mu;
+  while t.len = 0 && not t.is_closed do
+    Condition.wait t.not_empty t.mu
+  done;
+  let r = if t.len = 0 then None else Some (remove_top t) in
+  Mutex.unlock t.mu;
+  r
+
+let try_pop t =
+  Mutex.lock t.mu;
+  let r = if t.len = 0 then None else Some (remove_top t) in
+  Mutex.unlock t.mu;
+  r
+
+let close t =
+  Mutex.lock t.mu;
+  t.is_closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu

@@ -1,0 +1,45 @@
+(** A bounded, thread-safe priority work queue — the front half of the
+    speculation scheduler.
+
+    Items pop highest-priority first (priority = predicted inclusion order:
+    gas price, the packer's own key); equal priorities pop in FIFO order via
+    an insertion sequence number, so scheduling is deterministic for a
+    deterministic submission order.  The queue holds at most [capacity]
+    items: {!push} blocks the producer until space frees up (backpressure —
+    a flooded mempool must slow admission, not grow the heap without
+    bound), while {!try_push} refuses instead.
+
+    All operations are safe to call from any domain. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to 4096 and must be positive. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current number of queued items (racy snapshot under concurrency). *)
+
+val high_water : 'a t -> int
+(** Maximum length ever observed — the backpressure bound witness; never
+    exceeds {!capacity}. *)
+
+val push : 'a t -> priority:U256.t -> 'a -> bool
+(** Enqueue, blocking while the queue is full.  Returns [false] (without
+    enqueuing) if the queue is or becomes closed. *)
+
+val try_push : 'a t -> priority:U256.t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Dequeue the highest-priority item, blocking while the queue is empty.
+    Returns [None] once the queue is closed and drained. *)
+
+val try_pop : 'a t -> 'a option
+(** [None] when currently empty (even if not closed). *)
+
+val close : 'a t -> unit
+(** Wake all blocked producers and consumers; queued items remain poppable,
+    further pushes are refused.  Idempotent. *)
+
+val closed : 'a t -> bool

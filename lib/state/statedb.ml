@@ -9,12 +9,17 @@ let empty_code_hash = Khash.Keccak.digest ""
 let empty_root = Trie.empty_root_hash
 
 module Backend = struct
-  type t = { tdb : Trie.Db.t; code : (string, string) Hashtbl.t }
+  (* The code table is the one backend structure speculation can *write*
+     concurrently (a CREATE pre-executed on a worker domain stores the
+     deployed code), so stores and loads serialize through [code_mu].  The
+     critical section is one hashtable probe — uncontended cost is noise
+     next to the execution it serves. *)
+  type t = { tdb : Trie.Db.t; code : (string, string) Hashtbl.t; code_mu : Mutex.t }
 
   let create () =
     let code = Hashtbl.create 64 in
     Hashtbl.replace code empty_code_hash "";
-    { tdb = Trie.Db.create (); code }
+    { tdb = Trie.Db.create (); code; code_mu = Mutex.create () }
 
   let trie_db b = b.tdb
   let io_reads b = Trie.Db.node_reads b.tdb
@@ -22,11 +27,16 @@ module Backend = struct
 
   let store_code b code =
     let h = Khash.Keccak.digest code in
+    Mutex.lock b.code_mu;
     Hashtbl.replace b.code h code;
+    Mutex.unlock b.code_mu;
     h
 
   let load_code b h =
-    match Hashtbl.find_opt b.code h with
+    Mutex.lock b.code_mu;
+    let c = Hashtbl.find_opt b.code h in
+    Mutex.unlock b.code_mu;
+    match c with
     | Some c -> c
     | None -> invalid_arg "Statedb: unknown code hash"
 end

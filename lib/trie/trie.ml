@@ -1,8 +1,13 @@
 module Db = struct
+  (* The I/O counters are atomics: speculation worker domains (lib/sched)
+     walk tries concurrently, and lost increments would skew the disk-I/O
+     proxy the evaluation reports.  The store itself is only read
+     concurrently — writers ([put], from commits) run with the worker pool
+     quiesced, which the scheduler's block-boundary barrier guarantees. *)
   type t = {
     store : (string, string) Hashtbl.t;
-    mutable reads : int;
-    mutable writes : int;
+    reads : int Atomic.t;
+    writes : int Atomic.t;
   }
 
   (* process-wide totals across every Db instance (the per-instance counters
@@ -10,13 +15,13 @@ module Db = struct
   let obs_reads = Obs.counter "trie.node_reads"
   let obs_writes = Obs.counter "trie.node_writes"
 
-  let create () = { store = Hashtbl.create 1024; reads = 0; writes = 0 }
-  let node_reads t = t.reads
-  let node_writes t = t.writes
+  let create () = { store = Hashtbl.create 1024; reads = Atomic.make 0; writes = Atomic.make 0 }
+  let node_reads t = Atomic.get t.reads
+  let node_writes t = Atomic.get t.writes
 
   let reset_counters t =
-    t.reads <- 0;
-    t.writes <- 0
+    Atomic.set t.reads 0;
+    Atomic.set t.writes 0
 
   let size t = Hashtbl.length t.store
 
@@ -24,13 +29,13 @@ module Db = struct
     let h = Khash.Keccak.digest encoded in
     if not (Hashtbl.mem t.store h) then begin
       Hashtbl.replace t.store h encoded;
-      t.writes <- t.writes + 1;
+      Atomic.incr t.writes;
       Obs.incr obs_writes
     end;
     h
 
   let get t h =
-    t.reads <- t.reads + 1;
+    Atomic.incr t.reads;
     Obs.incr obs_reads;
     match Hashtbl.find_opt t.store h with
     | Some enc -> enc

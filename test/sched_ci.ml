@@ -1,0 +1,34 @@
+(* The @sched alias: the fuzz corpus plus a bounded generated sweep through
+   the parallel speculation path.  jobs=4 must produce byte-identical APs
+   (structural fingerprints) and identical constraint-satisfaction outcomes
+   as jobs=1 on every scenario — exit non-zero on any mismatch. *)
+
+let jobs = 4
+let sweep_iters = 8
+let seed = 42
+
+let () =
+  let failures, n = Fuzz.Parallel.check_corpus ~jobs "corpus" in
+  Printf.printf "sched-ci: corpus %d/%d scenarios parallel-deterministic\n%!"
+    (n - List.length failures)
+    n;
+  List.iter
+    (fun (f : Fuzz.Parallel.corpus_failure) ->
+      Printf.printf "sched-ci: CORPUS MISMATCH %s: %s\n%!" f.path f.problem)
+    failures;
+  let bad = ref (List.length failures) in
+  let txs = ref 0 and aps = ref 0 in
+  for iter = 0 to sweep_iters - 1 do
+    let r = Fuzz.Parallel.check ~jobs (Fuzz.Driver.generate ~seed iter) in
+    txs := !txs + r.txs;
+    aps := !aps + r.aps_checked;
+    if r.mismatches <> [] then begin
+      incr bad;
+      Printf.printf "sched-ci: MISMATCH seed %d iter %d:\n%!" seed iter;
+      List.iter (fun m -> Fmt.pr "sched-ci:   %a@." Fuzz.Parallel.pp_mismatch m) r.mismatches
+    end
+  done;
+  Printf.printf "sched-ci: sweep %d iterations (seed %d): %d txs, %d AP fingerprints compared\n%!"
+    sweep_iters seed !txs !aps;
+  if !bad > 0 then exit 1
+  else print_string "sched-ci: jobs=4 and jobs=1 speculation agree everywhere\n"

@@ -309,6 +309,7 @@ let metrics_tests =
       reorgs = 0;
       fork_blocks = 1;
       synth = Core.Speculator.empty_acc ();
+      sched = Sched.empty_stats;
     }
   in
   [ t "ap_shape counts canonical executions only" (fun () ->

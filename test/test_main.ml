@@ -18,5 +18,6 @@ let () =
       ("netsim", Test_netsim.suite);
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
+      ("sched", Test_sched.suite);
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -112,7 +112,7 @@ let sim_tests =
           Array.to_list r.Netsim.Record.events
           |> List.filter_map (function
                | Netsim.Record.Block (_, b) -> Some b.Chain.Block.header.state_root
-               | Netsim.Record.Heard _ -> None)
+               | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> None)
         in
         Alcotest.(check bool) "same roots" true (roots r1 = roots r2));
     t "different seeds diverge" (fun () ->
@@ -138,7 +138,7 @@ let sim_tests =
               Alcotest.(check bool) "timestamp" true (b.header.timestamp > !last_ts);
               last_n := b.header.number;
               last_ts := b.header.timestamp
-            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events);
     t "per-sender nonces inside blocks are sequential" (fun () ->
         let r = Netsim.Sim.run ~params:small_params () in
@@ -153,7 +153,7 @@ let sim_tests =
                   Alcotest.(check int) "nonce" expect tx.nonce;
                   Hashtbl.replace next k (expect + 1))
                 b.txs
-            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events);
     t "no transaction is packed twice on the canonical chain" (fun () ->
         let r = Netsim.Sim.run ~params:small_params () in
@@ -167,7 +167,7 @@ let sim_tests =
                   Alcotest.(check bool) "fresh" false (Hashtbl.mem seen h);
                   Hashtbl.replace seen h ())
                 b.txs
-            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events);
     t "heard fraction is high but not total" (fun () ->
         let r = Netsim.Sim.run ~params:small_params () in
@@ -191,14 +191,14 @@ let sim_tests =
           (function
             | Netsim.Record.Block (_, b) when Netsim.Record.is_canonical r b ->
               Hashtbl.replace canon_heights b.header.number ()
-            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events;
         Array.iter
           (function
             | Netsim.Record.Block (_, b) when not (Netsim.Record.is_canonical r b) ->
               Alcotest.(check bool) "fork height contested" true
                 (Hashtbl.mem canon_heights b.header.number)
-            | Netsim.Record.Block _ | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Block _ | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events);
     t "forked replay validates all roots and counts side blocks" (fun () ->
         let params =
@@ -226,7 +226,7 @@ let sim_tests =
             | Netsim.Record.Block (_, b) ->
               Alcotest.(check bool) "within limit" true
                 (Chain.Block.gas_used_upper_bound b <= b.header.gas_limit)
-            | Netsim.Record.Heard _ -> ())
+            | Netsim.Record.Heard _ | Netsim.Record.Tick _ -> ())
           r.events)
   ]
 

@@ -1,0 +1,294 @@
+(* lib/sched tests: qcheck properties over the bounded priority work queue
+   (ordering, nothing lost under concurrent producers/consumers, the
+   backpressure bound), scheduler semantics (inline mode, per-hash
+   chaining, cancel, invalidate, barrier quiescence), the 4-domain
+   observability hammer, and the parallel-speculation determinism oracle
+   on generated EVM scenarios. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let u = U256.of_int
+
+(* Wait (bounded) for a cross-domain predicate to become true. *)
+let await ?(timeout_s = 20.0) msg pred =
+  let t0 = Obs.now_ns () in
+  let deadline = Int64.add t0 (Int64.of_float (timeout_s *. 1e9)) in
+  while (not (pred ())) && Int64.compare (Obs.now_ns ()) deadline < 0 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) msg true (pred ())
+
+(* A one-shot gate worker jobs park on, so tests can pin jobs in-flight
+   while they poke the queue behind them. *)
+let gate () =
+  let mu = Mutex.create () and cv = Condition.create () and opened = ref false in
+  let wait () =
+    Mutex.lock mu;
+    while not !opened do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  in
+  let release () =
+    Mutex.lock mu;
+    opened := true;
+    Condition.broadcast cv;
+    Mutex.unlock mu
+  in
+  (wait, release)
+
+(* ---- Workq properties ---- *)
+
+(* Sequential model: popping drains in (priority desc, insertion asc)
+   order — exactly a stable sort of the submissions by descending
+   priority. *)
+let arb_batch = QCheck.(list_of_size Gen.(int_range 0 60) (int_range 0 7))
+
+let prop_ordering prios =
+  let q = Sched.Workq.create ~capacity:(max 1 (List.length prios)) () in
+  List.iteri (fun i p -> assert (Sched.Workq.push q ~priority:(u p) (i, p))) prios;
+  Sched.Workq.close q;
+  let rec drain acc =
+    match Sched.Workq.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  let got = drain [] in
+  let expect =
+    List.stable_sort
+      (fun (_, p1) (_, p2) -> compare p2 p1)
+      (List.mapi (fun i p -> (i, p)) prios)
+  in
+  got = expect
+
+(* Two producer domains block-push disjoint ids through a deliberately
+   tiny queue while two consumer domains drain it: every id must come out
+   exactly once, and the high-water mark must respect the capacity bound
+   even under contention. *)
+let prop_concurrent prios =
+  let cap = 4 in
+  let q = Sched.Workq.create ~capacity:cap () in
+  let items = List.mapi (fun i p -> (i, p)) prios in
+  let half = List.length items / 2 in
+  let chunk1 = List.filteri (fun i _ -> i < half) items in
+  let chunk2 = List.filteri (fun i _ -> i >= half) items in
+  let producer chunk =
+    Domain.spawn (fun () ->
+        List.iter (fun (id, p) -> ignore (Sched.Workq.push q ~priority:(u p) id)) chunk)
+  in
+  let consumer () =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Sched.Workq.pop q with None -> acc | Some id -> go (id :: acc)
+        in
+        go [])
+  in
+  let p1 = producer chunk1 and p2 = producer chunk2 in
+  let c1 = consumer () and c2 = consumer () in
+  Domain.join p1;
+  Domain.join p2;
+  Sched.Workq.close q;
+  let got = Domain.join c1 @ Domain.join c2 in
+  List.sort compare got = List.init (List.length items) Fun.id
+  && Sched.Workq.high_water q <= cap
+
+let test_backpressure () =
+  let q = Sched.Workq.create ~capacity:3 () in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "push under capacity" true (Sched.Workq.push q ~priority:(u i) i)
+  done;
+  Alcotest.(check bool) "full refuses" true (Sched.Workq.try_push q ~priority:(u 9) 9 = `Full);
+  Alcotest.(check int) "length at bound" 3 (Sched.Workq.length q);
+  Alcotest.(check int) "high water at bound" 3 (Sched.Workq.high_water q);
+  Alcotest.(check (option int)) "pop highest" (Some 2) (Sched.Workq.try_pop q);
+  Alcotest.(check bool) "room again" true (Sched.Workq.try_push q ~priority:(u 9) 9 = `Ok);
+  Sched.Workq.close q;
+  Alcotest.(check bool) "closed refuses try_push" true
+    (Sched.Workq.try_push q ~priority:(u 1) 1 = `Closed);
+  Alcotest.(check bool) "closed refuses push" false (Sched.Workq.push q ~priority:(u 1) 1);
+  Alcotest.(check (option int)) "drains after close" (Some 9) (Sched.Workq.try_pop q);
+  Alcotest.(check (option int)) "drains after close" (Some 1) (Sched.Workq.try_pop q);
+  Alcotest.(check (option int)) "drains after close" (Some 0) (Sched.Workq.try_pop q);
+  Alcotest.(check (option int)) "empty after drain" None (Sched.Workq.pop q)
+
+(* ---- Sched semantics ---- *)
+
+let r_hash (r : _ Sched.result) = r.Sched.r_hash
+
+let r_ok (r : _ Sched.result) =
+  match r.Sched.r_value with Ok v -> v | Error e -> raise e
+
+let test_inline () =
+  let s : int Sched.t = Sched.create ~jobs:1 () in
+  for i = 0 to 9 do
+    Sched.submit s
+      ~hash:(Printf.sprintf "h%d" i)
+      ~root:"r"
+      ~priority:(u (i mod 3))
+      (fun () -> i * i)
+  done;
+  Sched.barrier s;
+  let rs = Sched.drain s in
+  Alcotest.(check (list int)) "inline results in submission order"
+    (List.init 10 (fun i -> i * i))
+    (List.map r_ok rs);
+  Alcotest.(check (list int)) "sequence numbers" (List.init 10 Fun.id)
+    (List.map (fun (r : _ Sched.result) -> r.Sched.r_seq) rs);
+  let st = Sched.stats s in
+  Alcotest.(check int) "submitted" 10 st.Sched.submitted;
+  Alcotest.(check int) "completed" 10 st.Sched.completed;
+  Sched.shutdown s
+
+let test_exn () =
+  let s : int Sched.t = Sched.create ~jobs:1 () in
+  Sched.submit s ~hash:"boom" ~root:"r" ~priority:(u 1) (fun () -> failwith "boom");
+  (match Sched.drain s with
+  | [ { Sched.r_value = Error (Failure m); _ } ] ->
+    Alcotest.(check string) "exception captured" "boom" m
+  | _ -> Alcotest.fail "expected one Error result");
+  Sched.shutdown s
+
+(* Jobs submitted for one hash are chained: they run serialized, in
+   submission order, so they may mutate shared per-tx state without any
+   synchronization of their own — [order] below is a plain ref. *)
+let test_chaining () =
+  let s : int Sched.t = Sched.create ~jobs:4 () in
+  let order = ref [] in
+  for i = 0 to 19 do
+    Sched.submit s ~hash:"same-tx" ~root:"r" ~priority:(u 1) (fun () ->
+        order := i :: !order;
+        i)
+  done;
+  Sched.barrier s;
+  Alcotest.(check (list int)) "chained jobs ran in submission order"
+    (List.init 20 Fun.id) (List.rev !order);
+  Alcotest.(check (list int)) "results drain in submission order"
+    (List.init 20 Fun.id)
+    (List.map r_ok (Sched.drain s));
+  let st = Sched.stats s in
+  Alcotest.(check int) "all completed" 20 st.Sched.completed;
+  Sched.shutdown s
+
+let test_cancel () =
+  let s : string Sched.t = Sched.create ~jobs:2 () in
+  let wait, release = gate () in
+  let started = Atomic.make 0 in
+  let pin hash =
+    Sched.submit s ~hash ~root:"r" ~priority:(u 9) (fun () ->
+        Atomic.incr started;
+        wait ();
+        hash)
+  in
+  pin "inflight";
+  pin "other";
+  await "both workers pinned" (fun () -> Atomic.get started = 2);
+  Sched.submit s ~hash:"q1" ~root:"r" ~priority:(u 5) (fun () -> "q1");
+  Sched.submit s ~hash:"q2" ~root:"r" ~priority:(u 4) (fun () -> "q2");
+  (* q1 is still queued (dropped), inflight is running (its result must be
+     suppressed when it finishes) *)
+  Sched.cancel s [ "q1"; "inflight" ];
+  release ();
+  Sched.barrier s;
+  Alcotest.(check (list string)) "cancelled jobs produce no results"
+    [ "other"; "q2" ]
+    (List.map r_hash (Sched.drain s));
+  Alcotest.(check int) "cancelled count" 2 (Sched.stats s).Sched.cancelled;
+  Sched.shutdown s
+
+let test_invalidate () =
+  let s : string Sched.t = Sched.create ~jobs:2 () in
+  let wait, release = gate () in
+  let started = Atomic.make 0 in
+  let pin hash =
+    Sched.submit s ~hash ~root:"new" ~priority:(u 9) (fun () ->
+        Atomic.incr started;
+        wait ();
+        hash)
+  in
+  pin "g1";
+  pin "g2";
+  await "both workers pinned" (fun () -> Atomic.get started = 2);
+  Sched.submit s ~hash:"a" ~root:"old" ~priority:(u 5) (fun () -> "a");
+  Sched.submit s ~hash:"b" ~root:"new" ~priority:(u 4) (fun () -> "b");
+  Sched.submit s ~hash:"c" ~root:"old" ~priority:(u 3) (fun () -> "c");
+  let dropped = Sched.invalidate s ~root:"new" in
+  Alcotest.(check (list (pair string string)))
+    "stale-root jobs returned in submission order"
+    [ ("a", U256.to_hex (u 5)); ("c", U256.to_hex (u 3)) ]
+    (List.map (fun (h, p) -> (h, U256.to_hex p)) dropped);
+  release ();
+  Sched.barrier s;
+  let st = Sched.stats s in
+  Alcotest.(check int) "requeued count" 2 st.Sched.requeued;
+  Alcotest.(check int) "barrier: nothing queued" 0 st.Sched.queued;
+  Alcotest.(check int) "barrier: nothing running" 0 st.Sched.running;
+  Alcotest.(check (list string)) "fresh-root jobs survived" [ "g1"; "g2"; "b" ]
+    (List.map r_hash (Sched.drain s));
+  Sched.shutdown s
+
+let test_barrier_quiesces () =
+  let s : int Sched.t = Sched.create ~jobs:3 () in
+  for round = 0 to 2 do
+    for i = 0 to 49 do
+      Sched.submit s
+        ~hash:(Printf.sprintf "r%d-j%d" round i)
+        ~root:"r" ~priority:(u (i mod 5))
+        (fun () -> i)
+    done;
+    Sched.barrier s;
+    let st = Sched.stats s in
+    Alcotest.(check int) "queued after barrier" 0 st.Sched.queued;
+    Alcotest.(check int) "running after barrier" 0 st.Sched.running;
+    Alcotest.(check int) "results all published" 50 (List.length (Sched.drain s))
+  done;
+  Sched.shutdown s;
+  Sched.shutdown s (* idempotent *)
+
+(* ---- Obs under domains (the thread-safety satellite's smoke test) ---- *)
+
+let test_obs_hammer () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let c = Obs.counter "sched.test.hammer" in
+      let g = Obs.gauge "sched.test.max" in
+      let n = 25_000 in
+      let ds =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to n do
+                  Obs.incr c;
+                  if i land 1023 = 0 then Obs.set_max g (float_of_int ((d * n) + i))
+                done))
+      in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "no increments lost across 4 domains" (4 * n) (Obs.count c))
+
+(* ---- parallel speculation determinism (generated scenarios) ---- *)
+
+let test_parallel_oracle () =
+  for iter = 0 to 1 do
+    let s = Fuzz.Driver.generate ~seed:7 iter in
+    let r = Fuzz.Parallel.check ~jobs:4 s in
+    Alcotest.(check int)
+      (Printf.sprintf "iter %d: jobs=4 matches jobs=1 on %d txs" iter r.Fuzz.Parallel.txs)
+      0
+      (List.length r.Fuzz.Parallel.mismatches)
+  done
+
+let suite =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"workq pops (priority desc, fifo)" arb_batch
+         prop_ordering);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:20
+         ~name:"workq loses nothing under 2 producers + 2 consumers" arb_batch
+         prop_concurrent);
+    t "workq backpressure bound and close semantics" test_backpressure;
+    t "inline mode runs at submit, in order" test_inline;
+    t "job exceptions are captured, not propagated" test_exn;
+    t "same-hash jobs chain in submission order" test_chaining;
+    t "cancel drops queued work and suppresses in-flight results" test_cancel;
+    t "invalidate drops stale roots, returns them for resubmission" test_invalidate;
+    t "barrier quiesces; shutdown is idempotent" test_barrier_quiesces;
+    t "obs counters are exact under 4 hammering domains" test_obs_hammer;
+    t "parallel speculation is deterministic on fuzz scenarios" test_parallel_oracle ]
