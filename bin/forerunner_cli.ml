@@ -188,6 +188,10 @@ let bench_cmd =
       Printf.printf "simulating %.0fs of traffic (seed %d, %.0f tx/s)...\n%!" duration seed
         rate;
       let record = Netsim.Sim.run ~params () in
+      (* with metrics on, statically verify every AP the speculator builds
+         (counting only: the analysis.* counters land in the dump) *)
+      if metrics || metrics_json <> None then
+        Analysis.Verify.install_builder_hook ~raise_on_violation:false ();
       Printf.printf "-> %d blocks, %d txs; replaying with jobs=1, jobs=%d...\n%!"
         record.n_blocks record.n_txs jobs;
       let c = Core.Schedbench.compare_jobs ~jobs record in
@@ -290,12 +294,100 @@ let fuzz_cmd =
       const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
       $ metrics_json_arg)
 
+let check_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Generated scenarios to verify on top of the corpus (seeded, reproducible).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory of s-expression scenarios; every AP built from them is verified.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("add", Fuzz.Checkrun.M_add); ("drop-guard", Fuzz.Checkrun.M_drop_guard) ]))
+          None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            "Seed a miscompilation before verifying: $(b,add) miscompiles ADD in the AP \
+             executor (the memo-soundness checker must reject), $(b,drop-guard) removes \
+             the first guard from every built path (the guard-coverage checker must \
+             reject).  Exits 0 iff the matching checker rejected.")
+  in
+  let run seed iters corpus mutate metrics metrics_json =
+    with_metrics ~metrics ~metrics_json @@ fun () ->
+    let r = Fuzz.Checkrun.run ?mutate ~corpus ~seed ~iters () in
+    List.iter (fun (f, e) -> Printf.printf "corpus error: %s: %s\n" f e) r.corpus_errors;
+    let s = r.summary in
+    Printf.printf
+      "verified %d programs (%d linear paths) from %d corpus entries + %d generated \
+       scenarios; %d builder fallbacks%s\n%!"
+      s.programs s.paths r.corpus_files
+      (max 0 (s.scenarios - r.corpus_files))
+      s.fallbacks
+      (match mutate with
+      | None -> ""
+      | Some m ->
+        Printf.sprintf "; mutation %s in effect on %d" (Fuzz.Checkrun.mutation_name m) s.mutated);
+    let shown = 12 in
+    List.iteri
+      (fun i (ctx, v) ->
+        if i < shown then Fmt.pr "  %s: %a@." ctx Analysis.Report.pp v)
+      s.violations;
+    if List.length s.violations > shown then
+      Printf.printf "  ... and %d more\n" (List.length s.violations - shown);
+    let corpus_broken = r.corpus_errors <> [] in
+    match mutate with
+    | None ->
+      if s.violations = [] && not corpus_broken then
+        Printf.printf
+          "all programs verify: def-before-use, rollback-freedom, guard coverage, memo \
+           soundness, well-formedness.\n\
+           %!"
+      else begin
+        Printf.printf "%d violation(s)\n" (List.length s.violations);
+        exit 1
+      end
+    | Some m ->
+      let want = Fuzz.Checkrun.expected_kind m in
+      let hits =
+        List.filter (fun (_, (v : Analysis.Report.violation)) -> v.kind = want) s.violations
+      in
+      if hits = [] || corpus_broken then begin
+        Printf.printf "mutation %s NOT rejected: no %s violation reported\n"
+          (Fuzz.Checkrun.mutation_name m)
+          (Analysis.Report.kind_name want);
+        exit 1
+      end
+      else
+        Printf.printf "mutation %s rejected: %d %s violation(s) with path-level diagnostics\n%!"
+          (Fuzz.Checkrun.mutation_name m) (List.length hits)
+          (Analysis.Report.kind_name want)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify Accelerated Programs: build an AP for every corpus and \
+          generated scenario transaction and prove the fast-path invariants \
+          (def-before-use, rollback-freedom, guard coverage, memo soundness, \
+          well-formedness) instead of sampling for them.  Violations name the path \
+          through the program DAG and the offending instruction.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
+      $ metrics_json_arg)
+
 let main =
   (* no subcommand defaults to [run], so
      [forerunner --metrics-json out.json] measures the default workload *)
   Cmd.group ~default:run_term
     (Cmd.info "forerunner" ~version:"1.0.0"
        ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
-    [ run_cmd; compare_cmd; bench_cmd; contracts_cmd; fuzz_cmd ]
+    [ run_cmd; compare_cmd; bench_cmd; contracts_cmd; fuzz_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

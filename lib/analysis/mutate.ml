@@ -1,0 +1,24 @@
+(* Seeded miscompilations: deliberately broken paths for negative tests.
+   The executor-side ADD fault lives in Ap.Exec.miscompile_add_for_tests;
+   this module holds the builder-side mutations. *)
+
+module I = Sevm.Ir
+
+let drop_guard ?(index = 0) (p : I.path) : I.path option =
+  let positions = ref [] in
+  Array.iteri
+    (fun i ins ->
+      if i < p.first_fast then
+        match ins with
+        | I.Guard _ | I.Guard_size _ -> positions := i :: !positions
+        | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> ())
+    p.instrs;
+  match List.nth_opt (List.rev !positions) index with
+  | None -> None
+  | Some g ->
+    let instrs =
+      Array.init
+        (Array.length p.instrs - 1)
+        (fun i -> if i < g then p.instrs.(i) else p.instrs.(i + 1))
+    in
+    Some { p with instrs; first_fast = p.first_fast - 1 }

@@ -1,0 +1,26 @@
+(* Violation reports for the static AP / S-EVM verifier. *)
+
+type kind =
+  | Def_before_use
+  | Reg_bounds
+  | Rollback_freedom
+  | Guard_coverage
+  | Memo_soundness
+  | Well_formedness
+
+let kind_name = function
+  | Def_before_use -> "def_before_use"
+  | Reg_bounds -> "reg_bounds"
+  | Rollback_freedom -> "rollback_freedom"
+  | Guard_coverage -> "guard_coverage"
+  | Memo_soundness -> "memo_soundness"
+  | Well_formedness -> "well_formedness"
+
+let all_kinds =
+  [ Def_before_use; Reg_bounds; Rollback_freedom; Guard_coverage; Memo_soundness;
+    Well_formedness ]
+
+type violation = { kind : kind; site : string; detail : string }
+
+let pp ppf v = Fmt.pf ppf "[%s] %s: %s" (kind_name v.kind) v.site v.detail
+let pp_list ppf vs = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp) vs

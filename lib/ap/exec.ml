@@ -29,6 +29,14 @@ let value_of regs = function I.Const v -> v | I.Reg r -> regs.(r)
    set, every C_add computes a+b+1.  Must never be set outside tests. *)
 let miscompile_add_for_tests = ref false
 
+(* The executor's arithmetic, shared with the static verifier: lib/analysis
+   replays memo segments through this exact function, so memo values
+   recorded from the honest EVM trace expose the fault injection (or any
+   future executor/IR evaluation skew) statically. *)
+let compute op args =
+  let v = I.eval_compute op args in
+  if !miscompile_add_for_tests && op = I.C_add then U256.add v U256.one else v
+
 let eval_read st (benv : Evm.Env.block_env) regs = function
   | I.R_timestamp -> U256.of_int64 benv.timestamp
   | I.R_number -> U256.of_int64 benv.number
@@ -55,9 +63,7 @@ let eval_read st (benv : Evm.Env.block_env) regs = function
 let exec_instr st benv regs stats ins =
   stats.executed <- stats.executed + 1;
   match ins with
-  | I.Compute (r, op, args) ->
-    let v = I.eval_compute op (Array.map (value_of regs) args) in
-    regs.(r) <- (if !miscompile_add_for_tests && op = I.C_add then U256.add v U256.one else v)
+  | I.Compute (r, op, args) -> regs.(r) <- compute op (Array.map (value_of regs) args)
   | I.Keccak (r, pieces) ->
     regs.(r) <- Khash.Keccak.digest_u256 (I.bytes_of_pieces regs pieces)
   | I.Sha256 (r, pieces) ->

@@ -22,6 +22,13 @@ val miscompile_add_for_tests : bool ref
     flips this to prove its oracle detects a miscompiled AP; production
     code must leave it false. *)
 
+val compute : Sevm.Ir.compute_op -> U256.t array -> U256.t
+(** The executor's arithmetic: [Sevm.Ir.eval_compute] plus the fault
+    injection above.  The static verifier (lib/analysis) replays memo
+    segments through this same function, so a miscompiled executor
+    disagrees with memo values recorded from the honest trace and is
+    rejected before anything runs. *)
+
 val eval_read :
   State.Statedb.t -> Evm.Env.block_env -> U256.t array -> Sevm.Ir.read_src -> U256.t
 (** Evaluate one context read against the actual state and block

@@ -263,6 +263,12 @@ let refresh_counts ap =
   ap.n_paths <- List.fold_left (fun acc n -> acc + count_paths n) 0 ap.roots;
   ap.shortcut_count <- List.fold_left (fun acc n -> acc + count_shortcuts n) 0 ap.roots
 
+(* Post-add self-check hook: lib/analysis points this at the static
+   verifier so every program the builder grows is checked as it is built
+   (tests install a raising variant, the bench CLI a counting one).
+   Default: no-op. *)
+let add_path_hook : (t -> unit) ref = ref (fun _ -> ())
+
 (* Incorporate one more synthesized path (from one more pre-execution). *)
 let add_path ap (p : I.path) =
   ap.n_futures <- ap.n_futures + 1;
@@ -279,7 +285,8 @@ let add_path ap (p : I.path) =
   (match try_merge ap.roots with
   | Some roots -> ap.roots <- roots
   | None -> if List.length ap.roots < max_roots then ap.roots <- ap.roots @ [ node ]);
-  refresh_counts ap
+  refresh_counts ap;
+  !add_path_hook ap
 
 (* Structural digest.  Every constituent type (instrs, operands, pieces,
    writes, statuses, U256 int64 limbs) is pure data — no closures, no

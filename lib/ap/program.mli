@@ -53,7 +53,21 @@ val create : unit -> t
 val add_path : t -> I.path -> unit
 (** Incorporate one more synthesized path: merge it into an existing root
     where the instruction streams agree (they diverge only at guards), or
-    keep it as an alternative root. *)
+    keep it as an alternative root.  Calls {!add_path_hook} on the grown
+    program before returning. *)
+
+val add_path_hook : (t -> unit) ref
+(** Self-check hook run at the end of every {!add_path}.  The static
+    verifier (lib/analysis) installs itself here: raising in tests so a
+    miscompiled program fails loudly at build time, counting-only under
+    [forerunner bench --metrics].  Defaults to a no-op. *)
+
+val block_io : I.instr array -> int array * int array
+(** [(inputs, outputs)] of one instruction run: registers read before being
+    defined (in first-use order) and registers defined (sorted).  This is
+    the contract each memo's [in_regs]/[out_regs] must match — exposed so
+    the verifier checks memos against the same definition the builder
+    used. *)
 
 val of_path : I.path -> node
 (** The single-future tree for one path (used by [add_path]). *)

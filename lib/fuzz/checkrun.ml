@@ -1,0 +1,137 @@
+(* Shared harness behind `forerunner check` and the @analysis CI alias:
+   build an AP for every transaction of a scenario (a corpus entry or a
+   generated one), run the static verifier over both the linear path and
+   the compiled program, and optionally seed a miscompilation first so the
+   matching checker can be shown to reject it.
+
+   State is carried forward exactly like the oracle's engines: each tx is
+   built against the chain state after its predecessors committed. *)
+
+open State
+
+type mutation =
+  | M_add  (** executor ADD fault (Ap.Exec.miscompile_add_for_tests) *)
+  | M_drop_guard  (** remove the first guard from every built path *)
+
+let mutation_name = function M_add -> "add" | M_drop_guard -> "drop-guard"
+
+(* The violation kind each seeded miscompilation must be rejected with:
+   the ADD fault makes memo replay disagree with trace-recorded values;
+   a dropped guard leaves the read it covered unguarded. *)
+let expected_kind = function
+  | M_add -> Analysis.Report.Memo_soundness
+  | M_drop_guard -> Analysis.Report.Guard_coverage
+
+type summary = {
+  scenarios : int;
+  programs : int;  (** APs verified (one per successfully built tx) *)
+  paths : int;  (** linear paths verified *)
+  fallbacks : int;  (** builder Unsupported: nothing to verify, EVM fallback *)
+  mutated : int;  (** programs verified with a mutation in effect *)
+  violations : (string * Analysis.Report.violation) list;  (** (context, v) *)
+}
+
+let empty =
+  { scenarios = 0; programs = 0; paths = 0; fallbacks = 0; mutated = 0; violations = [] }
+
+let merge a b =
+  {
+    scenarios = a.scenarios + b.scenarios;
+    programs = a.programs + b.programs;
+    paths = a.paths + b.paths;
+    fallbacks = a.fallbacks + b.fallbacks;
+    mutated = a.mutated + b.mutated;
+    violations = a.violations @ b.violations;
+  }
+
+(* Run [f] with the executor's ADD fault switched on: the fault must be
+   visible to the verifier's memo replay, never to the honest build. *)
+let with_add_fault f =
+  Ap.Exec.miscompile_add_for_tests := true;
+  Fun.protect ~finally:(fun () -> Ap.Exec.miscompile_add_for_tests := false) f
+
+let verify_scenario ?mutate ~label (s : Scenario.t) : summary =
+  (* a raising add_path self-check hook (installed by the test suite) would
+     fire on the deliberately broken programs below; this harness collects
+     and reports violations itself *)
+  let saved = !Ap.Program.add_path_hook in
+  Ap.Program.add_path_hook := (fun _ -> ());
+  Fun.protect ~finally:(fun () -> Ap.Program.add_path_hook := saved) @@ fun () ->
+  let bk = Statedb.Backend.create () in
+  let root0 = Scenario.install s bk in
+  let benv = Scenario.benv in
+  let st = Statedb.create bk ~root:root0 in
+  let sum = ref { empty with scenarios = 1 } in
+  List.iteri
+    (fun i tx ->
+      let ctx = Printf.sprintf "%s tx#%d" label i in
+      (match Oracle.build_path st benv tx with
+      | Error _ -> sum := { !sum with fallbacks = !sum.fallbacks + 1 }
+      | Ok path ->
+        let path, applied =
+          match mutate with
+          | Some M_drop_guard -> (
+            match Analysis.Mutate.drop_guard path with
+            | Some p -> (p, true)
+            | None -> (path, false))
+          | Some M_add -> (path, true)
+          | None -> (path, false)
+        in
+        let run_verify f = if mutate = Some M_add then with_add_fault f else f () in
+        let vp = run_verify (fun () -> Analysis.Verify.verify_path path) in
+        let ap = Ap.Program.create () in
+        Ap.Program.add_path ap path;
+        let vap = run_verify (fun () -> Analysis.Verify.verify ap) in
+        sum :=
+          {
+            !sum with
+            programs = !sum.programs + 1;
+            paths = !sum.paths + 1;
+            mutated = (!sum.mutated + if applied then 1 else 0);
+            violations = !sum.violations @ List.map (fun v -> (ctx, v)) (vp @ vap);
+          });
+      ignore (Evm.Processor.execute_tx st benv tx))
+    (Scenario.txs s);
+  !sum
+
+(* ---- corpus + generated sweep ---- *)
+
+type run_result = {
+  summary : summary;
+  corpus_files : int;
+  corpus_errors : (string * string) list;  (** (file, problem) *)
+}
+
+let verify_file ?mutate path : (summary, string) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Scenario.of_string s
+  with
+  | exception exn -> Error ("read error: " ^ Printexc.to_string exn)
+  | Error m -> Error ("parse error: " ^ m)
+  | Ok scenario -> Ok (verify_scenario ?mutate ~label:(Filename.basename path) scenario)
+
+let run ?mutate ~corpus ~seed ~iters () : run_result =
+  let files =
+    if not (Sys.file_exists corpus) then []
+    else
+      Sys.readdir corpus |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+      |> List.map (Filename.concat corpus)
+  in
+  let sum = ref empty and errors = ref [] in
+  List.iter
+    (fun f ->
+      match verify_file ?mutate f with
+      | Ok s -> sum := merge !sum s
+      | Error e -> errors := (f, e) :: !errors)
+    files;
+  for i = 0 to iters - 1 do
+    let label = Printf.sprintf "gen(seed=%d,iter=%d)" seed i in
+    sum := merge !sum (verify_scenario ?mutate ~label (Driver.generate ~seed i))
+  done;
+  { summary = !sum; corpus_files = List.length files; corpus_errors = List.rev !errors }

@@ -1,4 +1,4 @@
-(* The three-engine differential oracle.  One scenario is executed:
+(* The differential oracle.  One scenario is executed:
 
      1. by the reference EVM interpreter (Evm.Processor.execute_tx),
      2. by S-EVM synthesis + linear path replay (Sevm.Builder + Sevm.Replay),
@@ -6,7 +6,10 @@
         satisfied context both with and without memoization shortcuts, and
         in a deliberately perturbed context (one constrained storage slot
         changed) where a Hit must still match the EVM on the perturbed
-        state and a Violation must leave the state untouched for fallback.
+        state and a Violation must leave the state untouched for fallback,
+     4. by the static verifier (Analysis.Verify): every synthesized path
+        and every compiled program must pass the fast-path invariant
+        checkers — a violation report is a divergence in its own right.
 
    Every receipt field (status, gas, output, logs), every per-transaction
    committed state root, and the per-transaction touched-account set must
@@ -209,6 +212,17 @@ let run (s : Scenario.t) : report =
           | Ok path ->
             let ap = Ap.Program.create () in
             Ap.Program.add_path ap path;
+
+            (* engine 4: the static verifier must accept the linear path
+               and the compiled program — builder output that fails a
+               fast-path invariant is a divergence even if the dynamic
+               engines happen to agree *)
+            let to_div (v : Analysis.Report.violation) =
+              { tx = i; engine = "verifier"; field = Analysis.Report.kind_name v.kind;
+                detail = v.site ^ ": " ^ v.detail }
+            in
+            add (List.map to_div (Analysis.Verify.verify_path path));
+            add (List.map to_div (Analysis.Verify.verify ap));
 
             (* (a) perturbed context: flip one constrained slot *)
             (match constrained_slot path with

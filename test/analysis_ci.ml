@@ -1,0 +1,75 @@
+(* The @analysis alias: run the static verifier over every corpus entry
+   and a bounded generated sweep (so corpus drift fails CI), check the
+   qcheck property that the verifier accepts everything the builder
+   produces, then confirm both seeded miscompilations are rejected by the
+   matching checker.  Exit non-zero on any violation of the clean runs or
+   any mutation that slips through. *)
+
+let seed = 42
+let iters = 8
+
+let pp_violation (ctx, v) = Fmt.pr "analysis-ci:   %s: %a@." ctx Analysis.Report.pp v
+
+let () =
+  let failed = ref false in
+
+  (* 1. clean sweep: corpus + generated scenarios must all verify *)
+  let r = Fuzz.Checkrun.run ~corpus:"corpus" ~seed ~iters () in
+  Printf.printf
+    "analysis-ci: verified %d programs (%d paths) from %d corpus files + %d generated \
+     scenarios, %d fallbacks\n%!"
+    r.summary.programs r.summary.paths r.corpus_files iters r.summary.fallbacks;
+  List.iter
+    (fun (f, e) ->
+      failed := true;
+      Printf.printf "analysis-ci: CORPUS ERROR %s: %s\n%!" f e)
+    r.corpus_errors;
+  if r.summary.violations <> [] then begin
+    failed := true;
+    Printf.printf "analysis-ci: %d VIOLATIONS on unmutated programs:\n%!"
+      (List.length r.summary.violations);
+    List.iter pp_violation r.summary.violations
+  end;
+
+  (* 2. property: for any generator seed, builder output verifies *)
+  let prop =
+    QCheck.Test.make ~count:40 ~name:"verifier accepts builder output"
+      QCheck.(int_bound 10_000)
+      (fun s ->
+        let sum =
+          Fuzz.Checkrun.verify_scenario ~label:"prop" (Fuzz.Driver.generate ~seed:s 0)
+        in
+        if sum.violations <> [] then List.iter pp_violation sum.violations;
+        sum.violations = [])
+  in
+  (try QCheck.Test.check_exn prop
+   with exn ->
+     failed := true;
+     Printf.printf "analysis-ci: PROPERTY FAILED: %s\n%!" (Printexc.to_string exn));
+
+  (* 3. each seeded miscompilation must be rejected by its checker *)
+  List.iter
+    (fun m ->
+      let name = Fuzz.Checkrun.mutation_name m in
+      let expected = Fuzz.Checkrun.expected_kind m in
+      let r = Fuzz.Checkrun.run ~mutate:m ~corpus:"corpus" ~seed ~iters () in
+      let hits =
+        List.filter
+          (fun ((_, v) : string * Analysis.Report.violation) -> v.kind = expected)
+          r.summary.violations
+      in
+      if r.summary.mutated > 0 && hits <> [] then
+        Printf.printf "analysis-ci: mutation %s rejected (%d %s violations on %d programs)\n%!"
+          name (List.length hits)
+          (Analysis.Report.kind_name expected)
+          r.summary.mutated
+      else begin
+        failed := true;
+        Printf.printf "analysis-ci: MUTATION %s NOT REJECTED (%d mutated, %d %s hits)\n%!"
+          name r.summary.mutated (List.length hits)
+          (Analysis.Report.kind_name expected)
+      end)
+    [ Fuzz.Checkrun.M_add; Fuzz.Checkrun.M_drop_guard ];
+
+  if !failed then exit 1;
+  print_string "analysis-ci: verifier clean on corpus + generated, both mutations rejected\n"

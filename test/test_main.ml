@@ -1,6 +1,11 @@
-(* Aggregated alcotest entry point; each module contributes one suite. *)
+(* Aggregated alcotest entry point; each module contributes one suite.
+
+   The static verifier runs as a raising self-check on every AP built
+   anywhere in the suite, so a miscompiled program fails at build time
+   even in tests that never look at it. *)
 
 let () =
+  Analysis.Verify.install_builder_hook ();
   Alcotest.run "forerunner"
     [ ("u256", Test_u256.suite);
       ("obs", Test_obs.suite);
@@ -20,4 +25,5 @@ let () =
       ("core", Test_core.suite);
       ("sched", Test_sched.suite);
       ("differential", Test_differential.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("analysis", Test_analysis.suite) ]
