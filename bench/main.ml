@@ -287,8 +287,10 @@ let sched () =
     record.n_blocks record.n_txs jobs;
   let c = Schedbench.compare_jobs ~jobs record in
   Schedbench.print c;
-  Schedbench.write_json ~file:"BENCH_sched.json" c;
-  Printf.printf "scheduler benchmark written to BENCH_sched.json\n%!"
+  (* always emitted, and always at the repo root regardless of the cwd *)
+  let file = Schedbench.at_repo_root "BENCH_sched.json" in
+  Schedbench.write_json ~file c;
+  Printf.printf "scheduler benchmark written to %s\n%!" file
 
 (* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
 

@@ -197,10 +197,12 @@ let bench_cmd =
       let c = Core.Schedbench.compare_jobs ~jobs record in
       Core.Schedbench.print c;
       if metrics_json <> None then begin
-        Core.Schedbench.write_json ~file:"BENCH_sched.json" c;
-        Printf.printf "scheduler benchmark written to BENCH_sched.json\n%!"
+        let file = Core.Schedbench.at_repo_root "BENCH_sched.json" in
+        Core.Schedbench.write_json ~file c;
+        Printf.printf "scheduler benchmark written to %s\n%!" file
       end;
       c.outcomes_match && c.blocks_match
+      && List.for_all (fun (pw : Core.Schedbench.par_workload) -> pw.pw_roots_match) c.parallel
     in
     if not ok then begin
       Printf.eprintf "ERROR: parallel replay diverged from sequential replay\n";

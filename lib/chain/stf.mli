@@ -1,4 +1,5 @@
-(** The block-level state transition function. *)
+(** The block-level state transition function: sequential reference apply
+    and conflict-aware parallel apply (DESIGN.md §10). *)
 
 open State
 
@@ -11,8 +12,71 @@ type block_result = {
 val block_env_of_header :
   Block.header -> block_hash:(int64 -> U256.t) -> Evm.Env.block_env
 
+val apply_txs :
+  Statedb.t -> Evm.Env.block_env -> Evm.Env.tx list -> block_result
+(** Execute the transactions in order against [st] (at the parent state)
+    and commit.  Invalid transactions produce [Invalid] receipts and no
+    state change — callers validating mined blocks should use
+    {!apply_block}, which rejects them. *)
+
 val apply_block : Statedb.t -> block_hash:(int64 -> U256.t) -> Block.t -> block_result
-(** Execute all of a block's transactions in order against [st] (which must
-    hold the parent state) and commit.
+(** {!apply_txs} on a block's transactions under its header environment.
     @raise Invalid_argument if a transaction is invalid — a correctly mined
     block never contains one. *)
+
+(** {1 Conflict-aware parallel apply}
+
+    Optimistic concurrency over the speculation scheduler's worker domains:
+    every transaction pre-executes on a private state at the parent root
+    (AP fast path when available, interpreter otherwise) while its read set
+    (statedb touches) and write set (journal-derived changes) are captured;
+    commit walks consensus order, replaying each transaction's effects onto
+    the master state unless its read set intersects an earlier-ordered
+    transaction's write set — then it is aborted and rerun sequentially.
+    The committed state root is byte-identical to {!apply_txs}. *)
+
+type pool
+(** A reusable worker pool (wraps {!Sched.t}); one per node, shared across
+    blocks.  All [apply_*_parallel] calls with one pool must come from the
+    domain that created it. *)
+
+val create_pool : jobs:int -> unit -> pool
+(** [jobs = 1] spawns no domains: the speculative phase runs inline, in
+    consensus order — the deterministic mode the tests pin against. *)
+
+val pool_jobs : pool -> int
+val shutdown_pool : pool -> unit
+
+type par_stats = {
+  par_jobs : int;
+  par_txs : int;
+  par_aborted : int;  (** commits aborted on a read/write conflict *)
+  par_forced : int;  (** forced sequential reruns (non-commutative coinbase) *)
+  par_reruns : int;  (** sequential re-executions: aborted + forced *)
+  par_ap_hits : int;  (** speculative executions through the AP fast path *)
+  par_commit_ns : int;  (** wall time of the consensus-order commit loop *)
+}
+
+val apply_txs_parallel :
+  ?pool:pool ->
+  ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
+  Statedb.t ->
+  Evm.Env.block_env ->
+  Evm.Env.tx list ->
+  block_result * par_stats
+(** Parallel counterpart of {!apply_txs}.  [st] must be freshly created or
+    committed (no open journal) — the workers read the parent root from the
+    shared backend.  [ap] supplies a transaction's accelerated program, if
+    any (never consulted for creations); default: none, interpreter only.
+    Without [pool] an ephemeral inline pool is used.
+    @raise Invalid_argument if [st] has uncommitted state. *)
+
+val apply_block_parallel :
+  ?pool:pool ->
+  ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
+  Statedb.t ->
+  block_hash:(int64 -> U256.t) ->
+  Block.t ->
+  block_result * par_stats
+(** {!apply_txs_parallel} under the block's header environment.
+    @raise Invalid_argument on an invalid transaction, like {!apply_block}. *)

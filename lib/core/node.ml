@@ -81,8 +81,9 @@ type config = {
   jobs : int; (* speculation worker domains; 1 = inline, fully sequential *)
   drop_stale_spec : bool;
       (* async invalidation: on a head-extending block, cancel queued
-         speculations (now-included txs) and requeue the rest against the
-         new head instead of completing the whole backlog first *)
+         speculations for the now-included txs and prune every other hash
+         to its newest queued job (keep-latest) instead of completing the
+         whole backlog first *)
 }
 
 let default_config =
@@ -154,13 +155,35 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
      where and when. *)
   let sched : pending_entry Sched.t = Sched.create ~jobs:(max 1 config.jobs) () in
 
+  (* Fingerprint of one speculation's inputs: the head root plus every
+     predicted future (the deterministic env fields and the ordered tx
+     hashes; [block_hash] is the same closure everywhere).  Equal keys mean
+     the speculation would recompute the tx's spec record to the identical
+     state, so [Sched.submit] skips the duplicate — the jobs>1 merged-waste
+     fix.  Prediction still runs first (it draws from the replay's RNG
+     stream), so dedupe never changes what later predictions see. *)
+  let spec_key ~root ctxs =
+    let b = Buffer.create 256 in
+    Buffer.add_string b root;
+    List.iter
+      (fun ((e : Evm.Env.block_env), ctx_txs) ->
+        Buffer.add_char b '|';
+        Buffer.add_string b (Address.to_bytes e.coinbase);
+        Buffer.add_string b (Printf.sprintf "%Ld:%Ld:%d:" e.timestamp e.number e.gas_limit);
+        Buffer.add_string b (U256.to_bytes_be e.difficulty);
+        List.iter (fun tx -> Buffer.add_string b (Evm.Env.tx_hash tx)) ctx_txs)
+      ctxs;
+    Khash.Keccak.digest (Buffer.contents b)
+  in
+
   let speculate_tx now entry n_contexts =
     let ctxs =
       Predictor.contexts predictor ~pool:(pool ()) ~max_contexts:n_contexts
         ~tx_hash:entry.p.hash entry.p.tx
     in
     let root = !head_root in
-    Sched.submit sched ~hash:entry.p.hash ~root ~priority:entry.p.tx.gas_price (fun () ->
+    Sched.submit sched ~dedupe_key:(spec_key ~root ctxs) ~hash:entry.p.hash ~root
+      ~priority:entry.p.tx.gas_price (fun () ->
         Speculator.speculate entry.spec bk ~root ~now ctxs entry.p.tx;
         entry)
   in
@@ -346,14 +369,14 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
           (* Block boundary: quiesce the workers before executing — the
              commit below writes trie nodes into the shared backend the
              workers read.  In drop-stale mode a head-extending block first
-             sheds the stale backlog: queued speculation for the included
-             txs is cancelled outright and the rest is dropped, to be
-             requeued against the new head after the commit. *)
-          let requeue = ref [] in
+             sheds the superseded backlog: queued speculation for the
+             included txs is cancelled outright and every other hash is
+             pruned to its newest queued job (keep-latest — still-valid
+             speculations survive the head change). *)
           if is_speculative policy then begin
             if config.drop_stale_spec && extends_head then begin
               Sched.cancel sched (List.map Evm.Env.tx_hash b.txs);
-              requeue := Sched.invalidate sched ~root:b.header.state_root
+              ignore (Sched.invalidate sched ~root:b.header.state_root : int)
             end;
             Obs.span l_barrier (fun () -> Sched.barrier sched);
             apply_results ()
@@ -439,25 +462,6 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
               in
               let entries =
                 List.filteri (fun i _ -> i < config.max_respec_per_block) entries
-              in
-              (* drop-stale mode: speculations invalidated at block arrival
-                 are requeued against the new head ahead of the budgeted
-                 hottest-pending refresh *)
-              let entries =
-                if !requeue = [] then entries
-                else begin
-                  let inv =
-                    List.filter_map (fun (h, _) -> Hashtbl.find_opt pending h) !requeue
-                  in
-                  let seen = Hashtbl.create 16 in
-                  List.iter
-                    (fun (e : pending_entry) -> Hashtbl.replace seen e.p.hash ())
-                    inv;
-                  inv
-                  @ List.filter
-                      (fun (e : pending_entry) -> not (Hashtbl.mem seen e.p.hash))
-                      entries
-                end
               in
               Obs.span l_respec (fun () ->
                   Obs.add obs_respec_new_head (List.length entries);

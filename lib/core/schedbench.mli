@@ -3,7 +3,14 @@
     speculation throughput should scale with workers while every
     speculation-visible result (per-tx outcomes, gas, block roots) stays
     identical.  A third replay in drop-stale mode exercises the
-    invalidation protocol (cancelled / requeued counters) at scale. *)
+    invalidation protocol (cancelled / requeued counters) at scale.
+
+    The comparison also measures conflict-aware {e parallel block apply}
+    ({!Chain.Stf.apply_txs_parallel}) on three pure-workload recordings:
+    disjoint ETH transfers (barely any conflicts), AMM swaps against one
+    pair (serialized on the reserves: conflicts galore) and the default
+    mix.  Each block's parallel state root is checked byte-identical to the
+    sequential apply and to the miner's header root. *)
 
 type run_stats = {
   jobs : int;
@@ -19,27 +26,63 @@ type run_stats = {
   cancelled : int;
   requeued : int;
   merged : int;
+  deduped : int;  (** redundant submissions skipped by the dedupe memo *)
   high_water : int;
+}
+
+type par_workload = {
+  pw_name : string;  (** ["transfer"], ["amm"] or ["mixed"] *)
+  pw_jobs : int;
+  pw_blocks : int;
+  pw_txs : int;
+  pw_aborted : int;  (** commits aborted on read/write conflicts *)
+  pw_forced : int;  (** forced sequential reruns (coinbase patterns) *)
+  pw_reruns : int;
+  pw_ap_hits : int;  (** speculative executions through the AP fast path *)
+  pw_abort_rate_pct : float;  (** (aborted + forced) / txs *)
+  pw_seq_wall_ns : int;
+  pw_par_wall_ns : int;
+  pw_speedup : float;  (** sequential wall / parallel wall (needs cores) *)
+  pw_roots_match : bool;  (** every root ≡ sequential ≡ header *)
 }
 
 type comparison = {
   seq : run_stats;  (** jobs = 1 *)
   par : run_stats;  (** jobs = N, barrier semantics *)
-  stale : run_stats;  (** jobs = N, drop-stale invalidation *)
+  stale : run_stats;  (** jobs = N, keep-latest invalidation *)
   throughput_ratio : float;  (** par.spec_txs_per_sec / seq.spec_txs_per_sec *)
   outcomes_match : bool;
       (** per-tx (hash, outcome, gas) sequences of [seq] and [par] are equal *)
   blocks_match : bool;
       (** per-block (number, root validated) sequences of [seq] and [par] *)
+  parallel : par_workload list;  (** conflict-aware block apply, per workload *)
 }
 
-val compare_jobs : ?config:Node.config -> jobs:int -> Netsim.Record.t -> comparison
+val run_parallel_blocks :
+  ?with_ap:bool -> jobs:int -> name:string -> Netsim.Record.t -> par_workload
+(** Apply every canonical block of the recording sequentially and in
+    parallel (jobs workers, APs pre-built per block unless
+    [with_ap:false]), asserting root identity and accumulating
+    abort/rerun/speedup numbers. *)
+
+val parallel_suite :
+  ?with_ap:bool -> ?scale:float -> jobs:int -> unit -> par_workload list
+(** The transfer / amm / mixed workload sweep ([scale] shrinks the
+    simulated duration like [FORERUNNER_SCALE]). *)
+
+val compare_jobs :
+  ?config:Node.config -> ?par_suite:bool -> jobs:int -> Netsim.Record.t -> comparison
 (** [config] defaults to {!Node.default_config}; its [jobs]/[drop_stale_spec]
-    fields are overridden per run. *)
+    fields are overridden per run.  [par_suite] (default true) also runs
+    {!parallel_suite} and fills [comparison.parallel]. *)
 
 val print : comparison -> unit
 (** Human-readable comparison table on stdout. *)
 
 val to_json : comparison -> string
+
+val at_repo_root : string -> string
+(** Resolve a filename against the repo root (nearest ancestor of the cwd
+    with a [dune-project]); falls back to the name itself outside a repo. *)
 
 val write_json : file:string -> comparison -> unit

@@ -147,6 +147,83 @@ let check ?(jobs = 4) (s : Scenario.t) : report =
 let pp_mismatch ppf m =
   Fmt.pf ppf "tx %d %s: jobs=1 %s vs jobs=N %s" m.tx m.field m.seq_v m.par_v
 
+(* ---- conflict-aware block apply oracle (DESIGN.md §10) ---- *)
+
+(* The scenario's whole tx batch applied as one block: the sequential
+   reference apply and the conflict-aware parallel apply must agree on
+   every receipt and on the committed state root, byte for byte.  Checked
+   at jobs=1 (inline speculation — the commit protocol in isolation) and
+   jobs=N (worker domains — the cross-domain plumbing on top). *)
+
+type apply_report = {
+  a_txs : int;
+  a_aborted : int;  (** conflict aborts summed over the checked jobs counts *)
+  a_forced : int;  (** forced sequential reruns, ditto *)
+  a_mismatches : mismatch list;  (** [tx = -1] marks block-level fields *)
+}
+
+let obs_apply_txs = Obs.counter "fuzz.parallel.apply_txs"
+let obs_apply_mismatches = Obs.counter "fuzz.parallel.apply_mismatches"
+
+let check_apply ?(jobs = 4) (s : Scenario.t) : apply_report =
+  let txs = Scenario.txs s in
+  let seq =
+    let bk = Statedb.Backend.create () in
+    let st = Statedb.create bk ~root:(Scenario.install s bk) in
+    Chain.Stf.apply_txs st Scenario.benv txs
+  in
+  let mismatches = ref [] and aborted = ref 0 and forced = ref 0 in
+  let add tx field seq_v par_v =
+    Obs.incr obs_apply_mismatches;
+    mismatches := { tx; field; seq_v; par_v } :: !mismatches
+  in
+  List.iter
+    (fun jobs ->
+      let par, (stats : Chain.Stf.par_stats) =
+        let bk = Statedb.Backend.create () in
+        let st = Statedb.create bk ~root:(Scenario.install s bk) in
+        let pool = Chain.Stf.create_pool ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Chain.Stf.shutdown_pool pool)
+          (fun () -> Chain.Stf.apply_txs_parallel ~pool st Scenario.benv txs)
+      in
+      aborted := !aborted + stats.par_aborted;
+      forced := !forced + stats.par_forced;
+      let tag f = Printf.sprintf "jobs=%d %s" jobs f in
+      if not (String.equal seq.Chain.Stf.state_root par.Chain.Stf.state_root) then
+        add (-1) (tag "state_root")
+          (Sexp.hex_of_string seq.state_root)
+          (Sexp.hex_of_string par.state_root);
+      if seq.gas_used <> par.gas_used then
+        add (-1) (tag "block_gas") (string_of_int seq.gas_used) (string_of_int par.gas_used);
+      List.iteri
+        (fun i ((a : Evm.Processor.receipt), (b : Evm.Processor.receipt)) ->
+          Obs.incr obs_apply_txs;
+          if not (Evm.Processor.status_equal a.status b.status) then
+            add i (tag "status")
+              (Fmt.str "%a" Evm.Processor.pp_status a.status)
+              (Fmt.str "%a" Evm.Processor.pp_status b.status);
+          if a.gas_used <> b.gas_used then
+            add i (tag "gas_used") (string_of_int a.gas_used) (string_of_int b.gas_used);
+          if not (String.equal a.output b.output) then
+            add i (tag "output") (Sexp.hex_of_string a.output) (Sexp.hex_of_string b.output);
+          if
+            not
+              (List.length a.logs = List.length b.logs
+              && List.for_all2 Evm.Env.log_equal a.logs b.logs)
+          then
+            add i (tag "logs")
+              (Fmt.str "%a" Fmt.(Dump.list Evm.Env.pp_log) a.logs)
+              (Fmt.str "%a" Fmt.(Dump.list Evm.Env.pp_log) b.logs))
+        (List.combine seq.receipts par.receipts))
+    [ 1; jobs ];
+  {
+    a_txs = List.length txs;
+    a_aborted = !aborted;
+    a_forced = !forced;
+    a_mismatches = List.rev !mismatches;
+  }
+
 (* ---- corpus sweep (mirrors Driver.replay_corpus) ---- *)
 
 type corpus_failure = { path : string; problem : string }
@@ -162,7 +239,9 @@ let check_file ?jobs path : corpus_failure option =
   | exception exn -> Some { path; problem = "read error: " ^ Printexc.to_string exn }
   | Error m -> Some { path; problem = "parse error: " ^ m }
   | Ok scenario -> (
-    match (check ?jobs scenario).mismatches with
+    match
+      (check ?jobs scenario).mismatches @ (check_apply ?jobs scenario).a_mismatches
+    with
     | [] -> None
     | ms ->
       Some

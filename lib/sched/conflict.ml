@@ -1,0 +1,66 @@
+(* Read/write-set conflict detection for parallel block execution.
+
+   The manager tracks, per block, which opaque location keys have been
+   written and by which (consensus-order) transaction index.  Committing
+   proceeds in consensus order on a single thread, so the structure needs
+   no locking: [check] asks whether any key a speculative execution read
+   was written by an earlier-committed transaction — if so the speculation
+   observed a state the sequential schedule never produces and must be
+   aborted and rerun; [commit] then publishes the transaction's own write
+   keys for the transactions ordered after it.
+
+   Keys are opaque strings chosen by the caller (lib/chain/stf encodes
+   accounts, code, storage slots and self-destruct domains); the manager
+   only intersects sets. *)
+
+type t = {
+  writes : (string, int) Hashtbl.t; (* key -> lowest writer index *)
+  mutable committed : int;
+  mutable checked : int;
+  mutable conflicts : int;
+}
+
+(* process-wide instruments shared with the commit loop in lib/chain/stf *)
+let obs_conflicts = Obs.counter "sched.conflicts"
+let obs_aborts = Obs.counter "sched.aborts"
+let obs_reruns = Obs.counter "sched.reruns"
+let obs_conflict_rate = Obs.gauge "sched.conflict_rate"
+let obs_block_aborts = Obs.histogram "sched.block.aborts"
+let obs_block_commits = Obs.histogram "sched.block.commits"
+
+let create () = { writes = Hashtbl.create 256; committed = 0; checked = 0; conflicts = 0 }
+
+let reset t =
+  Hashtbl.reset t.writes;
+  t.committed <- 0;
+  t.checked <- 0;
+  t.conflicts <- 0
+
+let check t reads =
+  t.checked <- t.checked + 1;
+  let rec first = function
+    | [] -> None
+    | k :: rest -> (
+      match Hashtbl.find_opt t.writes k with
+      | Some idx -> Some (k, idx)
+      | None -> first rest)
+  in
+  let hit = first reads in
+  if hit <> None then begin
+    t.conflicts <- t.conflicts + 1;
+    Obs.incr obs_conflicts
+  end;
+  hit
+
+let commit t ~index writes =
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.writes k with
+      | Some prev when prev <= index -> ()
+      | Some _ | None -> Hashtbl.replace t.writes k index)
+    writes;
+  t.committed <- t.committed + 1
+
+let committed t = t.committed
+let checked t = t.checked
+let conflicts t = t.conflicts

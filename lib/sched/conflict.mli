@@ -1,0 +1,45 @@
+(** Read/write-set conflict detection for parallel block execution
+    (Saraph & Herlihy-style optimistic concurrency, see DESIGN.md §10).
+
+    One manager instance covers one block.  Transactions are speculated in
+    parallel against the parent state, then committed {e in consensus
+    order} on a single thread: before a transaction's speculative effects
+    are applied, {!check} intersects its recorded read keys with everything
+    earlier-ordered transactions wrote; a non-empty intersection means the
+    speculation ran against a state the sequential schedule never produces,
+    so the caller aborts it and reruns the transaction sequentially.
+
+    Keys are opaque strings; the caller owns the encoding (lib/chain/stf
+    uses ["a:"]/["c:"]/["s:"]/["d:"] prefixes for account, code, storage
+    slot and self-destruct domains).  Not thread-safe — the commit phase is
+    sequential by construction. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val check : t -> string list -> (string * int) option
+(** [check t reads] returns the first read key already written by an
+    earlier-committed transaction (and that writer's index), or [None] if
+    the read set is conflict-free.  Counts into [sched.conflicts] when a
+    conflict is found. *)
+
+val commit : t -> index:int -> string list -> unit
+(** Publish transaction [index]'s write keys; later {!check}s will conflict
+    on them.  The lowest writer index is kept per key (first writer in
+    consensus order). *)
+
+val committed : t -> int
+val checked : t -> int
+val conflicts : t -> int
+
+(** Shared instruments for the commit loop (the stf layer bumps aborts and
+    reruns; this module bumps conflicts in {!check}). *)
+
+val obs_conflicts : Obs.counter
+val obs_aborts : Obs.counter
+val obs_reruns : Obs.counter
+val obs_conflict_rate : Obs.gauge
+val obs_block_aborts : Obs.histogram
+val obs_block_commits : Obs.histogram

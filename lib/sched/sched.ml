@@ -13,6 +13,7 @@
 (* re-exported: the library wrapper hides sibling modules behind [Sched] *)
 module Workq = Workq
 module Mailbox = Mailbox
+module Conflict = Conflict
 
 type 'r req = { seq : int; hash : string; root : string; prio : U256.t; job : unit -> 'r }
 
@@ -37,6 +38,7 @@ type stats = {
   cancelled : int;
   requeued : int;
   merged : int;
+  deduped : int;
   queued : int;
   running : int;
   high_water : int;
@@ -48,6 +50,7 @@ type 'r t = {
   mu : Mutex.t;
   idle : Condition.t;
   cells : (string, 'r cell) Hashtbl.t;
+  memo : (string, string) Hashtbl.t; (* hash -> dedupe key of latest live submission *)
   results : 'r result Mailbox.t;
   mutable next_seq : int;
   mutable n_queued : int; (* requests sitting in chains *)
@@ -57,6 +60,7 @@ type 'r t = {
   mutable s_cancelled : int;
   mutable s_requeued : int;
   mutable s_merged : int;
+  mutable s_deduped : int;
   mutable domains : unit Domain.t list;
   mutable stopped : bool;
 }
@@ -69,6 +73,7 @@ let empty_stats =
     cancelled = 0;
     requeued = 0;
     merged = 0;
+    deduped = 0;
     queued = 0;
     running = 0;
     high_water = 0;
@@ -78,6 +83,7 @@ let obs_submitted = Obs.counter "sched.submitted"
 let obs_completed = Obs.counter "sched.completed"
 let obs_cancelled = Obs.counter "sched.cancelled"
 let obs_requeued = Obs.counter "sched.requeued"
+let obs_deduped = Obs.counter "sched.deduped"
 let obs_depth = Obs.gauge "sched.queue_depth"
 
 let jobs t = t.n_jobs
@@ -170,6 +176,7 @@ let create ?(capacity = 4096) ~jobs () =
       mu = Mutex.create ();
       idle = Condition.create ();
       cells = Hashtbl.create 256;
+      memo = Hashtbl.create 256;
       results = Mailbox.create ();
       next_seq = 0;
       n_queued = 0;
@@ -179,6 +186,7 @@ let create ?(capacity = 4096) ~jobs () =
       s_cancelled = 0;
       s_requeued = 0;
       s_merged = 0;
+      s_deduped = 0;
       domains = [];
       stopped = false;
     }
@@ -187,45 +195,75 @@ let create ?(capacity = 4096) ~jobs () =
     t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
-let submit t ~hash ~root ~priority job =
+(* under [t.mu] in parallel mode; single-threaded in inline mode.  A
+   submission is a duplicate when its [dedupe_key] matches the latest live
+   submission for the hash: that job's result is already in the Mailbox (or
+   on its way there), so running the identical work again would only burn a
+   worker — the jobs=4 merged-waste regression.  Keyless submissions never
+   dedupe and clear the memo (they will publish a fresh result). *)
+let memo_check t hash = function
+  | None ->
+    Hashtbl.remove t.memo hash;
+    false
+  | Some k ->
+    if Hashtbl.find_opt t.memo hash = Some k then true
+    else begin
+      Hashtbl.replace t.memo hash k;
+      false
+    end
+
+let submit ?dedupe_key t ~hash ~root ~priority job =
   if t.stopped then invalid_arg "Sched.submit: scheduler is shut down";
   if t.n_jobs <= 1 then begin
-    (* inline deterministic mode: run now, on this domain *)
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    t.s_submitted <- t.s_submitted + 1;
-    Obs.incr obs_submitted;
-    let req = { seq; hash; root; prio = priority; job } in
-    publish t req (run_job job);
-    t.s_completed <- t.s_completed + 1;
-    Obs.incr obs_completed
+    if memo_check t hash dedupe_key then begin
+      t.s_deduped <- t.s_deduped + 1;
+      Obs.incr obs_deduped
+    end
+    else begin
+      (* inline deterministic mode: run now, on this domain *)
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.s_submitted <- t.s_submitted + 1;
+      Obs.incr obs_submitted;
+      let req = { seq; hash; root; prio = priority; job } in
+      publish t req (run_job job);
+      t.s_completed <- t.s_completed + 1;
+      Obs.incr obs_completed
+    end
   end
   else begin
     Mutex.lock t.mu;
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    t.s_submitted <- t.s_submitted + 1;
-    Obs.incr obs_submitted;
-    let req = { seq; hash; root; prio = priority; job } in
-    let need_push =
-      match Hashtbl.find_opt t.cells hash with
-      | Some c ->
-        (* live cell: a worker owns it (running) or will pop it (in_queue)
-           or will continue its chain — just append *)
-        c.chain <- c.chain @ [ req ];
-        t.n_queued <- t.n_queued + 1;
-        t.s_merged <- t.s_merged + 1;
-        false
-      | None ->
-        Hashtbl.add t.cells hash
-          { chain = [ req ]; running = false; in_queue = true; kill = false };
-        t.n_queued <- t.n_queued + 1;
-        true
-    in
-    if !Obs.enabled then Obs.set obs_depth (float_of_int t.n_queued);
-    Mutex.unlock t.mu;
-    (* push outside the lock: it may block on backpressure *)
-    if need_push then ignore (Workq.push t.q ~priority hash : bool)
+    if memo_check t hash dedupe_key then begin
+      t.s_deduped <- t.s_deduped + 1;
+      Obs.incr obs_deduped;
+      Mutex.unlock t.mu
+    end
+    else begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.s_submitted <- t.s_submitted + 1;
+      Obs.incr obs_submitted;
+      let req = { seq; hash; root; prio = priority; job } in
+      let need_push =
+        match Hashtbl.find_opt t.cells hash with
+        | Some c ->
+          (* live cell: a worker owns it (running) or will pop it (in_queue)
+             or will continue its chain — just append *)
+          c.chain <- c.chain @ [ req ];
+          t.n_queued <- t.n_queued + 1;
+          t.s_merged <- t.s_merged + 1;
+          false
+        | None ->
+          Hashtbl.add t.cells hash
+            { chain = [ req ]; running = false; in_queue = true; kill = false };
+          t.n_queued <- t.n_queued + 1;
+          true
+      in
+      if !Obs.enabled then Obs.set obs_depth (float_of_int t.n_queued);
+      Mutex.unlock t.mu;
+      (* push outside the lock: it may block on backpressure *)
+      if need_push then ignore (Workq.push t.q ~priority hash : bool)
+    end
   end
 
 let drain t =
@@ -243,6 +281,10 @@ let barrier t =
   end
 
 let cancel t hashes =
+  (* The dedupe memo forgets cancelled hashes in both modes (inline mode has
+     nothing queued to drop, but keeping memo behaviour identical across job
+     counts is what preserves jobs=1 ≡ jobs=N outcome parity). *)
+  List.iter (Hashtbl.remove t.memo) hashes;
   if t.n_jobs > 1 then begin
     Mutex.lock t.mu;
     List.iter
@@ -262,41 +304,39 @@ let cancel t hashes =
     Mutex.unlock t.mu
   end
 
-let invalidate t ~root =
-  if t.n_jobs <= 1 then []
+(* Keep-latest-per-hash pruning.  The old policy dropped every queued job
+   whose root differed from the new head, discarding still-valid
+   speculations wholesale — APs accumulated against the previous head are
+   usually still satisfiable (their constraints, not their root, decide),
+   and blanket dropping cratered the AP hit rate to 15%.  Now a head change
+   only sheds *superseded* work: when several jobs are queued for one hash,
+   the newest (freshest contexts) subsumes the older ones. *)
+let invalidate t ~root:_ =
+  if t.n_jobs <= 1 then 0
   else begin
     Mutex.lock t.mu;
-    let dropped = ref [] in
+    let pruned = ref 0 in
     Hashtbl.iter
       (fun _hash c ->
-        let stale, keep = List.partition (fun r -> r.root <> root) c.chain in
-        if stale <> [] then begin
-          c.chain <- keep;
-          let n = List.length stale in
+        match c.chain with
+        | [] | [ _ ] -> ()
+        | chain ->
+          let rec last = function
+            | [ x ] -> x
+            | _ :: tl -> last tl
+            | [] -> assert false
+          in
+          let keep = last chain in
+          let n = List.length chain - 1 in
+          c.chain <- [ keep ];
           t.n_queued <- t.n_queued - n;
           t.s_requeued <- t.s_requeued + n;
           Obs.add obs_requeued n;
-          dropped := stale @ !dropped
-        end)
+          pruned := !pruned + n)
       t.cells;
-    (* sweep cells emptied by the partition (and not owned by a worker) *)
-    let dead =
-      Hashtbl.fold
-        (fun h c acc -> if c.chain = [] && not c.running then h :: acc else acc)
-        t.cells []
-    in
-    List.iter (Hashtbl.remove t.cells) dead;
-    signal_if_idle t;
+    if !Obs.enabled then Obs.set obs_depth (float_of_int t.n_queued);
     Mutex.unlock t.mu;
-    (* distinct hashes, in submission order, highest priority seen per hash *)
-    let seen = Hashtbl.create 16 in
-    List.sort (fun a b -> compare a.seq b.seq) !dropped
-    |> List.filter_map (fun r ->
-           if Hashtbl.mem seen r.hash then None
-           else begin
-             Hashtbl.add seen r.hash ();
-             Some (r.hash, r.prio)
-           end)
+    !pruned
   end
 
 let stats t =
@@ -308,6 +348,7 @@ let stats t =
       cancelled = t.s_cancelled;
       requeued = t.s_requeued;
       merged = t.s_merged;
+      deduped = t.s_deduped;
       queued = 0;
       running = 0;
       high_water = Workq.high_water t.q;
@@ -322,6 +363,7 @@ let stats t =
         cancelled = t.s_cancelled;
         requeued = t.s_requeued;
         merged = t.s_merged;
+        deduped = t.s_deduped;
         queued = t.n_queued;
         running = t.n_running;
         high_water = Workq.high_water t.q;

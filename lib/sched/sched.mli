@@ -24,6 +24,10 @@ module Workq : module type of Workq
 module Mailbox : module type of Mailbox
 (** The lock-free result mailbox (re-exported likewise). *)
 
+module Conflict : module type of Conflict
+(** Read/write-set conflict detection for parallel block execution
+    (re-exported for lib/chain's consensus-order commit loop). *)
+
 type 'r t
 
 type 'r result = {
@@ -38,8 +42,9 @@ type stats = {
   submitted : int;
   completed : int;  (** results published (inline or by a worker) *)
   cancelled : int;  (** queued jobs dropped + in-flight results suppressed *)
-  requeued : int;  (** jobs dropped by {!invalidate} for the caller to resubmit *)
+  requeued : int;  (** superseded jobs pruned by {!invalidate} (keep-latest) *)
   merged : int;  (** submissions chained behind existing work for the same hash *)
+  deduped : int;  (** submissions skipped: identical [dedupe_key] already live *)
   queued : int;  (** jobs currently waiting (snapshot) *)
   running : int;  (** jobs currently executing (snapshot) *)
   high_water : int;  (** max depth the work queue ever reached *)
@@ -52,11 +57,28 @@ val create : ?capacity:int -> jobs:int -> unit -> 'r t
 
 val jobs : 'r t -> int
 
-val submit : 'r t -> hash:string -> root:string -> priority:U256.t -> (unit -> 'r) -> unit
+val submit :
+  ?dedupe_key:string ->
+  'r t ->
+  hash:string ->
+  root:string ->
+  priority:U256.t ->
+  (unit -> 'r) ->
+  unit
 (** Enqueue a job.  [priority] orders dispatch (higher first — predicted
     inclusion order, i.e. gas price); [root] tags the job with the state
-    root it speculates against, for {!invalidate}.  Blocks when the queue
-    is at capacity.  In inline mode the job runs before [submit] returns. *)
+    root it speculates against.  Blocks when the queue is at capacity.  In
+    inline mode the job runs before [submit] returns.
+
+    [dedupe_key] is a fingerprint of the work (e.g. state root + speculated
+    contexts): when it equals the key of the hash's latest live submission,
+    that job's result is already in the {!Mailbox} (or on its way), so this
+    submission is skipped entirely — counted as [deduped], no result
+    published.  The decision depends only on the submission history (never
+    on worker timing), so jobs=1 and jobs=N dedupe identically.  {!cancel}
+    forgets a hash's key; keyless submissions never dedupe and clear the
+    key.  Callers that need one result per submit (the parallel block
+    commit) must not pass [dedupe_key]. *)
 
 val drain : 'r t -> 'r result list
 (** Take every published result, sorted by submission sequence.  Does not
@@ -73,12 +95,15 @@ val cancel : 'r t -> string list -> unit
     in-flight ones (used when a new block includes the txs: their
     speculations are moot).  Already-published results are not recalled. *)
 
-val invalidate : 'r t -> root:string -> (string * U256.t) list
-(** Drop every queued job whose [~root] differs from [root] (the new chain
-    head) and return the distinct [(hash, priority)] pairs dropped, in
-    submission order, so the caller can resubmit them against the new head.
-    In-flight jobs are left to finish; their results carry their stale
-    [r_root] for the caller to filter.  Counted as [requeued]. *)
+val invalidate : 'r t -> root:string -> int
+(** Keep-latest-per-hash pruning at a head change to [root]: for every tx
+    hash with several queued jobs, keep only the newest (its contexts
+    subsume the older submissions') and drop the rest; returns how many
+    were dropped (counted as [requeued]).  Still-valid speculations — one
+    queued job per hash — survive: an AP built against the previous head
+    remains satisfiable whenever its constraints hold, so dropping every
+    stale-root job (the old policy) threw away mostly-good work and
+    cratered the hit rate.  In-flight jobs are left to finish. *)
 
 val stats : 'r t -> stats
 

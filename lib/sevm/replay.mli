@@ -22,6 +22,26 @@ type outcome =
   | Violated of violation
       (** a guard failed; no state was written (writes are deferred) *)
 
+(** {1 Static read/write sets}
+
+    Lifted straight from the traced S-EVM instructions: the conflict-aware
+    parallel block executor (DESIGN.md §10) compares them against the
+    dynamically captured sets, and they document which locations an AP's
+    fast path can ever touch. *)
+
+type rw = {
+  rw_reads : Statedb.touch list;  (** deduplicated, unordered *)
+  rw_writes : Statedb.touch list;
+  rw_exact : bool;
+      (** every location was [Const]-addressed: the sets are complete for
+          any context that satisfies the path's guards.  When false, a
+          [Reg]-addressed location was resolved through the traced register
+          value — a prediction, so callers needing soundness must fall back
+          to dynamic capture. *)
+}
+
+val rw_sets : Ir.path -> rw
+
 val run : Ir.path -> Statedb.t -> Evm.Env.block_env -> Evm.Env.tx -> outcome
 (** [run path st benv tx] replays [path] against [st].  On [Replayed r],
     the deferred writes have been applied to [st] and [r] mirrors what

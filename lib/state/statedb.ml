@@ -318,6 +318,110 @@ let revert t snap =
     t.jlen <- t.jlen - 1
   done
 
+(* ---- effect extraction (parallel block execution) ---- *)
+
+type change = {
+  ch_addr : Address.t;
+  ch_balance : U256.t option;
+  ch_nonce : int option;
+  ch_code_hash : string option;
+  ch_slots : (U256.t * U256.t) list;
+  ch_created : bool;
+  ch_destructed : bool;
+}
+
+(* Accumulator per touched address while scanning the journal suffix. *)
+type ch_acc = {
+  mutable f_balance : bool;
+  mutable f_nonce : bool;
+  mutable f_code : bool;
+  mutable f_created : bool;
+  slots_written : unit Umap.t;
+}
+
+let changes_since t snap =
+  if snap > t.jlen then invalid_arg "Statedb.changes_since: stale snapshot";
+  let accs : (Address.t, ch_acc) Hashtbl.t = Hashtbl.create 8 in
+  let acc_of addr =
+    match Hashtbl.find_opt accs addr with
+    | Some a -> a
+    | None ->
+      let a =
+        { f_balance = false; f_nonce = false; f_code = false; f_created = false;
+          slots_written = Umap.create 4 }
+      in
+      Hashtbl.add accs addr a;
+      a
+  in
+  (* walk the (newest-first) journal down to the snapshot mark *)
+  let rec scan n entries =
+    if n > 0 then
+      match entries with
+      | [] -> assert false
+      | e :: rest ->
+        (match e with
+        | J_balance (a, _) -> (acc_of a.addr).f_balance <- true
+        | J_nonce (a, _) -> (acc_of a.addr).f_nonce <- true
+        | J_code (a, _) -> (acc_of a.addr).f_code <- true
+        | J_storage (a, k, _) -> Umap.replace (acc_of a.addr).slots_written k ()
+        | J_create addr -> (acc_of addr).f_created <- true
+        | J_destruct a -> ignore (acc_of a.addr));
+        scan (n - 1) rest
+  in
+  scan (t.jlen - snap) t.journal;
+  (* read the *final* values out of the cache: extraction happens right
+     after the execution whose effects we are lifting, with no intervening
+     revert, so the cached account state is the post-state *)
+  Hashtbl.fold
+    (fun addr acc changes ->
+      match get_acct t addr with
+      | None ->
+        (* created then fully reverted inside the window: no net effect *)
+        changes
+      | Some a ->
+        let slots =
+          Umap.fold
+            (fun k () l -> (k, Option.value ~default:U256.zero (Umap.find_opt a.slots k)) :: l)
+            acc.slots_written []
+        in
+        let slots = List.sort (fun (a, _) (b, _) -> U256.compare a b) slots in
+        {
+          ch_addr = addr;
+          ch_balance = (if acc.f_balance then Some a.balance else None);
+          ch_nonce = (if acc.f_nonce then Some a.nonce else None);
+          ch_code_hash = (if acc.f_code then Some a.code_hash else None);
+          ch_slots = slots;
+          ch_created = acc.f_created;
+          ch_destructed = a.destructed;
+        }
+        :: changes)
+    accs []
+  |> List.sort (fun a b -> Address.compare a.ch_addr b.ch_addr)
+
+let set_code_hash t addr h =
+  let a = get_or_create t addr in
+  journal_push t (J_code (a, a.code_hash));
+  a.code_hash <- h;
+  a.dirty_acct <- true
+
+let apply_changes t changes =
+  List.iter
+    (fun ch ->
+      if ch.ch_destructed then begin
+        (* destruct wins: commit removes the account wholesale, so replaying
+           the intermediate writes would be dead work *)
+        if ch.ch_created then ignore (get_or_create t ch.ch_addr);
+        self_destruct t ch.ch_addr
+      end
+      else begin
+        if ch.ch_created then ignore (get_or_create t ch.ch_addr);
+        Option.iter (set_balance t ch.ch_addr) ch.ch_balance;
+        Option.iter (set_nonce t ch.ch_addr) ch.ch_nonce;
+        Option.iter (set_code_hash t ch.ch_addr) ch.ch_code_hash;
+        List.iter (fun (k, v) -> set_storage t ch.ch_addr k v) ch.ch_slots
+      end)
+    changes
+
 (* ---- commit ---- *)
 
 let commit_acct t a =

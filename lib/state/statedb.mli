@@ -73,6 +73,35 @@ val snapshot : t -> int
 val revert : t -> int -> unit
 (** Undo every mutation made after the matching {!snapshot}. *)
 
+(** {1 Effect extraction}
+
+    The parallel block executor runs each transaction on a private [t] at
+    the parent root, then lifts its net effects as a [change] list and
+    replays them onto the master state at commit (DESIGN.md §10). *)
+
+type change = {
+  ch_addr : Address.t;
+  ch_balance : U256.t option;  (** final balance, if written *)
+  ch_nonce : int option;  (** final nonce, if written *)
+  ch_code_hash : string option;  (** final code hash, if written *)
+  ch_slots : (U256.t * U256.t) list;  (** final values of written slots *)
+  ch_created : bool;  (** account created in the window *)
+  ch_destructed : bool;  (** destructed (wins over the other fields) *)
+}
+
+val changes_since : t -> int -> change list
+(** Net effects of every journal entry made after the given {!snapshot}
+    mark, one record per touched address (sorted), carrying {e final}
+    values — must be called before any intervening {!revert} or {!commit}.
+    Derived from the journal, never from dirty flags, so reverted writes
+    (e.g. an inner call that failed) are excluded exactly as {!revert}
+    excludes them. *)
+
+val apply_changes : t -> change list -> unit
+(** Replay extracted effects onto [t] as ordinary journaled writes.  Code
+    is transplanted by hash — sound because the code store lives in the
+    shared {!Backend}. *)
+
 (** {1 Commit and commitment} *)
 
 val commit : t -> string

@@ -1,13 +1,112 @@
 (* The @sched alias: the fuzz corpus plus a bounded generated sweep through
    the parallel speculation path.  jobs=4 must produce byte-identical APs
    (structural fingerprints) and identical constraint-satisfaction outcomes
-   as jobs=1 on every scenario — exit non-zero on any mismatch. *)
+   as jobs=1 on every scenario — exit non-zero on any mismatch.
+
+   Also pins the two fixed scheduler policies at CI scale, so the old
+   behaviours cannot silently return: the dedupe memo must skip
+   duplicate-key submissions instead of chaining redundant jobs (the
+   jobs=4 merged=6881 waste), and invalidate must keep the latest queued
+   job per hash instead of blanket-dropping by root (which cratered the
+   AP hit rate to 15%). *)
 
 let jobs = 4
 let sweep_iters = 8
 let seed = 42
 
+(* Duplicate (hash, dedupe_key) storm: 1 real job + n duplicates per hash.
+   The broken policy chained every duplicate — completed would read
+   hashes*(n+1) and merged would count the waste. *)
+let dedupe_regression ~jobs =
+  let s : int Sched.t = Sched.create ~jobs () in
+  let hashes = 32 and dups = 8 in
+  for h = 0 to hashes - 1 do
+    let hash = Printf.sprintf "tx%d" h in
+    for _ = 0 to dups do
+      Sched.submit s ~dedupe_key:"ctx" ~hash ~root:"r" ~priority:(U256.of_int 1)
+        (fun () -> h)
+    done
+  done;
+  Sched.barrier s;
+  let st = Sched.stats s in
+  let results = List.length (Sched.drain s) in
+  Sched.shutdown s;
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  if results <> hashes then
+    fail "sched-ci: DEDUPE REGRESSION (jobs=%d): %d results for %d hashes" jobs results
+      hashes;
+  if st.Sched.completed <> hashes then
+    fail "sched-ci: DEDUPE REGRESSION (jobs=%d): %d executions for %d hashes (waste!)"
+      jobs st.Sched.completed hashes;
+  if st.Sched.deduped <> hashes * dups then
+    fail "sched-ci: DEDUPE REGRESSION (jobs=%d): %d deduped, expected %d" jobs
+      st.Sched.deduped (hashes * dups)
+
+(* Superseded-chain pruning: several queued jobs per hash, invalidate must
+   keep exactly the newest of each (the old policy dropped whole hashes
+   whose root was stale, still-valid speculations included). *)
+let keep_latest_regression () =
+  let s : int Sched.t = Sched.create ~jobs:1 () in
+  (* jobs=1 has no queue: invalidate is a no-op by contract *)
+  if Sched.invalidate s ~root:"h" <> 0 then begin
+    prerr_endline "sched-ci: KEEP-LATEST REGRESSION: inline invalidate pruned";
+    exit 1
+  end;
+  Sched.shutdown s;
+  let s : int Sched.t = Sched.create ~jobs:2 () in
+  (* pin both workers so the queue stays put while we prune it *)
+  let mu = Mutex.create () and cv = Condition.create () and go = ref false in
+  let started = Atomic.make 0 in
+  let pin h =
+    Sched.submit s ~hash:h ~root:"h" ~priority:(U256.of_int 9) (fun () ->
+        Atomic.incr started;
+        Mutex.lock mu;
+        while not !go do
+          Condition.wait cv mu
+        done;
+        Mutex.unlock mu;
+        0)
+  in
+  pin "g1";
+  pin "g2";
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  let hashes = 16 and per_hash = 4 in
+  for h = 0 to hashes - 1 do
+    for v = 0 to per_hash - 1 do
+      Sched.submit s
+        ~hash:(Printf.sprintf "tx%d" h)
+        ~root:(Printf.sprintf "old%d" v)
+        ~priority:(U256.of_int 1)
+        (fun () -> (h * 10) + v)
+    done
+  done;
+  let pruned = Sched.invalidate s ~root:"h" in
+  Mutex.lock mu;
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  Sched.barrier s;
+  let st = Sched.stats s in
+  let results = List.length (Sched.drain s) in
+  Sched.shutdown s;
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  if pruned <> hashes * (per_hash - 1) then
+    fail "sched-ci: KEEP-LATEST REGRESSION: pruned %d, expected %d" pruned
+      (hashes * (per_hash - 1));
+  if results <> hashes + 2 then
+    fail "sched-ci: KEEP-LATEST REGRESSION: %d results, expected %d (latest per hash)"
+      results (hashes + 2);
+  if st.Sched.requeued <> hashes * (per_hash - 1) then
+    fail "sched-ci: KEEP-LATEST REGRESSION: requeued=%d, expected %d" st.Sched.requeued
+      (hashes * (per_hash - 1))
+
 let () =
+  dedupe_regression ~jobs:1;
+  dedupe_regression ~jobs:4;
+  keep_latest_regression ();
+  print_string "sched-ci: dedupe and keep-latest policies hold (jobs=1 and jobs=4)\n";
   let failures, n = Fuzz.Parallel.check_corpus ~jobs "corpus" in
   Printf.printf "sched-ci: corpus %d/%d scenarios parallel-deterministic\n%!"
     (n - List.length failures)

@@ -24,6 +24,7 @@ let () =
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
       ("sched", Test_sched.suite);
+      ("parallel", Test_parallel.suite);
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite) ]

@@ -192,6 +192,11 @@ let test_cancel () =
   Alcotest.(check int) "cancelled count" 2 (Sched.stats s).Sched.cancelled;
   Sched.shutdown s
 
+(* Keep-latest invalidation: a head change sheds only *superseded* queued
+   work — when several jobs are chained for one hash, the newest survives;
+   singleton chains (still-valid speculations) are untouched.  The old
+   blanket root-match dropping cratered the AP hit rate to 15%; this test
+   fails if that behaviour returns (it would drop "a" and "b" entirely). *)
 let test_invalidate () =
   let s : string Sched.t = Sched.create ~jobs:2 () in
   let wait, release = gate () in
@@ -205,23 +210,77 @@ let test_invalidate () =
   pin "g1";
   pin "g2";
   await "both workers pinned" (fun () -> Atomic.get started = 2);
-  Sched.submit s ~hash:"a" ~root:"old" ~priority:(u 5) (fun () -> "a");
-  Sched.submit s ~hash:"b" ~root:"new" ~priority:(u 4) (fun () -> "b");
-  Sched.submit s ~hash:"c" ~root:"old" ~priority:(u 3) (fun () -> "c");
-  let dropped = Sched.invalidate s ~root:"new" in
-  Alcotest.(check (list (pair string string)))
-    "stale-root jobs returned in submission order"
-    [ ("a", U256.to_hex (u 5)); ("c", U256.to_hex (u 3)) ]
-    (List.map (fun (h, p) -> (h, U256.to_hex p)) dropped);
+  (* hash "a": three chained submissions, speculated against successive
+     stale roots; hash "b": one still-valid speculation *)
+  Sched.submit s ~hash:"a" ~root:"old1" ~priority:(u 5) (fun () -> "a1");
+  Sched.submit s ~hash:"a" ~root:"old2" ~priority:(u 5) (fun () -> "a2");
+  Sched.submit s ~hash:"a" ~root:"new" ~priority:(u 5) (fun () -> "a3");
+  Sched.submit s ~hash:"b" ~root:"old1" ~priority:(u 4) (fun () -> "b1");
+  let pruned = Sched.invalidate s ~root:"new" in
+  Alcotest.(check int) "superseded jobs pruned (keep-latest)" 2 pruned;
   release ();
   Sched.barrier s;
   let st = Sched.stats s in
   Alcotest.(check int) "requeued count" 2 st.Sched.requeued;
   Alcotest.(check int) "barrier: nothing queued" 0 st.Sched.queued;
   Alcotest.(check int) "barrier: nothing running" 0 st.Sched.running;
-  Alcotest.(check (list string)) "fresh-root jobs survived" [ "g1"; "g2"; "b" ]
-    (List.map r_hash (Sched.drain s));
+  Alcotest.(check (list string)) "latest-per-hash and singletons survived"
+    [ "g1"; "g2"; "a3"; "b1" ]
+    (List.map r_ok (Sched.drain s));
+  Alcotest.(check int) "second invalidate finds nothing" 0 (Sched.invalidate s ~root:"new");
   Sched.shutdown s
+
+(* ---- dedupe memo (the jobs=4 merged-waste regression) ---- *)
+
+(* Run one submission script against a scheduler and return (result hashes
+   in drain order, stats).  The script exercises every memo transition:
+   duplicate key (skipped), changed key (runs), keyless (runs, clears the
+   memo), re-submission after cancel (runs). *)
+let dedupe_script jobs =
+  let s : string Sched.t = Sched.create ~jobs () in
+  let sub ?dedupe_key hash =
+    Sched.submit s ?dedupe_key ~hash ~root:"r" ~priority:(u 1) (fun () -> hash)
+  in
+  sub ~dedupe_key:"k1" "x";
+  sub ~dedupe_key:"k1" "x" (* duplicate: must be skipped, not chained *);
+  sub ~dedupe_key:"k1" "x" (* still duplicate *);
+  sub ~dedupe_key:"k2" "x" (* context changed: runs *);
+  sub "x" (* keyless: always runs, clears the memo *);
+  sub ~dedupe_key:"k2" "x" (* after keyless clear: runs again *);
+  sub ~dedupe_key:"k9" "y";
+  Sched.barrier s;
+  Sched.cancel s [ "y" ];
+  sub ~dedupe_key:"k9" "y" (* cancel forgot the memo: runs again *);
+  Sched.barrier s;
+  let rs = List.map r_hash (Sched.drain s) in
+  let st = Sched.stats s in
+  Sched.shutdown s;
+  (rs, st)
+
+let test_dedupe () =
+  let rs, st = dedupe_script 1 in
+  Alcotest.(check (list string)) "only non-duplicates published"
+    [ "x"; "x"; "x"; "x"; "y"; "y" ] rs;
+  Alcotest.(check int) "duplicates skipped" 2 st.Sched.deduped;
+  Alcotest.(check int) "submitted excludes duplicates" 6 st.Sched.submitted;
+  Alcotest.(check int) "completed" 6 st.Sched.completed
+
+(* The regression itself: at jobs>1 a duplicate used to be *merged* into
+   the hash's chain and re-executed (merged=6881 wasted in BENCH_sched).
+   Now it must be skipped before touching the cell, and the memo decisions
+   must be identical to jobs=1. *)
+let test_dedupe_jobs4_parity () =
+  let rs1, st1 = dedupe_script 1 in
+  let rs4, st4 = dedupe_script 4 in
+  Alcotest.(check (list string)) "jobs=4 publishes exactly what jobs=1 does" rs1 rs4;
+  Alcotest.(check int) "jobs=4 skips the same duplicates" st1.Sched.deduped
+    st4.Sched.deduped;
+  Alcotest.(check int) "jobs=4 submits the same jobs" st1.Sched.submitted
+    st4.Sched.submitted;
+  (* before the fix a duplicate was chained and re-executed: completed
+     would read 8 here (and merged counted the waste) *)
+  Alcotest.(check int) "no redundant execution at jobs=4" st1.Sched.completed
+    st4.Sched.completed
 
 let test_barrier_quiesces () =
   let s : int Sched.t = Sched.create ~jobs:3 () in
@@ -288,7 +347,10 @@ let suite =
     t "job exceptions are captured, not propagated" test_exn;
     t "same-hash jobs chain in submission order" test_chaining;
     t "cancel drops queued work and suppresses in-flight results" test_cancel;
-    t "invalidate drops stale roots, returns them for resubmission" test_invalidate;
+    t "invalidate keeps the latest job per hash, prunes superseded" test_invalidate;
+    t "dedupe memo skips duplicate submissions" test_dedupe;
+    t "dedupe decisions identical at jobs=1 and jobs=4 (merged-waste)"
+      test_dedupe_jobs4_parity;
     t "barrier quiesces; shutdown is idempotent" test_barrier_quiesces;
     t "obs counters are exact under 4 hammering domains" test_obs_hammer;
     t "parallel speculation is deterministic on fuzz scenarios" test_parallel_oracle ]
