@@ -1,0 +1,170 @@
+(* Pre-decoded instruction streams (DESIGN.md §11).
+
+   The legacy interpreter re-derived everything per step: opcode from the
+   raw byte, stack arity from two [match]es, the static charge from a
+   third, and PUSH immediates from a fresh 32-byte buffer.  Decoding runs
+   that derivation once per code hash and stores the results in a flat
+   array the hot loop indexes by pc.
+
+   The decode is dense: every byte position gets the instruction that
+   would execute if pc landed there, so the pc-to-instruction mapping is
+   the identity and JUMP targets need no translation.  Positions inside
+   PUSH data are decoded like any other byte — they are unreachable
+   (sequential flow skips immediates, jumps validate against the
+   JUMPDEST bitmap, which itself skips push data), but decoding them
+   keeps the artifact total and position-independent. *)
+
+type instr = {
+  op_id : int;
+  op : Op.t;
+  imm : U256.t;
+  imm_i : int;  (** [imm] as a native int, -1 if it does not fit *)
+  static_gas : int;
+  stack_in : int;
+  max_sp : int;
+  steps : int;
+  next : int;
+  xop : int;  (** untraced dispatch id: [op_id], or [0x100 + successor] when
+                  this PUSH is fused with the instruction that consumes it *)
+}
+
+type program = {
+  code : string;
+  code_hash : string;
+  instrs : instr array;
+  jumpdests : bool array;
+}
+
+let max_stack = 1024
+
+(* Static charges hoisted into a byte-indexed table; the gas-table pin
+   tests assert every entry equals [Gas.static_cost] so an edit here can
+   never silently diverge from lib/evm/gas.ml. *)
+let gas_table : int array =
+  Array.init 256 (fun b ->
+      match Op.of_byte b with Some op -> Gas.static_cost op | None -> 0)
+
+let static_gas_of_byte b = gas_table.(b)
+
+let analyze_jumpdests code =
+  let n = String.length code in
+  let a = Array.make n false in
+  let i = ref 0 in
+  while !i < n do
+    let b = Char.code (String.unsafe_get code !i) in
+    if b = 0x5b then a.(!i) <- true;
+    if b >= 0x60 && b <= 0x7f then i := !i + (b - 0x5f);
+    incr i
+  done;
+  a
+
+(* PUSH immediate at [off], [len] bytes: the missing tail of a truncated
+   PUSH reads as zero, exactly like the legacy loop's zero-padded load. *)
+let imm_of code off len =
+  let b = Bytes.make len '\000' in
+  let n = String.length code in
+  if off < n then Bytes.blit_string code off b 0 (min len (n - off));
+  U256.of_bytes_be (Bytes.unsafe_to_string b)
+
+let decode_at code pc =
+  let b = Char.code (String.unsafe_get code pc) in
+  match Op.of_byte b with
+  | None ->
+    (* Unassigned byte: permissive bounds so the dispatch table's invalid
+       handler raises with no stack check, no charge and no step counted —
+       the legacy loop's behaviour for bytes [Op.of_byte] rejects. *)
+    { op_id = b; op = Op.INVALID; imm = U256.zero; imm_i = 0; static_gas = 0;
+      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = b }
+  | Some op ->
+    let si = Op.stack_in op and so = Op.stack_out op in
+    let npush = Op.push_bytes op in
+    let imm = if npush = 0 then U256.zero else imm_of code (pc + 1) npush in
+    {
+      op_id = b;
+      op;
+      imm;
+      imm_i = (match U256.to_int_opt imm with Some n -> n | None -> -1);
+      static_gas = Array.unsafe_get gas_table b;
+      stack_in = si;
+      max_sp = max_stack - (so - si);
+      steps = 1;
+      next = pc + 1 + npush;
+      xop = b;
+    }
+
+(* Successor opcodes a PUSH fuses with: the untraced decoded engine
+   executes the pair in one dispatch through the 512-entry table (slot
+   [0x100 + id]).  All of these consume at least the pushed word
+   (stack_out <= stack_in), so the fused pair can never overflow past the
+   PUSH the loop already validated. *)
+let fusable_ids =
+  [ 0x01 (* ADD *); 0x02 (* MUL *); 0x03 (* SUB *); 0x04 (* DIV *); 0x10 (* LT *);
+    0x11 (* GT *); 0x14 (* EQ *); 0x16 (* AND *); 0x17 (* OR *); 0x18 (* XOR *);
+    0x1b (* SHL *); 0x1c (* SHR *); 0x51 (* MLOAD *); 0x52 (* MSTORE *);
+    0x54 (* SLOAD *); 0x56 (* JUMP *); 0x57 (* JUMPI *); 0x90 (* SWAP1 *) ]
+
+let fusable = Array.make 256 false
+let () = List.iter (fun id -> fusable.(id) <- true) fusable_ids
+
+let decode ?hash code =
+  let code_hash = match hash with Some h -> h | None -> Khash.Keccak.digest code in
+  let instrs = Array.init (String.length code) (decode_at code) in
+  let n = Array.length instrs in
+  Array.iteri
+    (fun pc i ->
+      if i.op_id >= 0x60 && i.op_id <= 0x7f && i.next < n then begin
+        let j = instrs.(i.next) in
+        if fusable.(j.op_id) && j.steps = 1 then
+          instrs.(pc) <- { i with xop = 0x100 lor j.op_id }
+      end)
+    instrs;
+  { code; code_hash; instrs; jumpdests = analyze_jumpdests code }
+
+(* ---- the process-wide program cache ----
+
+   Keyed by code hash (the statedb already stores keccak256(code) per
+   account, so CALL-family lookups pay no hashing).  Entries are immutable
+   — the key is a content hash — so there is no invalidation protocol;
+   a crude size cap bounds memory under adversarial churn.  Domain-safe
+   per the lib/obs conventions: a mutex guards the table, the (pure)
+   decode itself runs outside the lock so worker domains never serialize
+   on each other's cold misses; a racing double-decode is benign (last
+   insert wins, both artifacts are identical). *)
+
+let cache : (string, program) Hashtbl.t = Hashtbl.create 256
+let cache_mu = Mutex.create ()
+let max_cached = 4096
+
+let obs_hits = Obs.counter "interp.decode.hits"
+let obs_misses = Obs.counter "interp.decode.misses"
+let obs_bytes = Obs.counter "interp.decode.bytes"
+
+let get ?hash code =
+  let key = match hash with Some h -> h | None -> Khash.Keccak.digest code in
+  Mutex.lock cache_mu;
+  match Hashtbl.find_opt cache key with
+  | Some p ->
+    Mutex.unlock cache_mu;
+    Obs.incr obs_hits;
+    p
+  | None ->
+    Mutex.unlock cache_mu;
+    Obs.incr obs_misses;
+    Obs.add obs_bytes (String.length code);
+    let p = decode ~hash:key code in
+    Mutex.lock cache_mu;
+    if Hashtbl.length cache >= max_cached then Hashtbl.reset cache;
+    Hashtbl.replace cache key p;
+    Mutex.unlock cache_mu;
+    p
+
+let cache_size () =
+  Mutex.lock cache_mu;
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_mu;
+  n
+
+let clear_cache () =
+  Mutex.lock cache_mu;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mu

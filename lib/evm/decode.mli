@@ -1,0 +1,68 @@
+(** One-time bytecode decoding: the pre-decoded instruction stream the
+    table-driven interpreter executes (DESIGN.md §11).
+
+    A {!program} is decoded once per code hash and cached process-wide:
+    every byte position of the code gets a flat {!instr} record carrying
+    the opcode id, the PUSH immediate already materialized as a {!U256.t}
+    (truncated tails zero-padded exactly like the legacy loop), the static
+    gas charge hoisted from {!Gas.static_cost}, and the two precomputed
+    stack bounds that collapse per-step validation to two comparisons.
+    The JUMPDEST bitmap is folded into the same cached artifact, so
+    CALL-family re-entry reuses one decoded object instead of re-scanning
+    code. *)
+
+type instr = {
+  op_id : int;  (** raw opcode byte; table index for dispatch *)
+  op : Op.t;  (** decoded opcode ({!Op.INVALID} for unassigned bytes) *)
+  imm : U256.t;  (** PUSH immediate, zero-padded on truncation; zero otherwise *)
+  imm_i : int;  (** [imm] as a native int, or -1 when it does not fit — lets
+                    fused handlers skip [U256.to_int_opt] on offsets/targets *)
+  static_gas : int;  (** hoisted {!Gas.static_cost} (0 for unassigned bytes) *)
+  stack_in : int;  (** underflow iff [sp < stack_in] *)
+  max_sp : int;  (** overflow iff [sp > max_sp] *)
+  steps : int;  (** contribution to [steps_executed]: 1, or 0 for unassigned bytes *)
+  next : int;  (** fall-through pc: one past the opcode and its immediate *)
+  xop : int;  (** dispatch id for the untraced engine: [op_id], or
+                  [0x100 + successor_id] for a PUSH fused with the
+                  instruction that consumes it (see {!fusable_ids}) *)
+}
+
+type program = {
+  code : string;
+  code_hash : string;  (** cache key (keccak256 of [code]) *)
+  instrs : instr array;  (** dense: [instrs.(pc)] decodes [code] at byte [pc] *)
+  jumpdests : bool array;  (** JUMPDEST positions, push data skipped *)
+}
+
+val max_stack : int
+(** 1024, shared with the interpreter's frame stacks. *)
+
+val fusable_ids : int list
+(** Successor opcode ids a PUSH is fused with at decode time (ADD, SUB,
+    comparisons, bitops, shifts, MLOAD/MSTORE, SLOAD, JUMP/JUMPI, SWAP1).
+    The interpreter installs a fused handler at table slot [0x100 + id]
+    for exactly this set; all members satisfy [stack_out <= stack_in], so
+    a fused pair can never overflow past the already-validated PUSH. *)
+
+val static_gas_of_byte : int -> int
+(** The hoisted per-byte static charge exactly as stored in decoded
+    instructions — pinned against {!Gas.static_cost} by the gas-table
+    tests. Unassigned bytes charge 0. *)
+
+val analyze_jumpdests : string -> bool array
+(** The JUMPDEST bitmap alone (push data skipped), without decoding. *)
+
+val decode : ?hash:string -> string -> program
+(** Decode [code], bypassing the cache. [hash] defaults to keccak256 of
+    the code. *)
+
+val get : ?hash:string -> string -> program
+(** Cached decode, keyed by code hash. Domain-safe: the cache is shared
+    across all interpreter contexts and scheduler worker domains.
+    Counted through [interp.decode.{hits,misses,bytes}]. *)
+
+val cache_size : unit -> int
+(** Number of decoded programs currently cached (for tests/metrics). *)
+
+val clear_cache : unit -> unit
+(** Drop every cached program (tests). *)

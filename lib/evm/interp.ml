@@ -8,7 +8,17 @@
    - REVERT also rolls the journal back but returns the unused gas.
    - SSTORE pricing is flat (see DESIGN.md §6) so gas along a fixed
      control/data path is constant — the invariant Forerunner's accelerated
-     programs rely on. *)
+     programs rely on.
+
+   Two engines execute frames (DESIGN.md §11):
+   - [Decoded] (the default): drives a pre-decoded instruction stream
+     ({!Decode.program}, cached per code hash) through a 256-entry table of
+     handler closures — no per-step opcode decoding, PUSH immediates
+     inlined, static gas hoisted, stack validation collapsed to two
+     precomputed comparisons.
+   - [Legacy]: the original byte-at-a-time [match] dispatch, kept compiled
+     as the differential reference (test/test_decode.ml, the fuzz oracle
+     and `bench interp` pin the two engines byte-for-byte). *)
 
 open State
 
@@ -41,36 +51,41 @@ type status = Returned of string | Reverted of string | Failed of fail_reason
 (* Raised by terminator opcodes to end the current frame. *)
 exception Frame_done of status
 
+type engine = Decoded | Legacy
+
+(* The process-wide default; [Legacy] is a test-only selection — see
+   [make_ctx]. *)
+let default_engine = ref Decoded
+
 type ctx = {
   st : Statedb.t;
   benv : Env.block_env;
   origin : Address.t;
   gas_price : U256.t;
+  engine : engine;
   trace : Trace.sink option;
   mutable logs : Env.log list; (* newest first *)
   mutable logs_len : int;
-  jumpdest_cache : (string, bool array) Hashtbl.t;
   mutable steps_executed : int;
 }
 
-let make_ctx ?trace st benv ~origin ~gas_price =
+let make_ctx ?engine ?trace st benv ~origin ~gas_price =
   {
     st;
     benv;
     origin;
     gas_price;
+    engine = (match engine with Some e -> e | None -> !default_engine);
     trace;
     logs = [];
     logs_len = 0;
-    jumpdest_cache = Hashtbl.create 16;
     steps_executed = 0;
   }
 
 type frame = {
   ctx_address : Address.t; (* storage context; ADDRESS *)
   code_address : Address.t;
-  code : string;
-  jumpdests : bool array;
+  prog : Decode.program;  (* decoded code + jumpdest bitmap, shared per hash *)
   caller : Address.t;
   value : U256.t;
   data : string;
@@ -84,25 +99,13 @@ type frame = {
   mutable returndata : string;
 }
 
-let max_stack = 1024
+let max_stack = Decode.max_stack
 let max_depth = 1024
 let max_code_size = 24576
 
-let analyze_jumpdests ctx code =
-  match Hashtbl.find_opt ctx.jumpdest_cache code with
-  | Some a -> a
-  | None ->
-    let n = String.length code in
-    let a = Array.make n false in
-    let i = ref 0 in
-    while !i < n do
-      let b = Char.code code.[!i] in
-      if b = 0x5b then a.(!i) <- true;
-      if b >= 0x60 && b <= 0x7f then i := !i + (b - 0x5f);
-      incr i
-    done;
-    Hashtbl.replace ctx.jumpdest_cache code a;
-    a
+(* Decoded program for the code stored at [addr]: the statedb keeps
+   keccak256(code) per account, so the cache lookup pays no hashing. *)
+let prog_of_account st addr code = Decode.get ~hash:(Statedb.get_code_hash st addr) code
 
 (* ---- stack helpers ---- *)
 
@@ -122,8 +125,12 @@ let charge f n = if f.gas < n then raise (Fail Out_of_gas) else f.gas <- f.gas -
 let charge_mem f off len =
   if len > 0 then begin
     if off < 0 || len < 0 || off + len < 0 then raise (Fail Out_of_gas);
-    charge f (Memory.expansion_cost f.mem off len);
-    Memory.ensure f.mem off len
+    (* fast path: within the word-aligned high-water mark, expansion cost
+       is zero and [ensure] is a no-op — skip both calls *)
+    if off + len > Memory.size f.mem then begin
+      charge f (Memory.expansion_cost f.mem off len);
+      Memory.ensure f.mem off len
+    end
   end
 
 (* Offsets/lengths reaching memory must fit in an int comfortably; anything
@@ -188,17 +195,44 @@ let run_precompile kind data =
   | P_identity -> (15 + (3 * Gas.words (String.length data)), data)
   | P_sha256 -> (60 + (12 * Gas.words (String.length data)), Khash.Sha256.digest data)
 
+(* ---- the dispatch table ----
+
+   One handler closure per opcode byte, installed after the recursive
+   execution group below.  The decoded loop has already counted the step,
+   validated the stack bounds and charged the hoisted static gas when a
+   handler runs.  Unassigned bytes keep the default handler, which raises
+   exactly like the legacy loop's [Op.of_byte] failure (0xfe INVALID also
+   lands here: same failure, but decoded as a real opcode so it counts a
+   step, like the legacy path). *)
+
+let handler_table : (ctx -> frame -> Decode.instr -> unit) array =
+  Array.make 256 (fun _ _ (i : Decode.instr) -> raise (Fail (Invalid_opcode i.Decode.op_id)))
+
+(* The untraced engine dispatches on [instr.xop] through this wider table:
+   slots 0..255 mirror [handler_table], slots [0x100 + id] hold fused
+   PUSH+op handlers for {!Decode.fusable_ids}.  The traced path always
+   dispatches unfused so every step is captured individually. *)
+let xtable : (ctx -> frame -> Decode.instr -> unit) array =
+  Array.make 512 (fun _ _ (i : Decode.instr) -> raise (Fail (Invalid_opcode i.Decode.op_id)))
+
 (* ---- message execution ---- *)
 
-(* Execute the frame's code to completion. *)
-let rec exec_frame ctx f : status =
-  let code_len = String.length f.code in
+(* Execute the frame's code to completion with the ctx's engine. *)
+let rec run_frame ctx f : status =
+  match ctx.engine with Decoded -> exec_frame_decoded ctx f | Legacy -> exec_frame ctx f
+
+(* The legacy engine: byte-at-a-time decode, giant-match dispatch.  Kept
+   compiled as the reference the differential battery pins the decoded
+   engine against; reachable only through [engine = Legacy]. *)
+and exec_frame ctx f : status =
+  let code = f.prog.Decode.code in
+  let code_len = String.length code in
   let result = ref None in
   (try
      while Option.is_none !result do
        if f.pc >= code_len then result := Some (Returned "")
        else begin
-         let byte = Char.code f.code.[f.pc] in
+         let byte = Char.code code.[f.pc] in
          match Op.of_byte byte with
          | None -> raise (Fail (Invalid_opcode byte))
          | Some op ->
@@ -230,6 +264,84 @@ let rec exec_frame ctx f : status =
            if traced then emit_step (capture_outputs f op);
            f.pc <- f.pc + 1;
            if op = STOP then result := Some (Returned "")
+       end
+     done
+   with
+  | Fail r -> result := Some (Failed r)
+  | Frame_done st -> result := Some st);
+  match !result with Some st -> st | None -> assert false
+
+(* The decoded engine: index the pre-decoded stream by pc, validate with
+   the two precomputed bounds, charge the hoisted static gas, dispatch
+   through the handler table.  The untraced loop is kept minimal: all
+   normal exits arrive as [Frame_done] (the STOP handler raises it, so
+   there is no per-step terminator check) and dispatch goes through the
+   wider [xtable], which fuses PUSH+op pairs. *)
+and exec_frame_decoded ctx f : status =
+  if ctx.trace <> None then exec_frame_decoded_traced ctx f
+  else begin
+    let instrs = f.prog.Decode.instrs in
+    let code_len = Array.length instrs in
+    try
+      while true do
+        if f.pc >= code_len then raise (Frame_done (Returned ""));
+        let i = Array.unsafe_get instrs f.pc in
+        ctx.steps_executed <- ctx.steps_executed + i.Decode.steps;
+        if f.sp < i.Decode.stack_in then raise (Fail Stack_underflow);
+        if f.sp > i.Decode.max_sp then raise (Fail Stack_overflow);
+        let g = i.Decode.static_gas in
+        if f.gas < g then raise (Fail Out_of_gas);
+        f.gas <- f.gas - g;
+        (Array.unsafe_get xtable i.Decode.xop) ctx f i;
+        f.pc <- f.pc + 1
+      done;
+      assert false
+    with
+    | Fail r -> Failed r
+    | Frame_done st -> st
+  end
+
+(* Traced variant: unfused dispatch through [handler_table] so every step
+   is captured individually, with step records emitted around each
+   handler. *)
+and exec_frame_decoded_traced ctx f : status =
+  let instrs = f.prog.Decode.instrs in
+  let code_len = Array.length instrs in
+  let result = ref None in
+  (try
+     while Option.is_none !result do
+       if f.pc >= code_len then result := Some (Returned "")
+       else begin
+         let i = Array.unsafe_get instrs f.pc in
+         ctx.steps_executed <- ctx.steps_executed + i.Decode.steps;
+         if f.sp < i.Decode.stack_in then raise (Fail Stack_underflow);
+         if f.sp > i.Decode.max_sp then raise (Fail Stack_overflow);
+         let g = i.Decode.static_gas in
+         if f.gas < g then raise (Fail Out_of_gas);
+         f.gas <- f.gas - g;
+         let h = Array.unsafe_get handler_table i.Decode.op_id in
+         let op = i.Decode.op in
+         let ins = capture_inputs f op in
+         let pc0 = f.pc in
+         let emit_step outs =
+           if not (Op.is_call op || op = CREATE || op = CREATE2) then
+             emit ctx
+               (Trace.Step
+                  {
+                    pc = pc0;
+                    depth = f.depth;
+                    ctx_address = f.ctx_address;
+                    op;
+                    inputs = ins;
+                    outputs = outs;
+                  })
+         in
+         (try h ctx f i
+          with Frame_done st ->
+            emit_step [||];
+            raise (Frame_done st));
+         emit_step (capture_outputs f op);
+         f.pc <- f.pc + 1
        end
      done
    with
@@ -296,8 +408,8 @@ and exec_op ctx f (op : Op.t) =
     | _ -> push f U256.zero)
   | CALLDATASIZE -> push f (U256.of_int (String.length f.data))
   | CALLDATACOPY -> copy_to_mem f f.data
-  | CODESIZE -> push f (U256.of_int (String.length f.code))
-  | CODECOPY -> copy_to_mem f f.code
+  | CODESIZE -> push f (U256.of_int (String.length f.prog.Decode.code))
+  | CODECOPY -> copy_to_mem f f.prog.Decode.code
   | GASPRICE -> push f ctx.gas_price
   | EXTCODESIZE ->
     push f (U256.of_int (String.length (Statedb.get_code st (Address.of_u256 (pop f)))))
@@ -359,7 +471,7 @@ and exec_op ctx f (op : Op.t) =
   | GAS -> push f (U256.of_int f.gas)
   | JUMPDEST -> ()
   | PUSH n ->
-    push f (load_padded_code f.code (f.pc + 1) n);
+    push f (load_padded_code f.prog.Decode.code (f.pc + 1) n);
     f.pc <- f.pc + n
   | DUP n ->
     require f n;
@@ -397,9 +509,11 @@ and exec_op ctx f (op : Op.t) =
     Statedb.self_destruct st f.ctx_address;
     raise (Frame_done (Returned ""))
 
+(* In-place: callers are table handlers, so the decoded loop has already
+   validated [stack_in = 2] — pop once and overwrite the new top. *)
 and binop f g =
-  let a = pop f and b = pop f in
-  push f (g a b)
+  f.sp <- f.sp - 1;
+  f.stack.(f.sp - 1) <- g f.stack.(f.sp) f.stack.(f.sp - 1)
 
 and triop f g =
   let a = pop f and b = pop f and c = pop f in
@@ -413,7 +527,7 @@ and shiftop f g =
 
 and jump_target f dst =
   match U256.to_int_opt dst with
-  | Some d when d < String.length f.code && f.jumpdests.(d) -> d
+  | Some d when d < String.length f.prog.Decode.code && f.prog.Decode.jumpdests.(d) -> d
   | Some d -> raise (Fail (Invalid_jump d))
   | None -> raise (Fail (Invalid_jump (-1)))
 
@@ -553,8 +667,7 @@ and exec_call ctx f op =
         {
           ctx_address = ctx_addr;
           code_address = code_addr;
-          code;
-          jumpdests = analyze_jumpdests ctx code;
+          prog = prog_of_account st code_addr code;
           caller;
           value = call_value;
           data;
@@ -568,7 +681,7 @@ and exec_call ctx f op =
           returndata = "";
         }
       in
-      match exec_frame ctx child with
+      match run_frame ctx child with
       | Returned out ->
         finish ~success:true ~output:out ~gas_back:child.gas ~reason:Trace.X_completed
       | Reverted out ->
@@ -660,8 +773,7 @@ and exec_create ctx f op =
         {
           ctx_address = new_addr;
           code_address = new_addr;
-          code = initcode;
-          jumpdests = analyze_jumpdests ctx initcode;
+          prog = Decode.get initcode;
           caller = f.ctx_address;
           value;
           data = "";
@@ -718,9 +830,229 @@ and exec_create ctx f op =
           emit ctx (Trace.Call_exit { success = false; output = ""; reason = Trace.X_completed });
           push f U256.zero
       in
-      deploy (exec_frame ctx child)
+      deploy (run_frame ctx child)
     end
   end
+
+(* ---- handler installation ----
+
+   Specialized closures for the cheap, hot opcodes (no re-derivation, no
+   redundant checks — the loop already validated arity via the decoded
+   bounds); the long tail (calls, creates, copies, logs, terminators)
+   delegates to the same [exec_op] arms the legacy engine runs, so the
+   complex opcodes share one implementation by construction. *)
+
+let () =
+  let h b f = handler_table.(b) <- f in
+  let delegate b = h b (fun ctx f (i : Decode.instr) -> exec_op ctx f i.Decode.op) in
+  h 0x00 (fun _ _ _ -> raise (Frame_done (Returned "")));
+  h 0x01 (fun _ f _ -> binop f U256.add);
+  h 0x02 (fun _ f _ -> binop f U256.mul);
+  h 0x03 (fun _ f _ -> binop f U256.sub);
+  h 0x04 (fun _ f _ -> binop f U256.div);
+  h 0x05 (fun _ f _ -> binop f U256.sdiv);
+  h 0x06 (fun _ f _ -> binop f U256.rem);
+  h 0x07 (fun _ f _ -> binop f U256.srem);
+  h 0x08 (fun _ f _ -> triop f U256.addmod);
+  h 0x09 (fun _ f _ -> triop f U256.mulmod);
+  delegate 0x0a (* EXP: dynamic gas *);
+  h 0x0b (fun _ f _ ->
+      let k = pop f and x = pop f in
+      push f (U256.signextend k x));
+  h 0x10 (fun _ f _ -> binop f (fun a b -> bool_word (U256.lt a b)));
+  h 0x11 (fun _ f _ -> binop f (fun a b -> bool_word (U256.gt a b)));
+  h 0x12 (fun _ f _ -> binop f (fun a b -> bool_word (U256.slt a b)));
+  h 0x13 (fun _ f _ -> binop f (fun a b -> bool_word (U256.sgt a b)));
+  h 0x14 (fun _ f _ -> binop f (fun a b -> bool_word (U256.equal a b)));
+  h 0x15 (fun _ f _ -> push f (bool_word (U256.is_zero (pop f))));
+  h 0x16 (fun _ f _ -> binop f U256.logand);
+  h 0x17 (fun _ f _ -> binop f U256.logor);
+  h 0x18 (fun _ f _ -> binop f U256.logxor);
+  h 0x19 (fun _ f _ -> push f (U256.lognot (pop f)));
+  h 0x1a (fun _ f _ ->
+      let i = pop f and x = pop f in
+      push f (U256.byte i x));
+  h 0x1b (fun _ f _ -> shiftop f (fun x n -> U256.shift_left x n));
+  h 0x1c (fun _ f _ -> shiftop f (fun x n -> U256.shift_right x n));
+  delegate 0x1d (* SAR *);
+  h 0x20 (fun _ f _ ->
+      let off = as_offset (pop f) and len = as_offset (pop f) in
+      charge f (Gas.g_sha3_word * Gas.words len);
+      charge_mem f off len;
+      push f (Khash.Keccak.digest_u256 (Memory.load f.mem off len)));
+  h 0x30 (fun _ f _ -> push f (Address.to_u256 f.ctx_address));
+  h 0x31 (fun ctx f _ -> push f (Statedb.get_balance ctx.st (Address.of_u256 (pop f))));
+  h 0x32 (fun ctx f _ -> push f (Address.to_u256 ctx.origin));
+  h 0x33 (fun _ f _ -> push f (Address.to_u256 f.caller));
+  h 0x34 (fun _ f _ -> push f f.value);
+  delegate 0x35 (* CALLDATALOAD *);
+  h 0x36 (fun _ f _ -> push f (U256.of_int (String.length f.data)));
+  delegate 0x37 (* CALLDATACOPY *);
+  h 0x38 (fun _ f _ -> push f (U256.of_int (String.length f.prog.Decode.code)));
+  delegate 0x39 (* CODECOPY *);
+  h 0x3a (fun ctx f _ -> push f ctx.gas_price);
+  delegate 0x3b;
+  delegate 0x3c;
+  h 0x3d (fun _ f _ -> push f (U256.of_int (String.length f.returndata)));
+  delegate 0x3e (* RETURNDATACOPY *);
+  delegate 0x3f (* EXTCODEHASH *);
+  delegate 0x40 (* BLOCKHASH *);
+  h 0x41 (fun ctx f _ -> push f (Address.to_u256 ctx.benv.coinbase));
+  h 0x42 (fun ctx f _ -> push f (U256.of_int64 ctx.benv.timestamp));
+  h 0x43 (fun ctx f _ -> push f (U256.of_int64 ctx.benv.number));
+  h 0x44 (fun ctx f _ -> push f ctx.benv.difficulty);
+  h 0x45 (fun ctx f _ -> push f (U256.of_int ctx.benv.gas_limit));
+  h 0x46 (fun ctx f _ -> push f (U256.of_int ctx.benv.chain_id));
+  h 0x47 (fun ctx f _ -> push f (Statedb.get_balance ctx.st f.ctx_address));
+  h 0x50 (fun _ f _ -> ignore (pop f));
+  h 0x51 (fun _ f _ ->
+      let off = as_offset (pop f) in
+      charge_mem f off 32;
+      push f (Memory.load_word f.mem off));
+  h 0x52 (fun _ f _ ->
+      let off = as_offset (pop f) and v = pop f in
+      charge_mem f off 32;
+      Memory.store_word f.mem off v);
+  delegate 0x53 (* MSTORE8 *);
+  h 0x54 (fun ctx f _ -> push f (Statedb.get_storage ctx.st f.ctx_address (pop f)));
+  h 0x55 (fun ctx f _ ->
+      if f.is_static then raise (Fail Static_violation);
+      let k = pop f and v = pop f in
+      Statedb.set_storage ctx.st f.ctx_address k v);
+  h 0x56 (fun _ f _ -> f.pc <- jump_target f (pop f) - 1);
+  h 0x57 (fun _ f _ ->
+      let dst = pop f and cond = pop f in
+      if not (U256.is_zero cond) then f.pc <- jump_target f dst - 1);
+  h 0x58 (fun _ f _ -> push f (U256.of_int f.pc));
+  h 0x59 (fun _ f _ -> push f (U256.of_int (Memory.size f.mem)));
+  h 0x5a (fun _ f _ -> push f (U256.of_int f.gas));
+  h 0x5b (fun _ _ _ -> ());
+  (* JUMPDEST *)
+  for b = 0x60 to 0x7f do
+    (* PUSH1..PUSH32: the immediate was materialized at decode time *)
+    h b (fun _ f (i : Decode.instr) ->
+        push f i.Decode.imm;
+        f.pc <- i.Decode.next - 1)
+  done;
+  for b = 0x80 to 0x8f do
+    let n = b - 0x7f in
+    (* DUPn: depth n checked by the decoded [stack_in] bound *)
+    h b (fun _ f _ -> push f f.stack.(f.sp - n))
+  done;
+  for b = 0x90 to 0x9f do
+    let n = b - 0x8f in
+    (* SWAPn: depth n+1 checked by the decoded [stack_in] bound *)
+    h b (fun _ f _ ->
+        let top = f.stack.(f.sp - 1) in
+        f.stack.(f.sp - 1) <- f.stack.(f.sp - 1 - n);
+        f.stack.(f.sp - 1 - n) <- top)
+  done;
+  for b = 0xa0 to 0xa4 do
+    delegate b (* LOG0..LOG4 *)
+  done;
+  List.iter delegate
+    [ 0xf0 (* CREATE *); 0xf1 (* CALL *); 0xf2 (* CALLCODE *); 0xf3 (* RETURN *);
+      0xf4 (* DELEGATECALL *); 0xf5 (* CREATE2 *); 0xfa (* STATICCALL *);
+      0xfd (* REVERT *); 0xff (* SELFDESTRUCT *) ]
+(* 0xfe INVALID and every unassigned byte keep the default raising handler *)
+
+(* ---- fused PUSH+op handlers (untraced engine only) ----
+
+   Slots [0x100 + id] of [xtable] execute a PUSH and its consumer in one
+   dispatch, the pushed word taken straight from the decoded immediate.
+   The wrapper replays the consumer's loop prologue exactly — step count,
+   underflow against [stack_in] minus the word the PUSH supplies, static
+   charge — so the pair is observationally identical to two unfused steps.
+   The overflow check is dropped: every {!Decode.fusable_ids} member has
+   stack_out <= stack_in, so the pair never grows the stack past the
+   PUSH the loop already validated. *)
+
+(* The consumer's loop prologue, replayed by every fused handler: step
+   count, underflow against [stack_in] minus the word the PUSH supplies,
+   static charge, and the fall-through pc (jump handlers re-assign it). *)
+let[@inline] fused_prologue ctx f (i : Decode.instr) si sg =
+  ctx.steps_executed <- ctx.steps_executed + 1;
+  if f.sp < si then raise (Fail Stack_underflow);
+  if f.gas < sg then raise (Fail Out_of_gas);
+  f.gas <- f.gas - sg;
+  f.pc <- i.Decode.next
+
+let () =
+  Array.blit handler_table 0 xtable 0 256;
+  (* [mk si sg] builds the complete handler as ONE closure — the prologue
+     constants are captured, not re-derived, and there is no second
+     indirect call through a wrapper. *)
+  let fuse id mk =
+    let op = match Op.of_byte id with Some op -> op | None -> assert false in
+    xtable.(0x100 lor id) <- mk (Op.stack_in op - 1) (Gas.static_cost op)
+  in
+  (* a = the pushed word: it sits on top, so it is the first legacy pop *)
+  let fuse_binop id g =
+    fuse id (fun si sg ctx f (i : Decode.instr) ->
+        fused_prologue ctx f i si sg;
+        f.stack.(f.sp - 1) <- g i.Decode.imm f.stack.(f.sp - 1))
+  in
+  fuse_binop 0x01 U256.add;
+  fuse_binop 0x02 U256.mul;
+  fuse_binop 0x03 U256.sub;
+  fuse_binop 0x04 U256.div;
+  fuse_binop 0x10 (fun a b -> bool_word (U256.lt a b));
+  fuse_binop 0x11 (fun a b -> bool_word (U256.gt a b));
+  fuse_binop 0x14 (fun a b -> bool_word (U256.equal a b));
+  fuse_binop 0x16 U256.logand;
+  fuse_binop 0x17 U256.logor;
+  fuse_binop 0x18 U256.logxor;
+  (* the PUSH supplies the shift amount (the legacy pair pops it first) *)
+  let fuse_shift id g =
+    fuse id (fun si sg ctx f (i : Decode.instr) ->
+        fused_prologue ctx f i si sg;
+        let k = i.Decode.imm_i in
+        f.stack.(f.sp - 1) <-
+          (if k >= 0 && k < 256 then g f.stack.(f.sp - 1) k else U256.zero))
+  in
+  fuse_shift 0x1b (fun x n -> U256.shift_left x n);
+  fuse_shift 0x1c (fun x n -> U256.shift_right x n);
+  (* MLOAD/MSTORE: [imm_i < 0] means the immediate exceeds int range, the
+     same cases [as_offset] turns into Out_of_gas on the unfused path *)
+  fuse 0x51 (fun si sg ctx f (i : Decode.instr) ->
+      fused_prologue ctx f i si sg;
+      let off = i.Decode.imm_i in
+      if off < 0 || off >= 0x40000000 then raise (Fail Out_of_gas);
+      charge_mem f off 32;
+      f.stack.(f.sp) <- Memory.load_word f.mem off;
+      f.sp <- f.sp + 1);
+  fuse 0x52 (fun si sg ctx f (i : Decode.instr) ->
+      fused_prologue ctx f i si sg;
+      let off = i.Decode.imm_i in
+      if off < 0 || off >= 0x40000000 then raise (Fail Out_of_gas);
+      f.sp <- f.sp - 1;
+      let v = f.stack.(f.sp) in
+      charge_mem f off 32;
+      Memory.store_word f.mem off v);
+  fuse 0x54 (fun si sg ctx f (i : Decode.instr) ->
+      fused_prologue ctx f i si sg;
+      f.stack.(f.sp) <- Statedb.get_storage ctx.st f.ctx_address i.Decode.imm;
+      f.sp <- f.sp + 1);
+  (* immediate jump target, validated like [jump_target] with identical
+     Invalid_jump payloads (-1 when the immediate exceeds int range) *)
+  let target f (i : Decode.instr) =
+    let d = i.Decode.imm_i in
+    if d >= 0 && d < String.length f.prog.Decode.code && f.prog.Decode.jumpdests.(d)
+    then d
+    else raise (Fail (Invalid_jump (if d >= 0 then d else -1)))
+  in
+  fuse 0x56 (fun si sg ctx f i ->
+      fused_prologue ctx f i si sg;
+      f.pc <- target f i - 1);
+  fuse 0x57 (fun si sg ctx f i ->
+      fused_prologue ctx f i si sg;
+      f.sp <- f.sp - 1;
+      if not (U256.is_zero f.stack.(f.sp)) then f.pc <- target f i - 1);
+  fuse 0x90 (fun si sg ctx f (i : Decode.instr) ->
+      fused_prologue ctx f i si sg;
+      f.stack.(f.sp) <- f.stack.(f.sp - 1);
+      f.stack.(f.sp - 1) <- i.Decode.imm;
+      f.sp <- f.sp + 1)
 
 (* ---- top-level message (used by the transaction processor) ---- *)
 
@@ -751,8 +1083,7 @@ let call_message ctx ~caller ~target ~value ~data ~gas =
       {
         ctx_address = target;
         code_address = target;
-        code;
-        jumpdests = analyze_jumpdests ctx code;
+        prog = prog_of_account st target code;
         caller;
         value;
         data;
@@ -766,7 +1097,7 @@ let call_message ctx ~caller ~target ~value ~data ~gas =
         returndata = "";
       }
     in
-    match exec_frame ctx f with
+    match run_frame ctx f with
     | Returned out -> { success = true; output = out; gas_left = f.gas }
     | Reverted out ->
       Statedb.revert st snap;
@@ -798,8 +1129,7 @@ let create_message ctx ~caller ~value ~initcode ~gas =
       {
         ctx_address = new_addr;
         code_address = new_addr;
-        code = initcode;
-        jumpdests = analyze_jumpdests ctx initcode;
+        prog = Decode.get initcode;
         caller;
         value;
         data = "";
@@ -813,7 +1143,7 @@ let create_message ctx ~caller ~value ~initcode ~gas =
         returndata = "";
       }
     in
-    match exec_frame ctx f with
+    match run_frame ctx f with
     | Returned deployed ->
       let deposit = Gas.g_code_deposit_byte * String.length deployed in
       if String.length deployed > max_code_size || f.gas < deposit then begin

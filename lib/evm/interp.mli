@@ -23,21 +23,40 @@ type status = Returned of string | Reverted of string | Failed of fail_reason
 exception Fail of fail_reason
 exception Frame_done of status
 
+(** Which frame-execution engine a context runs (DESIGN.md §11). *)
+type engine =
+  | Decoded
+      (** Pre-decoded instruction stream ({!Decode.program}, cached per code
+          hash) driven through a 256-entry handler table.  The default. *)
+  | Legacy
+      (** The original byte-at-a-time [match] dispatch.  Test-only: the
+          differential battery ([@decode], the fuzz oracle, [bench interp])
+          pins [Decoded] against it byte-for-byte. *)
+
+val default_engine : engine ref
+(** What {!make_ctx} uses when no [?engine] is given; [Decoded]. *)
+
 (** Per-execution context shared by all frames of one transaction. *)
 type ctx = {
   st : Statedb.t;
   benv : Env.block_env;
   origin : Address.t;
   gas_price : U256.t;
+  engine : engine;
   trace : Trace.sink option;
   mutable logs : Env.log list;  (** newest first; rolled back on revert *)
   mutable logs_len : int;
-  jumpdest_cache : (string, bool array) Hashtbl.t;
   mutable steps_executed : int;
 }
 
 val make_ctx :
-  ?trace:Trace.sink -> Statedb.t -> Env.block_env -> origin:Address.t -> gas_price:U256.t -> ctx
+  ?engine:engine ->
+  ?trace:Trace.sink ->
+  Statedb.t ->
+  Env.block_env ->
+  origin:Address.t ->
+  gas_price:U256.t ->
+  ctx
 
 val max_stack : int
 val max_depth : int

@@ -7,8 +7,10 @@ type t = { mutable buf : Bytes.t; mutable hwm : int (* word-aligned high-water m
 let create () = { buf = Bytes.make 4096 '\000'; hwm = 0 }
 let size m = m.hwm
 
-(* Word-aligned size needed to touch [off, off+len). *)
-let needed off len = if len = 0 then 0 else Gas.words (off + len) * 32
+(* Word-aligned size needed to touch [off, off+len).  Same value as
+   [Gas.words (off + len) * 32], written out locally so the size checks on
+   every MLOAD/MSTORE stay a couple of integer ops. *)
+let needed off len = if len = 0 then 0 else (off + len + 31) land lnot 31
 
 (* Gas cost of expanding to cover [off, off+len); 0 if already covered. *)
 let expansion_cost m off len =
@@ -43,8 +45,25 @@ let store m off s =
     Bytes.blit_string s 0 m.buf off (String.length s)
   end
 
-let load_word m off = U256.of_bytes_be (load m off 32)
-let store_word m off v = store m off (U256.to_bytes_be v)
+(* Word load/store read and write the four limbs in place — MLOAD/MSTORE
+   are hot enough that the intermediate 32-byte string matters. *)
+let load_word m off =
+  if off + 32 > m.hwm then ensure m off 32;
+  let b = m.buf in
+  U256.of_limbs
+    (Bytes.get_int64_be b (off + 24))
+    (Bytes.get_int64_be b (off + 16))
+    (Bytes.get_int64_be b (off + 8))
+    (Bytes.get_int64_be b off)
+
+let store_word m off v =
+  if off + 32 > m.hwm then ensure m off 32;
+  let x0, x1, x2, x3 = U256.to_limbs v in
+  let b = m.buf in
+  Bytes.set_int64_be b off x3;
+  Bytes.set_int64_be b (off + 8) x2;
+  Bytes.set_int64_be b (off + 16) x1;
+  Bytes.set_int64_be b (off + 24) x0
 
 let store_byte m off b =
   ensure m off 1;

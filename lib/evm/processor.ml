@@ -44,8 +44,11 @@ let check_validity st (tx : Env.tx) =
   end
 
 (* Execute [tx] against [st] in block environment [benv], mutating [st]
-   (committed state is only advanced by the caller's [Statedb.commit]). *)
-let execute_tx ?trace st (benv : Env.block_env) (tx : Env.tx) : receipt =
+   (committed state is only advanced by the caller's [Statedb.commit]).
+   [engine] defaults to {!Interp.default_engine} (the decoded engine);
+   [Interp.Legacy] is the test-only reference selection the differential
+   battery pins the decoded engine against. *)
+let execute_tx ?engine ?trace st (benv : Env.block_env) (tx : Env.tx) : receipt =
   let sender_balance_before = Statedb.get_balance st tx.sender in
   let sender_nonce_before = Statedb.get_nonce st tx.sender in
   match check_validity st tx with
@@ -60,7 +63,9 @@ let execute_tx ?trace st (benv : Env.block_env) (tx : Env.tx) : receipt =
       sender_nonce_before;
     }
   | Ok intrinsic ->
-    let ctx = Interp.make_ctx ?trace st benv ~origin:tx.sender ~gas_price:tx.gas_price in
+    let ctx =
+      Interp.make_ctx ?engine ?trace st benv ~origin:tx.sender ~gas_price:tx.gas_price
+    in
     (* Buy gas, bump nonce. *)
     Statedb.sub_balance st tx.sender (U256.mul (U256.of_int tx.gas_limit) tx.gas_price);
     Statedb.incr_nonce st tx.sender;

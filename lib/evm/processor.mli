@@ -29,7 +29,9 @@ val check_validity : Statedb.t -> Env.tx -> (int, string) result
 (** Nonce, funds and intrinsic-gas checks; [Ok intrinsic_gas] on success.
     This is what a miner runs before packing. *)
 
-val execute_tx : ?trace:Trace.sink -> Statedb.t -> Env.block_env -> Env.tx -> receipt
+val execute_tx :
+  ?engine:Interp.engine -> ?trace:Trace.sink -> Statedb.t -> Env.block_env -> Env.tx -> receipt
 (** Execute [tx] against [st] (journaled, not committed).  With [trace], the
     instrumented EVM reports every executed instruction — the speculator's
-    input. *)
+    input.  [engine] defaults to {!Interp.default_engine}; [Interp.Legacy]
+    selects the match-dispatch reference engine (test-only). *)

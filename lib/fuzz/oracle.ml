@@ -1,6 +1,8 @@
 (* The differential oracle.  One scenario is executed:
 
-     1. by the reference EVM interpreter (Evm.Processor.execute_tx),
+     1. by the reference EVM interpreter (Evm.Processor.execute_tx) on the
+        decoded engine, and again on the legacy match-dispatch engine —
+        every fuzz run is also a decoded-vs-legacy differential,
      2. by S-EVM synthesis + linear path replay (Sevm.Builder + Sevm.Replay),
      3. by AP compile + fast-path execution (Ap.Program + Ap.Exec), in a
         satisfied context both with and without memoization shortcuts, and
@@ -165,6 +167,24 @@ let run (s : Scenario.t) : report =
         (r, Statedb.commit st1))
       txs
   in
+
+  (* engine 1b: the legacy match-dispatch interpreter.  The reference above
+     ran on the decoded engine (the default), so this pass makes every fuzz
+     run a decoded-vs-legacy differential as well (DESIGN.md §11). *)
+  let st1b = Statedb.create bk ~root:root0 in
+  let pre1b = ref root0 in
+  List.iteri
+    (fun i tx ->
+      let ref_r, ref_root = List.nth reference i in
+      guarded ~tx:i ~engine:"legacy-interp" (fun () ->
+          let r = Evm.Processor.execute_tx ~engine:Evm.Interp.Legacy st1b benv tx in
+          add (receipt_divs ~tx:i ~engine:"legacy-interp" ref_r r);
+          let root1b = Statedb.commit st1b in
+          add
+            (root_divs s bk ~tx:i ~engine:"legacy-interp" ~pre_root:!pre1b ~ref_root
+               ~got_root:root1b);
+          pre1b := root1b))
+    txs;
 
   (* engine 2: S-EVM build + linear replay *)
   let st2 = Statedb.create bk ~root:root0 in

@@ -73,18 +73,47 @@ let sub_limb x y b =
   let b2 = if b <> 0L && d = 0L then 1L else 0L in
   (d2, Int64.logor b1 b2)
 
+(* add/sub are the interpreter's hottest word ops; straight-line carry
+   propagation keeps the int64 intermediates unboxed (the tupled
+   [add_limb]/[sub_limb] helpers box every limb without flambda). *)
 let add a b =
-  let x0, c = add_limb a.x0 b.x0 0L in
-  let x1, c = add_limb a.x1 b.x1 c in
-  let x2, c = add_limb a.x2 b.x2 c in
-  let x3, _ = add_limb a.x3 b.x3 c in
+  let x0 = Int64.add a.x0 b.x0 in
+  let c0 = if Int64.unsigned_compare x0 a.x0 < 0 then 1L else 0L in
+  let s1 = Int64.add a.x1 b.x1 in
+  let c1 =
+    Int64.logor
+      (if Int64.unsigned_compare s1 a.x1 < 0 then 1L else 0L)
+      (if c0 <> 0L && Int64.add s1 c0 = 0L then 1L else 0L)
+  in
+  let x1 = Int64.add s1 c0 in
+  let s2 = Int64.add a.x2 b.x2 in
+  let c2 =
+    Int64.logor
+      (if Int64.unsigned_compare s2 a.x2 < 0 then 1L else 0L)
+      (if c1 <> 0L && Int64.add s2 c1 = 0L then 1L else 0L)
+  in
+  let x2 = Int64.add s2 c1 in
+  let x3 = Int64.add (Int64.add a.x3 b.x3) c2 in
   { x0; x1; x2; x3 }
 
 let sub a b =
-  let x0, br = sub_limb a.x0 b.x0 0L in
-  let x1, br = sub_limb a.x1 b.x1 br in
-  let x2, br = sub_limb a.x2 b.x2 br in
-  let x3, _ = sub_limb a.x3 b.x3 br in
+  let x0 = Int64.sub a.x0 b.x0 in
+  let b0 = if Int64.unsigned_compare a.x0 b.x0 < 0 then 1L else 0L in
+  let d1 = Int64.sub a.x1 b.x1 in
+  let b1 =
+    Int64.logor
+      (if Int64.unsigned_compare a.x1 b.x1 < 0 then 1L else 0L)
+      (if b0 <> 0L && d1 = 0L then 1L else 0L)
+  in
+  let x1 = Int64.sub d1 b0 in
+  let d2 = Int64.sub a.x2 b.x2 in
+  let b2 =
+    Int64.logor
+      (if Int64.unsigned_compare a.x2 b.x2 < 0 then 1L else 0L)
+      (if b1 <> 0L && d2 = 0L then 1L else 0L)
+  in
+  let x2 = Int64.sub d2 b1 in
+  let x3 = Int64.sub (Int64.sub a.x3 b.x3) b2 in
   { x0; x1; x2; x3 }
 
 let lognot x =
@@ -358,22 +387,28 @@ let of_bytes_be ?(off = 0) ?len s =
   let len = match len with Some l -> l | None -> String.length s - off in
   if len < 0 || len > 32 || off < 0 || off + len > String.length s then
     invalid_arg "U256.of_bytes_be";
-  let r = ref zero in
-  for i = 0 to len - 1 do
-    r := logor (shift_left !r 8) (of_int (Char.code s.[off + i]))
-  done;
-  !r
+  if len = 32 then
+    { x3 = String.get_int64_be s off;
+      x2 = String.get_int64_be s (off + 8);
+      x1 = String.get_int64_be s (off + 16);
+      x0 = String.get_int64_be s (off + 24) }
+  else begin
+    (* right-align the short tail in a zeroed word, then read whole limbs *)
+    let b = Bytes.make 32 '\000' in
+    Bytes.blit_string s off b (32 - len) len;
+    { x3 = Bytes.get_int64_be b 0;
+      x2 = Bytes.get_int64_be b 8;
+      x1 = Bytes.get_int64_be b 16;
+      x0 = Bytes.get_int64_be b 24 }
+  end
 
 let to_bytes_be x =
   let b = Bytes.create 32 in
-  let put i limbv =
-    for j = 0 to 7 do
-      Bytes.set b (i + j)
-        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical limbv ((7 - j) * 8)) 0xFFL)))
-    done
-  in
-  put 0 x.x3; put 8 x.x2; put 16 x.x1; put 24 x.x0;
-  Bytes.to_string b
+  Bytes.set_int64_be b 0 x.x3;
+  Bytes.set_int64_be b 8 x.x2;
+  Bytes.set_int64_be b 16 x.x1;
+  Bytes.set_int64_be b 24 x.x0;
+  Bytes.unsafe_to_string b
 
 let hex_digit c =
   match c with

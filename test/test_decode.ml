@@ -1,0 +1,165 @@
+(* The @decode alias: the decoded-dispatch engine pinned byte-for-byte
+   against the legacy match-dispatch interpreter (DESIGN.md §11).
+
+   Four batteries, exit non-zero on any divergence:
+   1. every checked-in corpus scenario, both engines, per-tx receipts +
+      committed roots + touched-account sets;
+   2. a fixed-seed generated-scenario sweep (structured gadget programs);
+   3. a qcheck-generated random-bytecode sweep biased at the decoder's
+      corners — truncated PUSH tails, PUSH data that looks like JUMPDEST,
+      out-of-range jumps, unassigned opcode bytes;
+   4. a 4-domain cache hammer: lib/sched workers decoding and executing
+      the same code hash concurrently must agree on every receipt and
+      leave exactly one cached program behind. *)
+
+let scenario_iters = 200
+let raw_iters = 1200
+let seed = 42
+
+let failures = ref 0
+
+let report ~battery ~case divs =
+  if divs <> [] then begin
+    incr failures;
+    Printf.printf "decode-ci: DIVERGENCE [%s] %s:\n%!" battery case;
+    List.iter (fun d -> Fmt.pr "decode-ci:   %a@." Fuzz.Oracle.pp_divergence d) divs
+  end
+
+(* ---- 1: corpus scenarios ---- *)
+
+let corpus_battery () =
+  let files =
+    if Sys.file_exists "corpus" then
+      Sys.readdir "corpus" |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+    else []
+  in
+  List.iter
+    (fun f ->
+      let path = Filename.concat "corpus" f in
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Fuzz.Scenario.of_string s with
+      | Error m ->
+        incr failures;
+        Printf.printf "decode-ci: CORPUS PARSE ERROR %s: %s\n%!" path m
+      | Ok sc -> report ~battery:"corpus" ~case:path (Fuzz.Enginediff.diff_scenario sc))
+    files;
+  List.length files
+
+(* ---- 2: generated scenarios ---- *)
+
+let scenario_battery () =
+  for iter = 0 to scenario_iters - 1 do
+    let sc = Fuzz.Driver.generate ~seed iter in
+    report ~battery:"scenario" ~case:(Printf.sprintf "iter %d" iter)
+      (Fuzz.Enginediff.diff_scenario sc)
+  done
+
+(* ---- 3: random bytecode via a qcheck generator ---- *)
+
+let raw_case_gen : (string * string) QCheck.Gen.t =
+ fun rng -> (Fuzz.Enginediff.random_code rng, Fuzz.Enginediff.random_data rng)
+
+let raw_battery () =
+  let rand = Random.State.make [| 0xDEC0DE; seed |] in
+  let cases = QCheck.Gen.generate ~rand ~n:raw_iters raw_case_gen in
+  List.iteri
+    (fun i (code, data) ->
+      report ~battery:"raw"
+        ~case:(Printf.sprintf "case %d (%s)" i (Fuzz.Sexp.hex_of_string code))
+        (Fuzz.Enginediff.diff_code ~data ~tx:i code))
+    cases
+
+(* ---- 4: concurrent decode-cache hammer ---- *)
+
+(* A keccak-loop kernel: hot enough that every job really executes, small
+   enough to decode in microseconds.  All 64 jobs hit the same code hash. *)
+let hammer_code =
+  Evm.Asm.(
+    assemble
+      ([ push_int 16; push_int 0; op MSTORE;       (* mem[0..31] = counter *)
+         label "loop";
+         push_int 32; push_int 0; op SHA3;         (* keccak(mem[0..31]) *)
+         op POP;
+         push_int 0; op MLOAD; push_int 1; op (SWAP 1); op SUB;
+         op (DUP 1); push_int 0; op MSTORE ]
+      @ jumpi "loop" @ [ op STOP ]))
+
+let hammer_battery () =
+  Evm.Decode.clear_cache ();
+  Obs.set_enabled true;
+  let jobs = 4 and n = 64 in
+  let s : (string * int) Sched.t = Sched.create ~jobs () in
+  for i = 0 to n - 1 do
+    Sched.submit s
+      ~hash:(Printf.sprintf "hammer%d" i)
+      ~root:"r" ~priority:(U256.of_int 1)
+      (fun () ->
+        let r, root =
+          Fuzz.Enginediff.run_code ~engine:Evm.Interp.Decoded ~code:hammer_code ~data:""
+            ~gas_limit:200_000 ~value:U256.zero
+        in
+        (Fuzz.Sexp.hex_of_string root, r.Evm.Processor.gas_used))
+  done;
+  Sched.barrier s;
+  let results =
+    List.filter_map
+      (fun (r : _ Sched.result) ->
+        match r.Sched.r_value with
+        | Ok v -> Some v
+        | Error e ->
+          incr failures;
+          Printf.printf "decode-ci: HAMMER: job %s raised %s\n%!" r.Sched.r_hash
+            (Printexc.to_string e);
+          None)
+      (Sched.drain s)
+  in
+  Sched.shutdown s;
+  Obs.set_enabled false;
+  (match results with
+  | [] ->
+    incr failures;
+    print_string "decode-ci: HAMMER: no results\n"
+  | first :: rest ->
+    if List.length results <> n then begin
+      incr failures;
+      Printf.printf "decode-ci: HAMMER: %d results, expected %d\n%!" (List.length results) n
+    end;
+    List.iteri
+      (fun i r ->
+        if r <> first then begin
+          incr failures;
+          Printf.printf "decode-ci: HAMMER DIVERGENCE job %d: (%s,%d) vs (%s,%d)\n%!" (i + 1)
+            (fst r) (snd r) (fst first) (snd first)
+        end)
+      rest);
+  if Evm.Decode.cache_size () <> 1 then begin
+    incr failures;
+    Printf.printf "decode-ci: HAMMER: cache holds %d programs, expected 1\n%!"
+      (Evm.Decode.cache_size ())
+  end;
+  let count name = Obs.count (Obs.counter name) in
+  let hits = count "interp.decode.hits" and misses = count "interp.decode.misses" in
+  if misses < 1 || hits < n - misses then begin
+    incr failures;
+    Printf.printf "decode-ci: HAMMER: cache counters off (hits %d, misses %d, jobs %d)\n%!"
+      hits misses n
+  end
+
+let () =
+  let n_corpus = corpus_battery () in
+  Printf.printf "decode-ci: corpus: %d scenarios\n%!" n_corpus;
+  scenario_battery ();
+  Printf.printf "decode-ci: generated: %d scenarios (seed %d)\n%!" scenario_iters seed;
+  raw_battery ();
+  Printf.printf "decode-ci: raw bytecode: %d cases (seed %d)\n%!" raw_iters seed;
+  hammer_battery ();
+  Printf.printf "decode-ci: hammer: 64 jobs across 4 domains, one code hash\n%!";
+  if !failures > 0 then begin
+    Printf.printf "decode-ci: %d FAILURE(S)\n%!" !failures;
+    exit 1
+  end;
+  print_string "decode-ci: decoded and legacy engines agree everywhere\n"

@@ -1,0 +1,96 @@
+(* Gas-table pins: the decoder hoists each opcode's static charge into the
+   decoded instruction at decode time (DESIGN.md §11), so the hoisted table
+   must equal Gas.static_cost for every byte, forever.  One case per
+   opcode class pins the charge to the schedule constant it is meant to
+   be, so a schedule edit that silently shifts a class fails here and not
+   three layers up in a receipt diff. *)
+
+open Evm
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Assert every op of a class carries [expect] in both the decode table and
+   the live schedule. *)
+let pins expect ops () =
+  List.iter
+    (fun op ->
+      let b = Op.to_byte op in
+      Alcotest.(check int)
+        (Printf.sprintf "%s schedule" (Op.name op))
+        expect (Gas.static_cost op);
+      Alcotest.(check int)
+        (Printf.sprintf "%s decode table (0x%02x)" (Op.name op) b)
+        expect (Decode.static_gas_of_byte b))
+    ops
+
+let range f lo hi = List.init (hi - lo + 1) (fun i -> f (lo + i))
+
+let zero_class = pins Gas.g_zero [ Op.STOP; Op.RETURN; Op.REVERT; Op.INVALID ]
+
+let base_class =
+  pins Gas.g_base
+    [ Op.ADDRESS; Op.ORIGIN; Op.CALLER; Op.CALLVALUE; Op.CALLDATASIZE; Op.CODESIZE;
+      Op.GASPRICE; Op.RETURNDATASIZE; Op.COINBASE; Op.TIMESTAMP; Op.NUMBER; Op.DIFFICULTY;
+      Op.GASLIMIT; Op.CHAINID; Op.POP; Op.PC; Op.MSIZE; Op.GAS ]
+
+let verylow_class =
+  pins Gas.g_verylow
+    ([ Op.ADD; Op.SUB; Op.NOT; Op.LT; Op.GT; Op.SLT; Op.SGT; Op.EQ; Op.ISZERO; Op.AND;
+       Op.OR; Op.XOR; Op.BYTE; Op.SHL; Op.SHR; Op.SAR; Op.CALLDATALOAD; Op.MLOAD;
+       Op.MSTORE; Op.MSTORE8; Op.CALLDATACOPY; Op.CODECOPY; Op.RETURNDATACOPY ]
+    @ range (fun n -> Op.PUSH n) 1 32
+    @ range (fun n -> Op.DUP n) 1 16
+    @ range (fun n -> Op.SWAP n) 1 16)
+
+let low_class =
+  pins Gas.g_low [ Op.MUL; Op.DIV; Op.SDIV; Op.MOD; Op.SMOD; Op.SIGNEXTEND; Op.SELFBALANCE ]
+
+let mid_class = pins Gas.g_mid [ Op.ADDMOD; Op.MULMOD; Op.JUMP ]
+let high_class = pins Gas.g_high [ Op.JUMPI ]
+let exp_class = pins Gas.g_exp [ Op.EXP ]
+let sha3_class = pins Gas.g_sha3 [ Op.SHA3 ]
+let ext_class = pins Gas.g_ext [ Op.EXTCODECOPY; Op.EXTCODESIZE; Op.EXTCODEHASH ]
+let balance_class = pins Gas.g_balance [ Op.BALANCE ]
+let blockhash_class = pins Gas.g_blockhash [ Op.BLOCKHASH ]
+let sload_class = pins Gas.g_sload [ Op.SLOAD ]
+let sstore_class = pins Gas.g_sstore [ Op.SSTORE ]
+let jumpdest_class = pins Gas.g_jumpdest [ Op.JUMPDEST ]
+let create_class = pins Gas.g_create [ Op.CREATE; Op.CREATE2 ]
+let call_class = pins Gas.g_call [ Op.CALL; Op.CALLCODE; Op.DELEGATECALL; Op.STATICCALL ]
+let selfdestruct_class = pins Gas.g_selfdestruct [ Op.SELFDESTRUCT ]
+
+(* LOG charges scale with the topic count. *)
+let log_class () =
+  List.iter
+    (fun n -> pins (Gas.g_log + (n * Gas.g_log_topic)) [ Op.LOG n ] ())
+    [ 0; 1; 2; 3; 4 ]
+
+(* Every byte of the table: assigned bytes mirror the schedule, unassigned
+   bytes charge nothing (the decoded engine raises Invalid_opcode before
+   any charge, exactly like the legacy engine). *)
+let all_bytes () =
+  for b = 0 to 255 do
+    let expect = match Op.of_byte b with Some op -> Gas.static_cost op | None -> 0 in
+    Alcotest.(check int) (Printf.sprintf "byte 0x%02x" b) expect (Decode.static_gas_of_byte b)
+  done
+
+let suite =
+  [ t "zero class" zero_class;
+    t "base class" base_class;
+    t "verylow class (incl. PUSH/DUP/SWAP)" verylow_class;
+    t "low class" low_class;
+    t "mid class" mid_class;
+    t "high class" high_class;
+    t "exp class" exp_class;
+    t "sha3 class" sha3_class;
+    t "ext class" ext_class;
+    t "balance class" balance_class;
+    t "blockhash class" blockhash_class;
+    t "sload class" sload_class;
+    t "sstore class" sstore_class;
+    t "jumpdest class" jumpdest_class;
+    t "log classes" log_class;
+    t "create class" create_class;
+    t "call class" call_class;
+    t "selfdestruct class" selfdestruct_class;
+    t "all 256 bytes" all_bytes ]

@@ -14,6 +14,7 @@ let () =
       ("trie", Test_trie.suite);
       ("state", Test_state.suite);
       ("evm", Test_evm.suite);
+      ("gastable", Test_gastable.suite);
       ("evm-calls", Test_evm_calls.suite);
       ("asm", Test_asm.suite);
       ("contracts", Test_contracts.suite);
