@@ -578,7 +578,10 @@ let experiments =
     ("sched", sched); ("micro", micro); ("interp", interp) ]
 
 (* [--metrics] / [--metrics-json FILE] enable the Obs registry around the
-   experiments; remaining arguments name experiments as before. *)
+   experiments; [--fork NAME] sets the process-default hardfork spec every
+   unparameterized execution resolves ([Spec.current]), so whole experiment
+   suites can be rerun under another fork; remaining arguments name
+   experiments as before. *)
 let rec parse_args names metrics json = function
   | [] -> (List.rev names, metrics, json)
   | "--metrics" :: rest -> parse_args names true json rest
@@ -586,12 +589,25 @@ let rec parse_args names metrics json = function
   | "--metrics-json" :: [] ->
     Printf.eprintf "--metrics-json requires a FILE argument\n";
     exit 1
+  | "--fork" :: name :: rest -> (
+    match Spec.fork_of_string name with
+    | Some f ->
+      Spec.current := Spec.resolve f;
+      parse_args names metrics json rest
+    | None ->
+      Printf.eprintf "unknown fork %S; available: %s\n" name
+        (String.concat ", " (List.map Spec.fork_name Spec.all_forks));
+      exit 1)
+  | "--fork" :: [] ->
+    Printf.eprintf "--fork requires a NAME argument\n";
+    exit 1
   | a :: rest -> parse_args (a :: names) metrics json rest
 
 let () =
   let names, metrics, metrics_json =
     parse_args [] false None (List.tl (Array.to_list Sys.argv))
   in
+  Printf.printf "hardfork spec: %s\n%!" !Spec.current.Spec.name;
   let requested = if names = [] then List.map fst experiments else names in
   if metrics || metrics_json <> None then begin
     Obs.reset ();

@@ -234,9 +234,41 @@ let contracts_cmd =
     (Cmd.info "contracts" ~doc:"Disassemble the bundled workload contracts.")
     Term.(const run $ const ())
 
+(* --fork for the fuzzer: a fork name pins every generated scenario to that
+   hardfork; "random" (the default) keeps the generator's per-scenario
+   uniform draw over all forks. *)
+let fork_names = String.concat ", " (List.map Spec.fork_name Spec.all_forks)
+
+let fuzz_fork_conv =
+  let parse = function
+    | "random" -> Ok None
+    | s -> (
+      match Spec.fork_of_string s with
+      | Some f -> Ok (Some f)
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown fork %S (expected random or one of: %s)" s fork_names)))
+  in
+  let print ppf = function
+    | None -> Fmt.string ppf "random"
+    | Some f -> Fmt.string ppf (Spec.fork_name f)
+  in
+  Arg.conv (parse, print)
+
 let fuzz_cmd =
   let iters_arg =
     Arg.(value & opt int 1000 & info [ "iters" ] ~docv:"N" ~doc:"Fuzzing iterations.")
+  in
+  let fork_arg =
+    Arg.(
+      value
+      & opt fuzz_fork_conv None
+      & info [ "fork" ] ~docv:"FORK"
+          ~doc:
+            (Printf.sprintf
+               "Hardfork to fuzz under: one of %s, or $(b,random) (default) to draw a \
+                fork per scenario — the N-fork differential matrix.  Unknown names are \
+                a CLI error (exit 124); a divergence under any fork exits 1."
+               fork_names))
   in
   let corpus_arg =
     Arg.(
@@ -254,24 +286,28 @@ let fuzz_cmd =
             "Intentionally mis-compile ADD in the AP executor (test-only fault injection) \
              to demonstrate that the differential oracle detects divergences.")
   in
-  let run seed iters corpus mutate metrics metrics_json =
+  let run seed iters corpus fork mutate metrics metrics_json =
     with_metrics ~metrics ~metrics_json @@ fun () ->
     if mutate then Ap.Exec.miscompile_add_for_tests := true;
     let corpus_failures, n_replayed = Fuzz.Driver.replay_corpus corpus in
     if n_replayed > 0 then begin
-      Printf.printf "corpus: replayed %d entries, %d diverged\n%!" n_replayed
+      Printf.printf "corpus: replayed %d entries (fork-pinned once, unpinned under all %d \
+                     forks), %d diverged\n%!"
+        n_replayed Spec.n_forks
         (List.length corpus_failures);
       List.iter
         (fun (f : Fuzz.Driver.corpus_failure) -> Printf.printf "  %s: %s\n" f.path f.problem)
         corpus_failures
     end;
-    Printf.printf "fuzzing: %d iterations, seed %d%s\n%!" iters seed
+    Printf.printf "fuzzing: %d iterations, seed %d, fork %s%s\n%!" iters seed
+      (match fork with None -> "random" | Some f -> Spec.fork_name f)
       (if mutate then " [AP EXECUTOR MUTATED]" else "");
-    let s = Fuzz.Driver.fuzz ~corpus_dir:corpus ~seed ~iters () in
+    let s = Fuzz.Driver.fuzz ~corpus_dir:corpus ?fork ~seed ~iters () in
     Printf.printf
       "ran %d iterations: %d txs, %d build fallbacks, %d perturbed violations, %d perturbed \
-       hits\n%!"
-      s.iters_run s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits;
+       hits, %d warm-built cold-replay violations\n%!"
+      s.iters_run s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits
+      s.warm_violations;
     match s.finding with
     | None ->
       Printf.printf "no divergences: EVM, S-EVM replay and AP fast path agree.\n%!";
@@ -291,9 +327,10 @@ let fuzz_cmd =
        ~doc:
          "Differential conformance fuzzing: random contracts and tx batches executed by the \
           EVM interpreter, S-EVM trace replay, and the AP fast path must agree on receipts, \
-          state roots and touched accounts.")
+          state roots and touched accounts — under a random hardfork per scenario (or one \
+          pinned with --fork).")
     Term.(
-      const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
+      const run $ seed_arg $ iters_arg $ corpus_arg $ fork_arg $ mutate_arg $ metrics_arg
       $ metrics_json_arg)
 
 let check_cmd =

@@ -35,6 +35,18 @@ let pp_step ppf = function
   | S_instr ins -> I.pp_instr ppf ins
   | S_guard (op, c) -> Fmt.pf ppf "GUARD(%a %s)" I.pp_operand op c
 
+(* Warmth guards carry no register operand (keys are concrete); for the
+   linear view they become an S_guard over the constant account word with
+   the constraint in the description, so every per-line checker treats
+   them like any other guard step. *)
+let warm_step_of a ko w =
+  let desc =
+    match ko with
+    | None -> Printf.sprintf "entry-warm == %b" w
+    | Some k -> Printf.sprintf "entry-warm[%s] == %b" (U256.to_hex k) w
+  in
+  S_guard (I.Const (State.Address.to_u256 a), desc)
+
 let mutable_read_src = function
   | I.R_storage _ | I.R_balance _ | I.R_nonce _ | I.R_blockhash _ | I.R_extcodesize _
   | I.R_extcodehash _ -> true
@@ -48,6 +60,7 @@ let of_path (p : I.path) : line =
         match ins with
         | I.Guard (op, v) -> (site, S_guard (op, "== " ^ U256.to_hex v))
         | I.Guard_size (op, n) -> (site, S_guard (op, Printf.sprintf "bytesize == %d" n))
+        | I.Guard_warm ((a, ko), w) -> (site, warm_step_of a ko w)
         | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> (site, S_instr ins))
       p.instrs
   in
@@ -108,6 +121,16 @@ let lines_of_program ?(max_paths = 4096) (ap : P.t) : line list * bool =
               (Printf.sprintf "%s>br#%d[size=%d]" prefix pos sz)
               (pos + 1)
               ((site, S_guard (op, Printf.sprintf "bytesize == %d" sz)) :: rev_steps)
+              (count + 1) memos sub)
+          cases
+      | P.Branch_warm ((a, ko), cases) ->
+        List.iter
+          (fun (w, sub) ->
+            let site = Printf.sprintf "%s>br#%d" prefix pos in
+            go
+              (Printf.sprintf "%s>br#%d[warm=%b]" prefix pos w)
+              (pos + 1)
+              ((site, warm_step_of a ko w) :: rev_steps)
               (count + 1) memos sub)
           cases
       | P.Leaf l ->

@@ -10,7 +10,7 @@ let drop_guard ?(index = 0) (p : I.path) : I.path option =
     (fun i ins ->
       if i < p.first_fast then
         match ins with
-        | I.Guard _ | I.Guard_size _ -> positions := i :: !positions
+        | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> positions := i :: !positions
         | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> ())
     p.instrs;
   match List.nth_opt (List.rev !positions) index with

@@ -74,7 +74,7 @@ let check_instr_pieces acc site = function
     if len <> 32 then
       report acc R.Well_formedness site "Pack assembles %d bytes where a 32-byte word is required"
         len
-  | I.Compute _ | I.Read _ | I.Guard _ | I.Guard_size _ -> ()
+  | I.Compute _ | I.Read _ | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> ()
 
 let check_write_pieces acc site = function
   | I.W_code (_, ps) -> List.iter (check_piece acc site "deployed code") ps
@@ -222,7 +222,7 @@ let memo_replay_mismatch (instrs : I.instr array) (m : P.memo) =
         | I.Sha256 (r, ps) ->
           regs.(r) <- U256.of_bytes_be (Khash.Sha256.digest (I.bytes_of_pieces regs ps))
         | I.Pack (r, ps) -> regs.(r) <- U256.of_bytes_be (I.bytes_of_pieces regs ps)
-        | I.Read _ | I.Guard _ | I.Guard_size _ -> raise Exit)
+        | I.Read _ | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> raise Exit)
       instrs;
     let bad = ref None in
     Array.iteri
@@ -245,7 +245,7 @@ let rec check_block acc ~reg_count site (b : P.block) =
     (fun j ins ->
       let isite = Printf.sprintf "%s>i#%d" site j in
       (match ins with
-      | I.Guard _ | I.Guard_size _ ->
+      | I.Guard _ | I.Guard_size _ | I.Guard_warm _ ->
         report acc R.Rollback_freedom isite
           "guard instruction %a inside a straight-line block: guards may only appear as \
            branch nodes, before any effect"
@@ -356,6 +356,23 @@ let rec check_node acc ~reg_count prefix pos = function
       (fun (sz, sub) ->
         check_node acc ~reg_count
           (Printf.sprintf "%s>br#%d[size=%d]" prefix pos sz)
+          (pos + 1) sub)
+      cases
+  | P.Branch_warm (_, cases) ->
+    let site = Printf.sprintf "%s>br#%d" prefix pos in
+    (* key is concrete — no operand to bounds-check *)
+    if cases = [] then
+      report acc R.Well_formedness site
+        "guard node with no cases: every execution would be a violation";
+    (match cases with
+    | (w, _) :: rest when List.exists (fun (w', _) -> w = w') rest ->
+      report acc R.Well_formedness site
+        "duplicate warmth case %b: the second alternative is unreachable" w
+    | _ :: _ | [] -> ());
+    List.iter
+      (fun (w, sub) ->
+        check_node acc ~reg_count
+          (Printf.sprintf "%s>br#%d[warm=%b]" prefix pos w)
           (pos + 1) sub)
       cases
   | P.Leaf l ->

@@ -70,7 +70,7 @@ let exec_instr st benv regs stats ins =
     regs.(r) <- U256.of_bytes_be (Khash.Sha256.digest (I.bytes_of_pieces regs pieces))
   | I.Pack (r, pieces) -> regs.(r) <- U256.of_bytes_be (I.bytes_of_pieces regs pieces)
   | I.Read (r, src) -> regs.(r) <- eval_read st benv regs src
-  | I.Guard _ | I.Guard_size _ -> assert false
+  | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> assert false
 
 (* Run a block, trying its memoization shortcuts first, then its halves,
    then instruction by instruction.  [use_memos:false] disables shortcuts
@@ -127,23 +127,30 @@ let apply_writes st regs writes =
 
 exception Violated
 
-let rec exec_node ~use_memos st benv regs stats tx = function
+let rec exec_node ~use_memos ~warm st benv regs stats tx = function
   | Program.Seq (b, k) ->
     exec_block ~use_memos st benv regs stats b;
-    exec_node ~use_memos st benv regs stats tx k
+    exec_node ~use_memos ~warm st benv regs stats tx k
   | Program.Branch (op, cases) -> (
     stats.guards <- stats.guards + 1;
     Obs.incr obs_guard_checks;
     let v = value_of regs op in
     match List.find_opt (fun (v', _) -> U256.equal v v') cases with
-    | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
+    | Some (_, k) -> exec_node ~use_memos ~warm st benv regs stats tx k
     | None -> raise Violated)
   | Program.Branch_size (op, cases) -> (
     stats.guards <- stats.guards + 1;
     Obs.incr obs_guard_checks;
     let n = U256.byte_size (value_of regs op) in
     match List.find_opt (fun (n', _) -> n = n') cases with
-    | Some (_, k) -> exec_node ~use_memos st benv regs stats tx k
+    | Some (_, k) -> exec_node ~use_memos ~warm st benv regs stats tx k
+    | None -> raise Violated)
+  | Program.Branch_warm (key, cases) -> (
+    stats.guards <- stats.guards + 1;
+    Obs.incr obs_guard_checks;
+    let w : bool = warm key in
+    match List.find_opt (fun (w', _) -> w = w') cases with
+    | Some (_, k) -> exec_node ~use_memos ~warm st benv regs stats tx k
     | None -> raise Violated)
   | Program.Leaf leaf ->
     List.iter (exec_block ~use_memos st benv regs stats) leaf.fast;
@@ -162,21 +169,34 @@ let rec exec_node ~use_memos st benv regs stats tx = function
 
 (* Execute [ap] for [tx] in the actual context.  On violation nothing has
    been written (writes are deferred past every guard), so the caller can
-   fall back to the EVM directly. *)
-let execute ?(use_memos = true) (ap : Program.t) st benv (tx : Evm.Env.tx) : outcome =
-  let regs = Array.make (max ap.reg_count 1) U256.zero in
-  let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
-  let rec try_roots = function
-    | [] ->
-      Obs.incr obs_violations;
-      Violation
-    | root :: rest -> (
-      try
-        let receipt = exec_node ~use_memos st benv regs stats tx root in
-        Obs.incr obs_hits;
-        Obs.add obs_instrs_executed stats.executed;
-        Obs.add obs_instrs_skipped stats.skipped;
-        Hit (receipt, stats)
-      with Violated -> try_roots rest)
-  in
-  try_roots ap.roots
+   fall back to the EVM directly.  A program built under another fork is a
+   violation before anything runs, and warmth branches are evaluated
+   against the actual entry access list ([?prewarm], default empty) — so
+   an AP specialized under warm access replayed cold falls back instead of
+   inheriting the warm gas. *)
+let execute ?(use_memos = true) ?spec ?(prewarm = []) (ap : Program.t) st benv
+    (tx : Evm.Env.tx) : outcome =
+  let spec = match spec with Some s -> s | None -> !Spec.current in
+  if ap.fork <> spec.Spec.id then begin
+    Obs.incr obs_violations;
+    Violation
+  end
+  else begin
+    let warm = Evm.Processor.entry_warm tx prewarm in
+    let regs = Array.make (max ap.reg_count 1) U256.zero in
+    let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
+    let rec try_roots = function
+      | [] ->
+        Obs.incr obs_violations;
+        Violation
+      | root :: rest -> (
+        try
+          let receipt = exec_node ~use_memos ~warm st benv regs stats tx root in
+          Obs.incr obs_hits;
+          Obs.add obs_instrs_executed stats.executed;
+          Obs.add obs_instrs_skipped stats.skipped;
+          Hit (receipt, stats)
+        with Violated -> try_roots rest)
+    in
+    try_roots ap.roots
+  end

@@ -41,10 +41,17 @@ val apply_writes :
 
 val execute :
   ?use_memos:bool ->
+  ?spec:Spec.t ->
+  ?prewarm:(State.Address.t * U256.t option) list ->
   Program.t ->
   State.Statedb.t ->
   Evm.Env.block_env ->
   Evm.Env.tx ->
   outcome
 (** Run the AP for [tx] in the actual context.  [use_memos:false] disables
-    memoization shortcuts (ablation). *)
+    memoization shortcuts (ablation).  [?spec] defaults to [!Spec.current];
+    a program whose paths were built under a different fork id is a
+    {!Violation} before anything runs.  [?prewarm] is the actual entry
+    access list the transaction executes with — warmth branches
+    ([Program.Branch_warm]) are evaluated against
+    [Evm.Processor.entry_warm tx prewarm]. *)

@@ -39,6 +39,7 @@ type node =
   | Seq of block * node
   | Branch of I.operand * (U256.t * node) list
   | Branch_size of I.operand * (int * node) list
+  | Branch_warm of (State.Address.t * U256.t option) * (bool * node) list
   | Leaf of leaf
 
 type t = {
@@ -47,6 +48,7 @@ type t = {
   mutable n_paths : int; (* distinct control/data paths merged *)
   mutable n_futures : int; (* pre-executions incorporated *)
   mutable shortcut_count : int;
+  mutable fork : int; (* spec id all merged paths were built under; -1 = empty *)
 }
 
 let max_memo_alternatives = 4
@@ -127,7 +129,7 @@ let blocks_of_run instrs reg_values =
         flush ();
         groups := [| ins |] :: !groups
       | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ -> current := ins :: !current
-      | I.Guard _ | I.Guard_size _ -> assert false)
+      | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> assert false)
     instrs;
   flush ();
   List.rev_map (fun g -> make_block g reg_values 0) !groups
@@ -163,6 +165,10 @@ let of_path (p : I.path) : node =
         let blocks = blocks_of_run (List.rev pending) p.reg_values in
         let rest = build (i + 1) [] in
         List.fold_right (fun b acc -> Seq (b, acc)) blocks (Branch_size (op, [ (n, rest) ]))
+      | I.Guard_warm (key, w) ->
+        let blocks = blocks_of_run (List.rev pending) p.reg_values in
+        let rest = build (i + 1) [] in
+        List.fold_right (fun b acc -> Seq (b, acc)) blocks (Branch_warm (key, [ (w, rest) ]))
       | (I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _) as ins ->
         build (i + 1) (ins :: pending)
   in
@@ -194,6 +200,14 @@ let rec merge_block b1 b2 =
   end
 
 let writes_equal w1 w2 = w1 = w2
+
+let warm_key_equal (a1, k1) (a2, k2) =
+  State.Address.equal a1 a2
+  &&
+  match (k1, k2) with
+  | None, None -> true
+  | Some x, Some y -> U256.equal x y
+  | None, Some _ | Some _, None -> false
 
 let rec merge_node n1 n2 : node option =
   match (n1, n2) with
@@ -227,6 +241,18 @@ let rec merge_node n1 n2 : node option =
         cases1 cases2
     in
     Some (Branch_size (op1, merged))
+  | Branch_warm (k1, cases1), Branch_warm (k2, cases2) when warm_key_equal k1 k2 ->
+    let merged =
+      List.fold_left
+        (fun acc (w, sub) ->
+          match List.partition (fun (w', _) -> w = w') acc with
+          | [ (_, sub') ], others -> (
+            match merge_node sub' sub with Some m -> (w, m) :: others | None -> acc)
+          | [], others -> (w, sub) :: others
+          | _ :: _ :: _, _ -> acc)
+        cases1 cases2
+    in
+    Some (Branch_warm (k1, merged))
   | Leaf l1, Leaf l2 ->
     if
       l1.status = l2.status && l1.gas_used = l2.gas_used && writes_equal l1.writes l2.writes
@@ -242,12 +268,14 @@ let rec merge_node n1 n2 : node option =
       Some (Leaf { l1 with fast })
     end
     else None
-  | (Seq _ | Branch _ | Branch_size _ | Leaf _), _ -> None
+  | (Seq _ | Branch _ | Branch_size _ | Branch_warm _ | Leaf _), _ -> None
 
 let rec count_shortcuts = function
   | Seq (b, k) -> count_memos b + count_shortcuts k
   | Branch (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_shortcuts n) 0 cases
   | Branch_size (_, cases) ->
+    List.fold_left (fun acc (_, n) -> acc + count_shortcuts n) 0 cases
+  | Branch_warm (_, cases) ->
     List.fold_left (fun acc (_, n) -> acc + count_shortcuts n) 0 cases
   | Leaf l -> List.fold_left (fun acc b -> acc + count_memos b) 0 l.fast
 
@@ -255,9 +283,11 @@ let rec count_paths = function
   | Seq (_, k) -> count_paths k
   | Branch (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_paths n) 0 cases
   | Branch_size (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_paths n) 0 cases
+  | Branch_warm (_, cases) -> List.fold_left (fun acc (_, n) -> acc + count_paths n) 0 cases
   | Leaf _ -> 1
 
-let create () = { roots = []; reg_count = 0; n_paths = 0; n_futures = 0; shortcut_count = 0 }
+let create () =
+  { roots = []; reg_count = 0; n_paths = 0; n_futures = 0; shortcut_count = 0; fork = -1 }
 
 let refresh_counts ap =
   ap.n_paths <- List.fold_left (fun acc n -> acc + count_paths n) 0 ap.roots;
@@ -269,8 +299,14 @@ let refresh_counts ap =
    Default: no-op. *)
 let add_path_hook : (t -> unit) ref = ref (fun _ -> ())
 
-(* Incorporate one more synthesized path (from one more pre-execution). *)
+(* Incorporate one more synthesized path (from one more pre-execution).
+   An AP is per-fork: the first path fixes [ap.fork], and a path built
+   under any other spec is dropped — the executor rejects cross-fork runs
+   outright, so merging them could only produce dead branches. *)
 let add_path ap (p : I.path) =
+  if ap.roots = [] then ap.fork <- p.fork;
+  if p.fork <> ap.fork then ()
+  else begin
   ap.n_futures <- ap.n_futures + 1;
   ap.reg_count <- max ap.reg_count p.reg_count;
   let node = of_path p in
@@ -287,6 +323,7 @@ let add_path ap (p : I.path) =
   | None -> if List.length ap.roots < max_roots then ap.roots <- ap.roots @ [ node ]);
   refresh_counts ap;
   !add_path_hook ap
+  end
 
 (* Structural digest.  Every constituent type (instrs, operands, pieces,
    writes, statuses, U256 int64 limbs) is pure data — no closures, no
@@ -296,7 +333,7 @@ let add_path ap (p : I.path) =
 let fingerprint ap =
   Khash.Keccak.digest
     (Marshal.to_string
-       (ap.roots, ap.reg_count, ap.n_paths, ap.n_futures, ap.shortcut_count)
+       (ap.roots, ap.reg_count, ap.n_paths, ap.n_futures, ap.shortcut_count, ap.fork)
        [ Marshal.No_sharing ])
 
 let instr_count ap =
@@ -306,6 +343,8 @@ let instr_count ap =
     | Branch (_, cases) ->
       1 + List.fold_left (fun acc (_, n) -> acc + node_len n) 0 cases
     | Branch_size (_, cases) ->
+      1 + List.fold_left (fun acc (_, n) -> acc + node_len n) 0 cases
+    | Branch_warm (_, cases) ->
       1 + List.fold_left (fun acc (_, n) -> acc + node_len n) 0 cases
     | Leaf l -> List.fold_left (fun acc b -> acc + block_len b) 0 l.fast
   in

@@ -37,6 +37,9 @@ type node =
       (** guard + case-branch; no matching case = constraint violation *)
   | Branch_size of I.operand * (int * node) list
       (** byte-size data constraint (EXP gas), same dual role *)
+  | Branch_warm of (State.Address.t * U256.t option) * (bool * node) list
+      (** entry-warmth constraint (access-list specs, DESIGN.md §12):
+          branches on whether the location is warm on transaction entry *)
   | Leaf of leaf
 
 type t = {
@@ -46,6 +49,9 @@ type t = {
   mutable n_paths : int;  (** distinct control/data paths merged *)
   mutable n_futures : int;  (** pre-executions incorporated *)
   mutable shortcut_count : int;  (** memoization nodes across the program *)
+  mutable fork : int;
+      (** spec id every merged path was built under; -1 while empty.  The
+          executor refuses to run the program under any other fork. *)
 }
 
 val create : unit -> t
@@ -53,8 +59,9 @@ val create : unit -> t
 val add_path : t -> I.path -> unit
 (** Incorporate one more synthesized path: merge it into an existing root
     where the instruction streams agree (they diverge only at guards), or
-    keep it as an alternative root.  Calls {!add_path_hook} on the grown
-    program before returning. *)
+    keep it as an alternative root.  The first path fixes the program's
+    fork; later paths built under a different spec are dropped.  Calls
+    {!add_path_hook} on the grown program before returning. *)
 
 val add_path_hook : (t -> unit) ref
 (** Self-check hook run at the end of every {!add_path}.  The static

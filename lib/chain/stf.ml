@@ -54,8 +54,8 @@ let block_env_of_header (h : Block.header) ~block_hash : Evm.Env.block_env =
 
 (* ---- sequential ---- *)
 
-let apply_txs st benv txs =
-  let receipts = List.map (fun tx -> Evm.Processor.execute_tx st benv tx) txs in
+let apply_txs ?spec st benv txs =
+  let receipts = List.map (fun tx -> Evm.Processor.execute_tx ?spec st benv tx) txs in
   let state_root = Statedb.commit st in
   let gas_used =
     List.fold_left (fun acc (r : Evm.Processor.receipt) -> acc + r.gas_used) 0 receipts
@@ -74,9 +74,9 @@ let check_valid ~what receipts =
 (* Execute all transactions of [b] against [st] (which must be at the parent
    state), committing at the end.  Raises [Invalid_argument] if any
    transaction is invalid — a correctly mined block never contains one. *)
-let apply_block st ~block_hash (b : Block.t) =
+let apply_block ?spec st ~block_hash (b : Block.t) =
   let benv = block_env_of_header b.header ~block_hash in
-  let r = apply_txs st benv b.txs in
+  let r = apply_txs ?spec st benv b.txs in
   check_valid ~what:"apply_block" r.receipts;
   r
 
@@ -173,7 +173,8 @@ let obs_par_txs = Obs.counter "stf.parallel.txs"
    root.  Runs on a worker domain — it must not touch the master [Statedb]
    or any trie being written (the caller guarantees the backend is
    quiescent while the block executes). *)
-let speculate_one bk ~parent_root ~ap (benv : Evm.Env.block_env) idx (tx : Evm.Env.tx) () =
+let speculate_one ?spec bk ~parent_root ~ap (benv : Evm.Env.block_env) idx (tx : Evm.Env.tx)
+    () =
   let st = Statedb.create bk ~root:parent_root in
   let cb0 = Statedb.get_balance st benv.coinbase in
   Statedb.set_tracking st true;
@@ -183,10 +184,10 @@ let speculate_one bk ~parent_root ~ap (benv : Evm.Env.block_env) idx (tx : Evm.E
     | Some prog -> (
       (* creations are excluded above: an AP path never carries the
          receipt's [contract_address] *)
-      match Ap.Exec.execute prog st benv tx with
+      match Ap.Exec.execute ?spec prog st benv tx with
       | Ap.Exec.Hit (r, _) -> (r, true)
-      | Ap.Exec.Violation -> (Evm.Processor.execute_tx st benv tx, false))
-    | None -> (Evm.Processor.execute_tx st benv tx, false)
+      | Ap.Exec.Violation -> (Evm.Processor.execute_tx ?spec st benv tx, false))
+    | None -> (Evm.Processor.execute_tx ?spec st benv tx, false)
   in
   Statedb.set_tracking st false;
   let changes = Statedb.changes_since st mark in
@@ -212,7 +213,10 @@ let speculate_one bk ~parent_root ~ap (benv : Evm.Env.block_env) idx (tx : Evm.E
 
 let no_ap : Evm.Env.tx -> Ap.Program.t option = fun _ -> None
 
-let apply_txs_parallel ?pool ?(ap = no_ap) st (benv : Evm.Env.block_env) txs =
+let apply_txs_parallel ?pool ?(ap = no_ap) ?spec st (benv : Evm.Env.block_env) txs =
+  (* resolve once on the caller's domain: worker-domain speculation and the
+     commit-phase reruns must run under the same fork *)
+  let spec = match spec with Some s -> s | None -> !Spec.current in
   if Statedb.snapshot st <> 0 then
     invalid_arg "apply_txs_parallel: master state has an open journal";
   let bk = Statedb.backend st in
@@ -231,7 +235,7 @@ let apply_txs_parallel ?pool ?(ap = no_ap) st (benv : Evm.Env.block_env) txs =
         (fun idx tx ->
           Sched.submit sched ~hash:(Evm.Env.tx_hash tx) ~root:parent_root
             ~priority:tx.Evm.Env.gas_price
-            (speculate_one bk ~parent_root ~ap benv idx tx))
+            (speculate_one ~spec bk ~parent_root ~ap benv idx tx))
         txs;
       Sched.barrier sched);
   let specs =
@@ -268,7 +272,7 @@ let apply_txs_parallel ?pool ?(ap = no_ap) st (benv : Evm.Env.block_env) txs =
                sequential prefix, so this execution is the sequential one *)
             Obs.incr Sched.Conflict.obs_reruns;
             let mark = Statedb.snapshot st in
-            let r = Evm.Processor.execute_tx st benv tx in
+            let r = Evm.Processor.execute_tx ~spec st benv tx in
             let changes = Statedb.changes_since st mark in
             Sched.Conflict.commit conflict ~index:sp.sp_idx
               (write_keys ~coinbase:benv.coinbase changes);
@@ -311,8 +315,8 @@ let apply_txs_parallel ?pool ?(ap = no_ap) st (benv : Evm.Env.block_env) txs =
       par_commit_ns = !commit_ns;
     } )
 
-let apply_block_parallel ?pool ?ap st ~block_hash (b : Block.t) =
+let apply_block_parallel ?pool ?ap ?spec st ~block_hash (b : Block.t) =
   let benv = block_env_of_header b.header ~block_hash in
-  let r, stats = apply_txs_parallel ?pool ?ap st benv b.txs in
+  let r, stats = apply_txs_parallel ?pool ?ap ?spec st benv b.txs in
   check_valid ~what:"apply_block_parallel" r.receipts;
   (r, stats)

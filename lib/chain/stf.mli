@@ -13,13 +13,15 @@ val block_env_of_header :
   Block.header -> block_hash:(int64 -> U256.t) -> Evm.Env.block_env
 
 val apply_txs :
-  Statedb.t -> Evm.Env.block_env -> Evm.Env.tx list -> block_result
+  ?spec:Spec.t -> Statedb.t -> Evm.Env.block_env -> Evm.Env.tx list -> block_result
 (** Execute the transactions in order against [st] (at the parent state)
     and commit.  Invalid transactions produce [Invalid] receipts and no
     state change — callers validating mined blocks should use
-    {!apply_block}, which rejects them. *)
+    {!apply_block}, which rejects them.  [spec] selects the hardfork rules
+    (default [!Spec.current]). *)
 
-val apply_block : Statedb.t -> block_hash:(int64 -> U256.t) -> Block.t -> block_result
+val apply_block :
+  ?spec:Spec.t -> Statedb.t -> block_hash:(int64 -> U256.t) -> Block.t -> block_result
 (** {!apply_txs} on a block's transactions under its header environment.
     @raise Invalid_argument if a transaction is invalid — a correctly mined
     block never contains one. *)
@@ -60,6 +62,7 @@ type par_stats = {
 val apply_txs_parallel :
   ?pool:pool ->
   ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
+  ?spec:Spec.t ->
   Statedb.t ->
   Evm.Env.block_env ->
   Evm.Env.tx list ->
@@ -68,12 +71,15 @@ val apply_txs_parallel :
     committed (no open journal) — the workers read the parent root from the
     shared backend.  [ap] supplies a transaction's accelerated program, if
     any (never consulted for creations); default: none, interpreter only.
-    Without [pool] an ephemeral inline pool is used.
+    [spec] is resolved once on the submitting domain so speculation and
+    commit-phase reruns agree on the fork.  Without [pool] an ephemeral
+    inline pool is used.
     @raise Invalid_argument if [st] has uncommitted state. *)
 
 val apply_block_parallel :
   ?pool:pool ->
   ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
+  ?spec:Spec.t ->
   Statedb.t ->
   block_hash:(int64 -> U256.t) ->
   Block.t ->

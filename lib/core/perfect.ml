@@ -42,8 +42,12 @@ let check_reads (path : I.path) st benv : U256.t array option =
         let actual = Ap.Exec.eval_read st benv regs src in
         if is_coinbase_read src && fee_only_reg path r then regs.(r) <- actual
         else if not (U256.equal actual path.reg_values.(r)) then ok := false
+      (* Guard_warm is not a context read: entry warmth is a function of the
+         transaction and its prewarm list, and this baseline runs
+         speculation and commit with the same (empty) prewarm, so the
+         constraint holds whenever it held during speculation. *)
       | I.Read _ | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Guard _
-      | I.Guard_size _ -> ())
+      | I.Guard_size _ | I.Guard_warm _ -> ())
     path.instrs;
   if !ok then Some regs else None
 

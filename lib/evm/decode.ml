@@ -37,14 +37,12 @@ type program = {
 
 let max_stack = 1024
 
-(* Static charges hoisted into a byte-indexed table; the gas-table pin
-   tests assert every entry equals [Gas.static_cost] so an edit here can
-   never silently diverge from lib/evm/gas.ml. *)
-let gas_table : int array =
-  Array.init 256 (fun b ->
-      match Op.of_byte b with Some op -> Gas.static_cost op | None -> 0)
-
-let static_gas_of_byte b = gas_table.(b)
+(* Static charges come from the spec's byte-indexed table (DESIGN.md §12);
+   the gas-table pin tests assert the Istanbul entries equal
+   [Gas.static_cost] so the spec can never silently diverge from
+   lib/evm/gas.ml.  Unavailable bytes charge 0, like unassigned ones. *)
+let static_gas_of_byte (spec : Spec.t) b =
+  if Spec.available spec b then Spec.static_gas spec b else 0
 
 let analyze_jumpdests code =
   let n = String.length code in
@@ -66,7 +64,12 @@ let imm_of code off len =
   if off < n then Bytes.blit_string code off b 0 (min len (n - off));
   U256.of_bytes_be (Bytes.unsafe_to_string b)
 
-let decode_at code pc =
+(* Dispatch id for a byte that must raise [Invalid_opcode op_id]: 0x0c is
+   permanently unassigned, so both tables keep their default raising
+   handler there and the error payload comes from the instr's [op_id]. *)
+let invalid_xop = 0x0c
+
+let decode_at (spec : Spec.t) code pc =
   let b = Char.code (String.unsafe_get code pc) in
   match Op.of_byte b with
   | None ->
@@ -75,6 +78,13 @@ let decode_at code pc =
        the legacy loop's behaviour for bytes [Op.of_byte] rejects. *)
     { op_id = b; op = Op.INVALID; imm = U256.zero; imm_i = 0; static_gas = 0;
       stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = b }
+  | Some _ when not (Spec.available spec b) ->
+    (* Assigned byte not yet introduced under this fork: decoded exactly
+       like an unassigned one, but dispatched through [invalid_xop] so the
+       real handler installed at slot [b] is never reached.  [op_id] keeps
+       the original byte for the failure payload. *)
+    { op_id = b; op = Op.INVALID; imm = U256.zero; imm_i = 0; static_gas = 0;
+      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = invalid_xop }
   | Some op ->
     let si = Op.stack_in op and so = Op.stack_out op in
     let npush = Op.push_bytes op in
@@ -84,7 +94,7 @@ let decode_at code pc =
       op;
       imm;
       imm_i = (match U256.to_int_opt imm with Some n -> n | None -> -1);
-      static_gas = Array.unsafe_get gas_table b;
+      static_gas = Array.unsafe_get spec.Spec.static_gas b;
       stack_in = si;
       max_sp = max_stack - (so - si);
       steps = 1;
@@ -106,9 +116,9 @@ let fusable_ids =
 let fusable = Array.make 256 false
 let () = List.iter (fun id -> fusable.(id) <- true) fusable_ids
 
-let decode ?hash code =
+let decode ?hash ~spec code =
   let code_hash = match hash with Some h -> h | None -> Khash.Keccak.digest code in
-  let instrs = Array.init (String.length code) (decode_at code) in
+  let instrs = Array.init (String.length code) (decode_at spec code) in
   let n = Array.length instrs in
   Array.iteri
     (fun pc i ->
@@ -122,14 +132,19 @@ let decode ?hash code =
 
 (* ---- the process-wide program cache ----
 
-   Keyed by code hash (the statedb already stores keccak256(code) per
-   account, so CALL-family lookups pay no hashing).  Entries are immutable
-   — the key is a content hash — so there is no invalidation protocol;
-   a crude size cap bounds memory under adversarial churn.  Domain-safe
-   per the lib/obs conventions: a mutex guards the table, the (pure)
-   decode itself runs outside the lock so worker domains never serialize
-   on each other's cold misses; a racing double-decode is benign (last
-   insert wins, both artifacts are identical). *)
+   Keyed by code hash × spec id (the statedb already stores
+   keccak256(code) per account, so CALL-family lookups pay no hashing;
+   the spec id is one appended byte).  Two specs never share an artifact:
+   static gas and opcode availability are baked into the decoded stream,
+   so a program decoded under Istanbul replayed under Berlin would
+   mischarge every SLOAD — the mixed-spec hammer test pins the keying.
+   Entries are immutable — the key is a content hash — so there is no
+   invalidation protocol; a crude size cap bounds memory under
+   adversarial churn.  Domain-safe per the lib/obs conventions: a mutex
+   guards the table, the (pure) decode itself runs outside the lock so
+   worker domains never serialize on each other's cold misses; a racing
+   double-decode is benign (last insert wins, both artifacts are
+   identical). *)
 
 let cache : (string, program) Hashtbl.t = Hashtbl.create 256
 let cache_mu = Mutex.create ()
@@ -139,8 +154,9 @@ let obs_hits = Obs.counter "interp.decode.hits"
 let obs_misses = Obs.counter "interp.decode.misses"
 let obs_bytes = Obs.counter "interp.decode.bytes"
 
-let get ?hash code =
-  let key = match hash with Some h -> h | None -> Khash.Keccak.digest code in
+let get ?hash ~(spec : Spec.t) code =
+  let h = match hash with Some h -> h | None -> Khash.Keccak.digest code in
+  let key = h ^ String.make 1 (Char.chr spec.Spec.id) in
   Mutex.lock cache_mu;
   match Hashtbl.find_opt cache key with
   | Some p ->
@@ -151,7 +167,7 @@ let get ?hash code =
     Mutex.unlock cache_mu;
     Obs.incr obs_misses;
     Obs.add obs_bytes (String.length code);
-    let p = decode ~hash:key code in
+    let p = decode ~hash:h ~spec code in
     Mutex.lock cache_mu;
     if Hashtbl.length cache >= max_cached then Hashtbl.reset cache;
     Hashtbl.replace cache key p;

@@ -44,22 +44,30 @@ val fusable_ids : int list
     for exactly this set; all members satisfy [stack_out <= stack_in], so
     a fused pair can never overflow past the already-validated PUSH. *)
 
-val static_gas_of_byte : int -> int
-(** The hoisted per-byte static charge exactly as stored in decoded
-    instructions — pinned against {!Gas.static_cost} by the gas-table
-    tests. Unassigned bytes charge 0. *)
+val static_gas_of_byte : Spec.t -> int -> int
+(** The hoisted per-byte static charge exactly as stored in instructions
+    decoded under [spec] — the gas-table tests pin the Istanbul column
+    against {!Gas.static_cost} and every fork's column against the
+    spec's resolved table. Unassigned and unavailable bytes charge 0. *)
+
+val invalid_xop : int
+(** Dispatch id given to opcodes unavailable under the decoding spec: a
+    permanently unassigned slot, so both dispatch tables raise through
+    their default handler with the instr's [op_id] as payload. *)
 
 val analyze_jumpdests : string -> bool array
 (** The JUMPDEST bitmap alone (push data skipped), without decoding. *)
 
-val decode : ?hash:string -> string -> program
-(** Decode [code], bypassing the cache. [hash] defaults to keccak256 of
-    the code. *)
+val decode : ?hash:string -> spec:Spec.t -> string -> program
+(** Decode [code] under [spec], bypassing the cache. [hash] defaults to
+    keccak256 of the code. *)
 
-val get : ?hash:string -> string -> program
-(** Cached decode, keyed by code hash. Domain-safe: the cache is shared
-    across all interpreter contexts and scheduler worker domains.
-    Counted through [interp.decode.{hits,misses,bytes}]. *)
+val get : ?hash:string -> spec:Spec.t -> string -> program
+(** Cached decode, keyed by code hash × spec id — two specs never share
+    an artifact (static gas and opcode availability are baked into the
+    stream). Domain-safe: the cache is shared across all interpreter
+    contexts and scheduler worker domains. Counted through
+    [interp.decode.{hits,misses,bytes}]. *)
 
 val cache_size : unit -> int
 (** Number of decoded programs currently cached (for tests/metrics). *)

@@ -63,24 +63,41 @@ type ctx = {
   origin : Address.t;
   gas_price : U256.t;
   engine : engine;
+  spec : Spec.t;  (* the hardfork rule set (DESIGN.md §12) *)
   trace : Trace.sink option;
   mutable logs : Env.log list; (* newest first *)
   mutable logs_len : int;
+  mutable refund : int;  (* SSTORE-clear refund counter, journaled with logs *)
+  warm_accounts : (Address.t, unit) Hashtbl.t;  (* EIP-2929 access sets; *)
+  warm_slots : (Address.t * U256.t, unit) Hashtbl.t;  (* per-transaction *)
   mutable steps_executed : int;
 }
 
-let make_ctx ?engine ?trace st benv ~origin ~gas_price =
+let make_ctx ?engine ?spec ?trace st benv ~origin ~gas_price =
   {
     st;
     benv;
     origin;
     gas_price;
     engine = (match engine with Some e -> e | None -> !default_engine);
+    spec = (match spec with Some s -> s | None -> !Spec.current);
     trace;
     logs = [];
     logs_len = 0;
+    refund = 0;
+    warm_accounts = Hashtbl.create 16;
+    warm_slots = Hashtbl.create 16;
     steps_executed = 0;
   }
+
+(* Seed the per-transaction access sets: [(a, None)] warms the account,
+   [(a, Some k)] warms one storage slot.  The processor warms the sender
+   and target, plus the caller-supplied prewarm list (EIP-2930-style
+   execution hint — no intrinsic charge). *)
+let warm_entry ctx (a, ko) =
+  match ko with
+  | None -> Hashtbl.replace ctx.warm_accounts a ()
+  | Some k -> Hashtbl.replace ctx.warm_slots (a, k) ()
 
 type frame = {
   ctx_address : Address.t; (* storage context; ADDRESS *)
@@ -104,8 +121,10 @@ let max_depth = 1024
 let max_code_size = 24576
 
 (* Decoded program for the code stored at [addr]: the statedb keeps
-   keccak256(code) per account, so the cache lookup pays no hashing. *)
-let prog_of_account st addr code = Decode.get ~hash:(Statedb.get_code_hash st addr) code
+   keccak256(code) per account, so the cache lookup pays no hashing.
+   Keyed by hash × the ctx's spec — each fork has its own artifact. *)
+let prog_of_account ctx addr code =
+  Decode.get ~hash:(Statedb.get_code_hash ctx.st addr) ~spec:ctx.spec code
 
 (* ---- stack helpers ---- *)
 
@@ -139,15 +158,62 @@ let as_offset v = match U256.to_int_opt v with Some n when n < 0x40000000 -> n |
 
 let bool_word b = if b then U256.one else U256.zero
 
-(* ---- logging with revert support ---- *)
+(* ---- EIP-2929 warm/cold access tracking (access-list specs only) ----
 
-let log_snapshot ctx = ctx.logs_len
+   First touch of an account or slot in a transaction pays the spec's
+   cold surcharge and marks the location warm; later touches are cheap.
+   Warm sets are NOT rolled back on revert (documented simplification,
+   DESIGN.md §12) — every engine and the S-EVM builder share the rule,
+   so the differential oracle holds.  Tracking covers exactly the
+   opcodes the builder can observe: SLOAD, SSTORE, BALANCE and the CALL
+   family; EXTCODE* stay flat under every fork. *)
 
-let log_revert ctx n =
+let obs_warm_hits = Obs.counter "spec.warm_hits"
+let obs_cold_misses = Obs.counter "spec.cold_misses"
+
+let charge_cold_account ctx f a =
+  if ctx.spec.Spec.has_access_lists then begin
+    if Hashtbl.mem ctx.warm_accounts a then Obs.incr obs_warm_hits
+    else begin
+      Hashtbl.replace ctx.warm_accounts a ();
+      Obs.incr obs_cold_misses;
+      charge f ctx.spec.Spec.g_cold_account
+    end
+  end
+
+let charge_cold_slot ctx f a k ~cost =
+  if ctx.spec.Spec.has_access_lists then begin
+    let key = (a, k) in
+    if Hashtbl.mem ctx.warm_slots key then Obs.incr obs_warm_hits
+    else begin
+      Hashtbl.replace ctx.warm_slots key ();
+      Obs.incr obs_cold_misses;
+      charge f cost
+    end
+  end
+
+(* SSTORE-clear refund (pre-Istanbul forks): fires per SSTORE writing a
+   zero value — independent of the slot's prior state, so the refund is
+   constant within a CD-Equiv class once the builder guards the written
+   value's zeroness. *)
+let note_sstore ctx v =
+  if ctx.spec.Spec.refund_sstore_clear > 0 && U256.is_zero v then
+    ctx.refund <- ctx.refund + ctx.spec.Spec.refund_sstore_clear
+
+(* ---- logging with revert support ----
+
+   The refund counter is journaled alongside the log length: a reverted
+   or failed inner frame must undo the refunds it accumulated, exactly
+   like its logs. *)
+
+let log_snapshot ctx = (ctx.logs_len, ctx.refund)
+
+let log_revert ctx (n, r) =
   while ctx.logs_len > n do
     ctx.logs <- List.tl ctx.logs;
     ctx.logs_len <- ctx.logs_len - 1
-  done
+  done;
+  ctx.refund <- r
 
 let add_log ctx l =
   ctx.logs <- l :: ctx.logs;
@@ -236,11 +302,15 @@ and exec_frame ctx f : status =
          match Op.of_byte byte with
          | None -> raise (Fail (Invalid_opcode byte))
          | Some op ->
+           (* Opcode not yet introduced under this fork: exactly like an
+              unassigned byte — no step, no charge (DESIGN.md §12). *)
+           if not (Array.unsafe_get ctx.spec.Spec.available byte) then
+             raise (Fail (Invalid_opcode byte));
            ctx.steps_executed <- ctx.steps_executed + 1;
            require f (Op.stack_in op);
            if Op.stack_out op - Op.stack_in op + f.sp > max_stack then
              raise (Fail Stack_overflow);
-           charge f (Gas.static_cost op);
+           charge f (Array.unsafe_get ctx.spec.Spec.static_gas byte);
            let traced = ctx.trace <> None in
            let ins = if traced then capture_inputs f op else [||] in
            let pc0 = f.pc in
@@ -319,7 +389,13 @@ and exec_frame_decoded_traced ctx f : status =
          let g = i.Decode.static_gas in
          if f.gas < g then raise (Fail Out_of_gas);
          f.gas <- f.gas - g;
-         let h = Array.unsafe_get handler_table i.Decode.op_id in
+         (* Unfused dispatch: [xop] when it names a plain slot (this also
+            routes spec-unavailable opcodes to the raising default), the
+            PUSH's own [op_id] when [xop] is a fused pair id. *)
+         let h =
+           Array.unsafe_get handler_table
+             (if i.Decode.xop < 256 then i.Decode.xop else i.Decode.op_id)
+         in
          let op = i.Decode.op in
          let ins = capture_inputs f op in
          let pc0 = f.pc in
@@ -364,7 +440,7 @@ and exec_op ctx f (op : Op.t) =
   | MULMOD -> triop f U256.mulmod
   | EXP ->
     let base = pop f and e = pop f in
-    charge f (Gas.g_exp_byte * U256.byte_size e);
+    charge f (ctx.spec.Spec.g_exp_byte * U256.byte_size e);
     push f (U256.exp base e)
   | SIGNEXTEND ->
     let k = pop f and x = pop f in
@@ -395,8 +471,13 @@ and exec_op ctx f (op : Op.t) =
     charge_mem f off len;
     push f (Khash.Keccak.digest_u256 (Memory.load f.mem off len))
   | ADDRESS -> push f (Address.to_u256 f.ctx_address)
-  | BALANCE -> push f (Statedb.get_balance st (Address.of_u256 (pop f)))
-  | SELFBALANCE -> push f (Statedb.get_balance st f.ctx_address)
+  | BALANCE ->
+    let a = Address.of_u256 (pop f) in
+    charge_cold_account ctx f a;
+    push f (Statedb.get_balance st a)
+  | SELFBALANCE ->
+    (* the executing account is warm by construction: warmed at call entry *)
+    push f (Statedb.get_balance st f.ctx_address)
   | ORIGIN -> push f (Address.to_u256 ctx.origin)
   | CALLER -> push f (Address.to_u256 f.caller)
   | CALLVALUE -> push f f.value
@@ -455,11 +536,16 @@ and exec_op ctx f (op : Op.t) =
     let off = as_offset (pop f) and v = pop f in
     charge_mem f off 1;
     Memory.store_byte f.mem off (U256.to_int_exn (U256.logand v (U256.of_int 0xff)))
-  | SLOAD -> push f (Statedb.get_storage st f.ctx_address (pop f))
+  | SLOAD ->
+    let k = pop f in
+    charge_cold_slot ctx f f.ctx_address k ~cost:ctx.spec.Spec.g_cold_sload;
+    push f (Statedb.get_storage st f.ctx_address k)
   | SSTORE ->
     if f.is_static then raise (Fail Static_violation);
     let k = pop f and v = pop f in
-    Statedb.set_storage st f.ctx_address k v
+    charge_cold_slot ctx f f.ctx_address k ~cost:ctx.spec.Spec.g_cold_sstore;
+    Statedb.set_storage st f.ctx_address k v;
+    note_sstore ctx v
   | JUMP ->
     let dst = jump_target f (pop f) in
     f.pc <- dst - 1 (* -1: the loop advances past the opcode below *)
@@ -559,7 +645,9 @@ and exec_call ctx f op =
   let out_len = as_offset (pop f) in
   if f.is_static && op = Op.CALL && not (U256.is_zero value) then
     raise (Fail Static_violation);
-  (* Dynamic gas: value transfer surcharge + new-account surcharge. *)
+  (* Dynamic gas: cold-target surcharge (access-list specs), value
+     transfer surcharge + new-account surcharge. *)
+  charge_cold_account ctx f target;
   let has_value = not (U256.is_zero value) in
   if has_value then begin
     charge f Gas.g_call_value;
@@ -568,7 +656,11 @@ and exec_call ctx f op =
   end;
   charge_mem f in_off in_len;
   charge_mem f out_off out_len;
-  let max_forward = f.gas - (f.gas / 64) in
+  (* EIP-150 63/64 forwarding cap; pre-Tangerine forks forward all
+     remaining gas. *)
+  let max_forward =
+    if ctx.spec.Spec.has_63_64 then f.gas - (f.gas / 64) else f.gas
+  in
   let requested = match U256.to_int_opt gas_req with Some g -> g | None -> max_int in
   let forwarded = min requested max_forward in
   charge f forwarded;
@@ -667,7 +759,7 @@ and exec_call ctx f op =
         {
           ctx_address = ctx_addr;
           code_address = code_addr;
-          prog = prog_of_account st code_addr code;
+          prog = prog_of_account ctx code_addr code;
           caller;
           value = call_value;
           data;
@@ -707,7 +799,9 @@ and exec_create ctx f op =
   if op = Op.CREATE2 then charge f (Gas.g_sha3_word * Gas.words len);
   charge_mem f off len;
   let initcode = Memory.load f.mem off len in
-  let max_forward = f.gas - (f.gas / 64) in
+  let max_forward =
+    if ctx.spec.Spec.has_63_64 then f.gas - (f.gas / 64) else f.gas
+  in
   charge f max_forward;
   let inputs =
     if ctx.trace <> None then
@@ -720,6 +814,8 @@ and exec_create ctx f op =
     if op = Op.CREATE2 then create2_address f.ctx_address salt initcode
     else create_address f.ctx_address sender_nonce
   in
+  (* creation makes the new account warm, with no cold charge *)
+  if ctx.spec.Spec.has_access_lists then Hashtbl.replace ctx.warm_accounts new_addr ();
   let emit_enter () =
     if ctx.trace <> None then
       emit ctx
@@ -773,7 +869,7 @@ and exec_create ctx f op =
         {
           ctx_address = new_addr;
           code_address = new_addr;
-          prog = Decode.get initcode;
+          prog = Decode.get ~spec:ctx.spec initcode;
           caller = f.ctx_address;
           value;
           data = "";
@@ -881,7 +977,10 @@ let () =
       charge_mem f off len;
       push f (Khash.Keccak.digest_u256 (Memory.load f.mem off len)));
   h 0x30 (fun _ f _ -> push f (Address.to_u256 f.ctx_address));
-  h 0x31 (fun ctx f _ -> push f (Statedb.get_balance ctx.st (Address.of_u256 (pop f))));
+  h 0x31 (fun ctx f _ ->
+      let a = Address.of_u256 (pop f) in
+      charge_cold_account ctx f a;
+      push f (Statedb.get_balance ctx.st a));
   h 0x32 (fun ctx f _ -> push f (Address.to_u256 ctx.origin));
   h 0x33 (fun _ f _ -> push f (Address.to_u256 f.caller));
   h 0x34 (fun _ f _ -> push f f.value);
@@ -914,11 +1013,16 @@ let () =
       charge_mem f off 32;
       Memory.store_word f.mem off v);
   delegate 0x53 (* MSTORE8 *);
-  h 0x54 (fun ctx f _ -> push f (Statedb.get_storage ctx.st f.ctx_address (pop f)));
+  h 0x54 (fun ctx f _ ->
+      let k = pop f in
+      charge_cold_slot ctx f f.ctx_address k ~cost:ctx.spec.Spec.g_cold_sload;
+      push f (Statedb.get_storage ctx.st f.ctx_address k));
   h 0x55 (fun ctx f _ ->
       if f.is_static then raise (Fail Static_violation);
       let k = pop f and v = pop f in
-      Statedb.set_storage ctx.st f.ctx_address k v);
+      charge_cold_slot ctx f f.ctx_address k ~cost:ctx.spec.Spec.g_cold_sstore;
+      Statedb.set_storage ctx.st f.ctx_address k v;
+      note_sstore ctx v);
   h 0x56 (fun _ f _ -> f.pc <- jump_target f (pop f) - 1);
   h 0x57 (fun _ f _ ->
       let dst = pop f and cond = pop f in
@@ -1029,8 +1133,13 @@ let () =
       let v = f.stack.(f.sp) in
       charge_mem f off 32;
       Memory.store_word f.mem off v);
-  fuse 0x54 (fun si sg ctx f (i : Decode.instr) ->
-      fused_prologue ctx f i si sg;
+  (* SLOAD is the one fusable opcode whose static cost varies per fork
+     (50/200/800/100 across the ladder) and the only one with a warmth
+     surcharge — the charge comes from the ctx's spec, not the baked
+     Istanbul constant. *)
+  fuse 0x54 (fun si _sg ctx f (i : Decode.instr) ->
+      fused_prologue ctx f i si (Array.unsafe_get ctx.spec.Spec.static_gas 0x54);
+      charge_cold_slot ctx f f.ctx_address i.Decode.imm ~cost:ctx.spec.Spec.g_cold_sload;
       f.stack.(f.sp) <- Statedb.get_storage ctx.st f.ctx_address i.Decode.imm;
       f.sp <- f.sp + 1);
   (* immediate jump target, validated like [jump_target] with identical
@@ -1083,7 +1192,7 @@ let call_message ctx ~caller ~target ~value ~data ~gas =
       {
         ctx_address = target;
         code_address = target;
-        prog = prog_of_account st target code;
+        prog = prog_of_account ctx target code;
         caller;
         value;
         data;
@@ -1115,6 +1224,7 @@ let create_message ctx ~caller ~value ~initcode ~gas =
   (* The processor already bumped the sender nonce; contract address uses the
      pre-bump value, matching Ethereum. *)
   let new_addr = create_address caller nonce in
+  if ctx.spec.Spec.has_access_lists then Hashtbl.replace ctx.warm_accounts new_addr ();
   let snap = Statedb.snapshot st in
   let lsnap = log_snapshot ctx in
   if Statedb.get_nonce st new_addr > 0 || Statedb.get_code st new_addr <> "" then
@@ -1129,7 +1239,7 @@ let create_message ctx ~caller ~value ~initcode ~gas =
       {
         ctx_address = new_addr;
         code_address = new_addr;
-        prog = Decode.get initcode;
+        prog = Decode.get ~spec:ctx.spec initcode;
         caller;
         value;
         data = "";

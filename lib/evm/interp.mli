@@ -43,20 +43,35 @@ type ctx = {
   origin : Address.t;
   gas_price : U256.t;
   engine : engine;
+  spec : Spec.t;  (** the hardfork rule set (DESIGN.md §12) *)
   trace : Trace.sink option;
   mutable logs : Env.log list;  (** newest first; rolled back on revert *)
   mutable logs_len : int;
+  mutable refund : int;
+      (** SSTORE-clear refund counter; journaled alongside logs so inner
+          reverts undo it.  Always 0 under refund-free specs. *)
+  warm_accounts : (Address.t, unit) Hashtbl.t;
+      (** EIP-2929 per-transaction account access set (access-list specs). *)
+  warm_slots : (Address.t * U256.t, unit) Hashtbl.t;
+      (** EIP-2929 per-transaction storage-slot access set. *)
   mutable steps_executed : int;
 }
 
 val make_ctx :
   ?engine:engine ->
+  ?spec:Spec.t ->
   ?trace:Trace.sink ->
   Statedb.t ->
   Env.block_env ->
   origin:Address.t ->
   gas_price:U256.t ->
   ctx
+(** [?spec] defaults to [!Spec.current].  The warm sets start empty; the
+    processor seeds sender/target/prewarm via {!warm_entry}. *)
+
+val warm_entry : ctx -> Address.t * U256.t option -> unit
+(** Seed one entry-warm location: [(a, None)] warms the account,
+    [(a, Some k)] warms one storage slot. *)
 
 val max_stack : int
 val max_depth : int

@@ -57,6 +57,7 @@ let verify_scenario ?mutate ~label (s : Scenario.t) : summary =
   let saved = !Ap.Program.add_path_hook in
   Ap.Program.add_path_hook := (fun _ -> ());
   Fun.protect ~finally:(fun () -> Ap.Program.add_path_hook := saved) @@ fun () ->
+  let spec = Scenario.spec_of s in
   let bk = Statedb.Backend.create () in
   let root0 = Scenario.install s bk in
   let benv = Scenario.benv in
@@ -65,7 +66,7 @@ let verify_scenario ?mutate ~label (s : Scenario.t) : summary =
   List.iteri
     (fun i tx ->
       let ctx = Printf.sprintf "%s tx#%d" label i in
-      (match Oracle.build_path st benv tx with
+      (match Oracle.build_path ~spec st benv tx with
       | Error _ -> sum := { !sum with fallbacks = !sum.fallbacks + 1 }
       | Ok path ->
         let path, applied =
@@ -90,7 +91,7 @@ let verify_scenario ?mutate ~label (s : Scenario.t) : summary =
             mutated = (!sum.mutated + if applied then 1 else 0);
             violations = !sum.violations @ List.map (fun v -> (ctx, v)) (vp @ vap);
           });
-      ignore (Evm.Processor.execute_tx st benv tx))
+      ignore (Evm.Processor.execute_tx ~spec st benv tx))
     (Scenario.txs s);
   !sum
 

@@ -19,6 +19,7 @@ type summary = {
   build_fallbacks : int;
   perturbed_hits : int;
   perturbed_violations : int;
+  warm_violations : int;
 }
 
 let obs_iters = Obs.counter "fuzz.iterations"
@@ -50,18 +51,23 @@ let save_counterexample ~dir ~seed ~iter s =
   close_out oc;
   file
 
-let fuzz ?corpus_dir ?(shrink = true) ~seed ~iters () : summary =
+let fuzz ?corpus_dir ?(shrink = true) ?fork ~seed ~iters () : summary =
   let total_txs = ref 0 and fallbacks = ref 0 and p_hits = ref 0 and p_viols = ref 0 in
+  let w_viols = ref 0 in
   let finding = ref None in
   let i = ref 0 in
   while !finding = None && !i < iters do
     Obs.incr obs_iters;
     let s = generate ~seed !i in
+    (* [fork] pins every scenario to one hardfork; without it the
+       generator's per-scenario random draw stands *)
+    let s = match fork with None -> s | Some f -> { s with Scenario.fork = Some f } in
     let r = Oracle.run s in
     total_txs := !total_txs + r.txs;
     fallbacks := !fallbacks + r.build_fallbacks;
     p_hits := !p_hits + r.perturbed_hits;
     p_viols := !p_viols + r.perturbed_violations;
+    w_viols := !w_viols + r.warm_violations;
     if r.divergences <> [] then begin
       Obs.incr obs_findings;
       let shrunk =
@@ -93,6 +99,7 @@ let fuzz ?corpus_dir ?(shrink = true) ~seed ~iters () : summary =
     build_fallbacks = !fallbacks;
     perturbed_hits = !p_hits;
     perturbed_violations = !p_viols;
+    warm_violations = !w_viols;
   }
 
 (* ---- corpus replay ---- *)
@@ -110,15 +117,31 @@ let replay_file path : corpus_failure option =
   | exception exn -> Some { path; problem = "read error: " ^ Printexc.to_string exn }
   | Error m -> Some { path; problem = "parse error: " ^ m }
   | Ok scenario -> (
-    match (Oracle.run scenario).divergences with
+    (* the N-fork matrix: an entry pinned to a fork replays there; an
+       unpinned (pre-spec) entry must hold under every fork *)
+    let runs =
+      match scenario.Scenario.fork with
+      | Some _ -> [ scenario ]
+      | None ->
+        List.map (fun f -> { scenario with Scenario.fork = Some f }) Spec.all_forks
+    in
+    let failures =
+      List.filter_map
+        (fun s ->
+          match (Oracle.run s).divergences with
+          | [] -> None
+          | ds ->
+            Some
+              (Fmt.str "[%s] %d divergence(s): %a"
+                 (match s.Scenario.fork with Some f -> Spec.fork_name f | None -> "default")
+                 (List.length ds)
+                 Fmt.(list ~sep:semi Oracle.pp_divergence)
+                 ds))
+        runs
+    in
+    match failures with
     | [] -> None
-    | ds ->
-      Some
-        { path;
-          problem =
-            Fmt.str "%d divergence(s): %a" (List.length ds)
-              Fmt.(list ~sep:semi Oracle.pp_divergence)
-              ds })
+    | fs -> Some { path; problem = String.concat "; " fs })
 
 let replay_corpus dir : corpus_failure list * int =
   if not (Sys.file_exists dir) then ([], 0)

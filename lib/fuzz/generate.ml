@@ -86,4 +86,7 @@ let scenario rng : Scenario.t =
         (fun ci -> if int rng 3 = 0 then Some (ci, U256.of_int (int rng 1_000_000)) else None)
         (List.init n_contracts Fun.id);
     txs = List.init (2 + int rng 5) (fun _ -> tx_spec ~n_contracts rng);
+    (* every scenario runs under a uniformly random hardfork, so the
+       four-engine oracle is an N-fork differential matrix for free *)
+    fork = Some (List.nth Spec.all_forks (int rng Spec.n_forks));
   }

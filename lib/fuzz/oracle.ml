@@ -29,6 +29,9 @@ type report = {
   build_fallbacks : int;
   perturbed_hits : int;
   perturbed_violations : int;
+  warm_violations : int;
+      (** paths built under a warmer entry state (prewarm) that correctly
+          tripped a warmth guard when replayed cold *)
 }
 
 let pp_divergence ppf d =
@@ -39,6 +42,7 @@ let obs_divergences = Obs.counter "fuzz.divergences"
 let obs_fallbacks = Obs.counter "fuzz.build_fallbacks"
 let obs_perturbed_hits = Obs.counter "fuzz.perturbed_hits"
 let obs_perturbed_violations = Obs.counter "fuzz.perturbed_violations"
+let obs_warm_violations = Obs.counter "fuzz.warm_violations"
 
 (* ---- receipt / state comparison ---- *)
 
@@ -112,12 +116,12 @@ let root_divs s bk ~tx ~engine ~pre_root ~ref_root ~got_root =
 
 (* ---- building one path (the speculator's trace-and-revert idiom) ---- *)
 
-let build_path st benv tx =
+let build_path ?spec ?(prewarm = []) st benv tx =
   let snap = Statedb.snapshot st in
   let sink, get = Evm.Trace.collector () in
-  let receipt = Evm.Processor.execute_tx ~trace:sink st benv tx in
+  let receipt = Evm.Processor.execute_tx ?spec ~prewarm ~trace:sink st benv tx in
   Statedb.revert st snap;
-  Sevm.Builder.build tx benv (get ()) receipt st
+  Sevm.Builder.build ?spec ~prewarm tx benv (get ()) receipt st
 
 (* Storage slot to perturb for the violated-context run: prefer one the
    constraint section depends on (flipping it must trip a guard); fall
@@ -142,12 +146,13 @@ let constrained_slot (p : Sevm.Ir.path) =
 (* ---- the oracle ---- *)
 
 let run (s : Scenario.t) : report =
+  let spec = Scenario.spec_of s in
   let bk = Statedb.Backend.create () in
   let root0 = Scenario.install s bk in
   let benv = Scenario.benv in
   let txs = Scenario.txs s in
   let divs = ref [] in
-  let fallbacks = ref 0 and p_hits = ref 0 and p_viols = ref 0 in
+  let fallbacks = ref 0 and p_hits = ref 0 and p_viols = ref 0 and w_viols = ref 0 in
   let add ds =
     Obs.add obs_divergences (List.length ds);
     divs := !divs @ ds
@@ -163,7 +168,7 @@ let run (s : Scenario.t) : report =
   let reference =
     List.map
       (fun tx ->
-        let r = Evm.Processor.execute_tx st1 benv tx in
+        let r = Evm.Processor.execute_tx ~spec st1 benv tx in
         (r, Statedb.commit st1))
       txs
   in
@@ -177,7 +182,7 @@ let run (s : Scenario.t) : report =
     (fun i tx ->
       let ref_r, ref_root = List.nth reference i in
       guarded ~tx:i ~engine:"legacy-interp" (fun () ->
-          let r = Evm.Processor.execute_tx ~engine:Evm.Interp.Legacy st1b benv tx in
+          let r = Evm.Processor.execute_tx ~engine:Evm.Interp.Legacy ~spec st1b benv tx in
           add (receipt_divs ~tx:i ~engine:"legacy-interp" ref_r r);
           let root1b = Statedb.commit st1b in
           add
@@ -194,14 +199,14 @@ let run (s : Scenario.t) : report =
       Obs.incr obs_txs;
       let ref_r, ref_root = List.nth reference i in
       guarded ~tx:i ~engine:"sevm-replay" (fun () ->
-          (match build_path st2 benv tx with
+          (match build_path ~spec st2 benv tx with
           | Error _ ->
             incr fallbacks;
             Obs.incr obs_fallbacks;
             add (receipt_divs ~tx:i ~engine:"sevm-fallback" ref_r
-                   (Evm.Processor.execute_tx st2 benv tx))
+                   (Evm.Processor.execute_tx ~spec st2 benv tx))
           | Ok path -> (
-            match Sevm.Replay.run path st2 benv tx with
+            match Sevm.Replay.run ~spec path st2 benv tx with
             | Sevm.Replay.Replayed r -> add (receipt_divs ~tx:i ~engine:"sevm-replay" ref_r r)
             | Sevm.Replay.Violated v ->
               (* the path was synthesized against this very state — every
@@ -209,7 +214,7 @@ let run (s : Scenario.t) : report =
               add
                 [ { tx = i; engine = "sevm-replay"; field = "spurious_violation";
                     detail = Fmt.str "guard %d: %s" v.index v.detail } ];
-              ignore (Evm.Processor.execute_tx st2 benv tx)));
+              ignore (Evm.Processor.execute_tx ~spec st2 benv tx)));
           let root2 = Statedb.commit st2 in
           add
             (root_divs s bk ~tx:i ~engine:"sevm-replay" ~pre_root:!pre2 ~ref_root
@@ -224,11 +229,11 @@ let run (s : Scenario.t) : report =
     (fun i tx ->
       let ref_r, ref_root = List.nth reference i in
       guarded ~tx:i ~engine:"ap" (fun () ->
-          (match build_path st3 benv tx with
+          (match build_path ~spec st3 benv tx with
           | Error _ ->
             (* same fallback as engine 2; already counted there *)
             add (receipt_divs ~tx:i ~engine:"ap-fallback" ref_r
-                   (Evm.Processor.execute_tx st3 benv tx))
+                   (Evm.Processor.execute_tx ~spec st3 benv tx))
           | Ok path ->
             let ap = Ap.Program.create () in
             Ap.Program.add_path ap path;
@@ -255,15 +260,15 @@ let run (s : Scenario.t) : report =
                 st
               in
               let st_ap = perturbed () in
-              (match Ap.Exec.execute ap st_ap benv tx with
+              (match Ap.Exec.execute ~spec ap st_ap benv tx with
               | Ap.Exec.Violation ->
                 (* correct report; fallback on the untouched perturbed state
                    must equal a fresh EVM run (nothing was written) *)
                 incr p_viols;
                 Obs.incr obs_perturbed_violations;
-                let fb = Evm.Processor.execute_tx st_ap benv tx in
+                let fb = Evm.Processor.execute_tx ~spec st_ap benv tx in
                 let st_ref = perturbed () in
-                let ref_p = Evm.Processor.execute_tx st_ref benv tx in
+                let ref_p = Evm.Processor.execute_tx ~spec st_ref benv tx in
                 add (receipt_divs ~tx:i ~engine:"ap-perturbed-fallback" ref_p fb);
                 if not (String.equal (Statedb.commit st_ap) (Statedb.commit st_ref)) then
                   add
@@ -276,17 +281,48 @@ let run (s : Scenario.t) : report =
                 incr p_hits;
                 Obs.incr obs_perturbed_hits;
                 let st_ref = perturbed () in
-                let ref_p = Evm.Processor.execute_tx st_ref benv tx in
+                let ref_p = Evm.Processor.execute_tx ~spec st_ref benv tx in
                 add (receipt_divs ~tx:i ~engine:"ap-perturbed-hit" ref_p r_ap);
                 if not (String.equal (Statedb.commit st_ap) (Statedb.commit st_ref)) then
                   add
                     [ { tx = i; engine = "ap-perturbed-hit"; field = "state_root";
                         detail = "perturbed fast-path state differs from plain EVM" } ]));
 
+            (* (a') warmth perturbation: rebuild the path with one
+               constrained slot prewarmed — the builder specializes to the
+               warmer entry state (cheaper SLOAD) and must pin it with a
+               warmth guard.  Replaying COLD (no prewarm) must then fall
+               back via Violation; silently replaying would mis-charge gas.
+               Only meaningful under forks with access-list tracking. *)
+            (if spec.Spec.has_access_lists then
+               match constrained_slot path with
+               | None -> ()
+               | Some (addr, key) -> (
+                 let prewarm = [ (addr, Some key) ] in
+                 let st_w = Statedb.create bk ~root:!pre3 in
+                 match build_path ~spec ~prewarm st_w benv tx with
+                 | Error _ -> ()
+                 | Ok wpath -> (
+                   let ap_w = Ap.Program.create () in
+                   Ap.Program.add_path ap_w wpath;
+                   let st_cold = Statedb.create bk ~root:!pre3 in
+                   match Ap.Exec.execute ~spec ap_w st_cold benv tx with
+                   | Ap.Exec.Violation ->
+                     incr w_viols;
+                     Obs.incr obs_warm_violations;
+                     (* untouched state: the cold fallback must equal the
+                        reference cold run *)
+                     let fb = Evm.Processor.execute_tx ~spec st_cold benv tx in
+                     add (receipt_divs ~tx:i ~engine:"ap-warm-fallback" ref_r fb)
+                   | Ap.Exec.Hit (r_w, _) ->
+                     (* no warmth guard fired: only sound if the warm-built
+                        path charges exactly like the cold EVM run *)
+                     add (receipt_divs ~tx:i ~engine:"ap-warm-built-cold-replay" ref_r r_w))));
+
             (* (b) satisfied context, memoization disabled: every
                instruction actually executes *)
             (let st_nm = Statedb.create bk ~root:!pre3 in
-             match Ap.Exec.execute ~use_memos:false ap st_nm benv tx with
+             match Ap.Exec.execute ~spec ~use_memos:false ap st_nm benv tx with
              | Ap.Exec.Violation ->
                add
                  [ { tx = i; engine = "ap-nomemo"; field = "spurious_violation";
@@ -299,12 +335,12 @@ let run (s : Scenario.t) : report =
 
             (* (c) satisfied context with memoization, carrying state
                forward tx by tx *)
-            (match Ap.Exec.execute ap st3 benv tx with
+            (match Ap.Exec.execute ~spec ap st3 benv tx with
             | Ap.Exec.Violation ->
               add
                 [ { tx = i; engine = "ap"; field = "spurious_violation";
                     detail = "violation in the very context the path was built from" } ];
-              ignore (Evm.Processor.execute_tx st3 benv tx)
+              ignore (Evm.Processor.execute_tx ~spec st3 benv tx)
             | Ap.Exec.Hit (r, _) -> add (receipt_divs ~tx:i ~engine:"ap" ref_r r)));
           let root3 = Statedb.commit st3 in
           add (root_divs s bk ~tx:i ~engine:"ap" ~pre_root:!pre3 ~ref_root ~got_root:root3);
@@ -317,4 +353,5 @@ let run (s : Scenario.t) : report =
     build_fallbacks = !fallbacks;
     perturbed_hits = !p_hits;
     perturbed_violations = !p_viols;
+    warm_violations = !w_viols;
   }

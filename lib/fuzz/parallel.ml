@@ -38,11 +38,11 @@ let obs_mismatches = Obs.counter "fuzz.parallel.mismatches"
 (* One speculation job, self-contained: private Statedb views over the
    shared backend at the captured [root], exactly like a worker domain in
    the node. *)
-let speculate bk benv ~root (tx : Evm.Env.tx) () : tx_result =
+let speculate bk benv ~spec ~root (tx : Evm.Env.tx) () : tx_result =
   let st = Statedb.create bk ~root in
-  match Oracle.build_path st benv tx with
+  match Oracle.build_path ~spec st benv tx with
   | Error _ ->
-    let r = Evm.Processor.execute_tx st benv tx in
+    let r = Evm.Processor.execute_tx ~spec st benv tx in
     {
       fp = None;
       outcome = "fallback";
@@ -55,7 +55,7 @@ let speculate bk benv ~root (tx : Evm.Env.tx) () : tx_result =
     Ap.Program.add_path ap path;
     let fp = Ap.Program.fingerprint ap in
     let st_exec = Statedb.create bk ~root in
-    (match Ap.Exec.execute ap st_exec benv tx with
+    (match Ap.Exec.execute ~spec ap st_exec benv tx with
     | Ap.Exec.Violation ->
       { fp = Some fp; outcome = "violation"; status = ""; gas_used = 0; output_hex = "" }
     | Ap.Exec.Hit (r, _) ->
@@ -68,6 +68,7 @@ let speculate bk benv ~root (tx : Evm.Env.tx) () : tx_result =
       })
 
 let run_with ~jobs (s : Scenario.t) : tx_result list =
+  let spec = Scenario.spec_of s in
   let bk = Statedb.Backend.create () in
   let root0 = Scenario.install s bk in
   let benv = Scenario.benv in
@@ -79,7 +80,7 @@ let run_with ~jobs (s : Scenario.t) : tx_result list =
     List.map
       (fun tx ->
         let root = !pre in
-        ignore (Evm.Processor.execute_tx st benv tx);
+        ignore (Evm.Processor.execute_tx ~spec st benv tx);
         pre := Statedb.commit st;
         (tx, root))
       txs
@@ -91,7 +92,7 @@ let run_with ~jobs (s : Scenario.t) : tx_result list =
       List.iter
         (fun ((tx : Evm.Env.tx), root) ->
           Sched.submit sched ~hash:(Evm.Env.tx_hash tx) ~root ~priority:tx.gas_price
-            (speculate bk benv ~root tx))
+            (speculate bk benv ~spec ~root tx))
         targets;
       Sched.barrier sched;
       List.map
@@ -166,11 +167,12 @@ let obs_apply_txs = Obs.counter "fuzz.parallel.apply_txs"
 let obs_apply_mismatches = Obs.counter "fuzz.parallel.apply_mismatches"
 
 let check_apply ?(jobs = 4) (s : Scenario.t) : apply_report =
+  let spec = Scenario.spec_of s in
   let txs = Scenario.txs s in
   let seq =
     let bk = Statedb.Backend.create () in
     let st = Statedb.create bk ~root:(Scenario.install s bk) in
-    Chain.Stf.apply_txs st Scenario.benv txs
+    Chain.Stf.apply_txs ~spec st Scenario.benv txs
   in
   let mismatches = ref [] and aborted = ref 0 and forced = ref 0 in
   let add tx field seq_v par_v =
@@ -185,7 +187,7 @@ let check_apply ?(jobs = 4) (s : Scenario.t) : apply_report =
         let pool = Chain.Stf.create_pool ~jobs () in
         Fun.protect
           ~finally:(fun () -> Chain.Stf.shutdown_pool pool)
-          (fun () -> Chain.Stf.apply_txs_parallel ~pool st Scenario.benv txs)
+          (fun () -> Chain.Stf.apply_txs_parallel ~pool ~spec st Scenario.benv txs)
       in
       aborted := !aborted + stats.par_aborted;
       forced := !forced + stats.par_forced;

@@ -76,7 +76,13 @@ type t = {
   storage : (int * int * U256.t) list;  (** contract idx, slot, value *)
   balances : (int * U256.t) list;  (** extra wei on a contract *)
   txs : tx_spec list;
+  fork : Spec.fork option;
+      (** hardfork the scenario runs under; [None] means "any" — the oracle
+          uses [!Spec.current] and corpus replay sweeps all forks *)
 }
+
+let spec_of (s : t) : Spec.t =
+  match s.fork with Some f -> Spec.resolve f | None -> !Spec.current
 
 (* ---- compilation to bytecode ---- *)
 
@@ -261,18 +267,23 @@ let rec gadget_sexp g =
 let to_sexp (s : t) =
   let open Sexp in
   tagged "scenario"
-    [ tagged "contracts"
-        (List.map (fun c -> list (List.map gadget_sexp c.body)) s.contracts);
-      tagged "storage"
-        (List.map (fun (ci, sl, v) -> list [ int ci; int sl; word_sexp v ]) s.storage);
-      tagged "balances" (List.map (fun (ci, v) -> list [ int ci; word_sexp v ]) s.balances);
-      tagged "txs"
-        (List.map
-           (fun (x : tx_spec) ->
-             list
-               [ int x.sender; int x.target; word_sexp x.value;
-                 atom (Sexp.hex_of_string x.data); int x.gas ])
-           s.txs) ]
+    ([ tagged "contracts"
+         (List.map (fun c -> list (List.map gadget_sexp c.body)) s.contracts);
+       tagged "storage"
+         (List.map (fun (ci, sl, v) -> list [ int ci; int sl; word_sexp v ]) s.storage);
+       tagged "balances" (List.map (fun (ci, v) -> list [ int ci; word_sexp v ]) s.balances);
+       tagged "txs"
+         (List.map
+            (fun (x : tx_spec) ->
+              list
+                [ int x.sender; int x.target; word_sexp x.value;
+                  atom (Sexp.hex_of_string x.data); int x.gas ])
+            s.txs) ]
+    (* the fork section is omitted when [None], so pre-spec corpus files
+       round-trip byte-identically *)
+    @ match s.fork with
+      | None -> []
+      | Some f -> [ tagged "fork" [ atom (Spec.fork_name f) ] ])
 
 exception Bad of string
 
@@ -322,8 +333,20 @@ let of_sexp (s : Sexp.t) : (t, string) result =
     | _ -> fail "expected (%s ...)" name
   in
   match s with
-  | Sexp.List [ Sexp.Atom "scenario"; cs; st; bs; txs ] -> (
+  | Sexp.List
+      ( Sexp.Atom "scenario"
+      :: cs :: st :: bs :: txs
+      :: ([] | [ Sexp.List (Sexp.Atom "fork" :: _) ]) ) -> (
     try
+      let fork =
+        match s with
+        | Sexp.List [ _; _; _; _; _; Sexp.List [ Sexp.Atom "fork"; Sexp.Atom name ] ] -> (
+          match Spec.fork_of_string name with
+          | Some f -> Some f
+          | None -> fail "unknown fork %S" name)
+        | Sexp.List [ _; _; _; _; _ ] -> None
+        | _ -> fail "bad fork section"
+      in
       Ok
         {
           contracts =
@@ -352,6 +375,7 @@ let of_sexp (s : Sexp.t) : (t, string) result =
                     data = as_bytes d; gas = as_int g }
                 | _ -> fail "bad tx entry")
               (section "txs" txs);
+          fork;
         }
     with Bad m -> Error m)
   | _ -> Error "expected (scenario ...)"

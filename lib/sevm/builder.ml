@@ -81,6 +81,10 @@ type cse_key =
 type t = {
   tx : Evm.Env.tx;
   pre : Statedb.t; (* state as of just before the traced execution *)
+  spec : Spec.t; (* fork the trace ran under; stamped into the path *)
+  prewarm : (Address.t * U256.t option) list; (* entry access-list hint *)
+  warm_touched : (Address.t * U256.t option, unit) Hashtbl.t;
+      (* locations whose entry warmth is already pinned (first touch only) *)
   mutable world : world;
   mutable instrs : I.instr list; (* reversed *)
   mutable n_emitted : int;
@@ -101,10 +105,13 @@ type t = {
   mutable trace_len : int;
 }
 
-let create tx pre =
+let create spec prewarm tx pre =
   {
     tx;
     pre;
+    spec;
+    prewarm;
+    warm_touched = Hashtbl.create 16;
     world = empty_world;
     instrs = [];
     n_emitted = 0;
@@ -197,6 +204,39 @@ let guard_size b op traced =
   | I.Reg _ ->
     emit b (I.Guard_size (op, U256.byte_size traced));
     b.st_guards <- b.st_guards + 1
+
+(* ---- entry-warmth constraints (access-list specs, DESIGN.md §12) ----
+
+   The traced gas embeds one cold surcharge per location first touched
+   cold, so the path is only valid in contexts with the same entry access
+   list.  At an opcode's *first* touch of a location its warmth equals its
+   entry warmth (later touches are warm in trace and replay alike), so one
+   [Guard_warm] per location, emitted at first touch with the expected
+   value from [Evm.Processor.entry_warm], pins exactly the state the gas
+   depends on.  Replaying under a colder access list (e.g. built with a
+   prewarm hint, replayed without) then violates instead of mis-charging. *)
+
+(* Locations warm by construction on every replay of this transaction —
+   the sender, the call target, a created contract's address — never vary
+   across replays; a guard on them could only cause spurious fallbacks. *)
+let entry_warm_invariant b (key : Address.t * U256.t option) =
+  match key with
+  | a, None -> (
+    Address.equal a b.tx.sender
+    ||
+    match b.tx.to_ with
+    | Some t -> Address.equal a t
+    | None -> Address.equal a (Evm.Interp.create_address b.tx.sender b.tx.nonce))
+  | _, Some _ -> false
+
+let warm_guard b (key : Address.t * U256.t option) =
+  if b.spec.Spec.has_access_lists && not (Hashtbl.mem b.warm_touched key) then begin
+    Hashtbl.replace b.warm_touched key ();
+    if not (entry_warm_invariant b key) then begin
+      emit b (I.Guard_warm (key, Evm.Processor.entry_warm b.tx b.prewarm key));
+      b.st_guards <- b.st_guards + 1
+    end
+  end
 
 (* Environment reads are stable within a transaction: CSE promotes repeats. *)
 let env_read b src traced =
@@ -538,13 +578,28 @@ let do_step b (step : Evm.Trace.step) =
   | BALANCE ->
     let args = spopn b step 1 in
     guard b args.(0) (inp 0);
+    warm_guard b (Address.of_u256 (inp 0), None);
     spush b (balance_read b (Address.of_u256 (inp 0)))
-  | SELFBALANCE -> spush b (balance_read b f.ctx)
+  | SELFBALANCE ->
+    (* the executing account is warm by construction — no warmth guard *)
+    spush b (balance_read b f.ctx)
   | SLOAD ->
     let args = spopn b step 1 in
+    warm_guard b (f.ctx, Some (inp 0));
     spush b (sload b f.ctx args.(0) (inp 0) (out 0))
   | SSTORE ->
     let args = spopn b step 2 in
+    warm_guard b (f.ctx, Some (inp 0));
+    (* Under refund specs the traced gas embeds a refund per zero write:
+       pin the zeroness of a variable stored value so a replay writing
+       nonzero (different refund) violates instead of mis-charging. *)
+    (match args.(1) with
+    | I.Const _ -> ()
+    | I.Reg _ ->
+      if b.spec.Spec.refund_sstore_clear > 0 then begin
+        let z = compute b I.C_iszero [| args.(1) |] (I.bool_word (U256.is_zero (inp 1))) in
+        guard b z (I.bool_word (U256.is_zero (inp 1)))
+      end);
     sstore b f.ctx args.(0) (inp 0) args.(1)
   (* memory — promoted to registers *)
   | MLOAD ->
@@ -666,6 +721,9 @@ let do_call_enter b (step : Evm.Trace.step) (info : Evm.Trace.call_info) =
   guard b args.(0) (inp 0);
   (* target *)
   guard b args.(1) (inp 1);
+  (* the interpreter charges the cold-account surcharge on the popped
+     target (code address) for every call kind, precompiles included *)
+  warm_guard b (Address.of_u256 (inp 1), None);
   let value_op = if has_value then args.(2) else I.Const U256.zero in
   let voff = if has_value then 1 else 0 in
   let in_off = as_int (inp (2 + voff))
@@ -871,10 +929,12 @@ let count_trace_len events =
       | Evm.Trace.Call_exit _ -> acc)
     0 events
 
-let build (tx : Evm.Env.tx) (benv : Evm.Env.block_env) (events : Evm.Trace.event array)
-    (receipt : Evm.Processor.receipt) (pre : Statedb.t) : (I.path, string) result =
+let build ?spec ?(prewarm = []) (tx : Evm.Env.tx) (benv : Evm.Env.block_env)
+    (events : Evm.Trace.event array) (receipt : Evm.Processor.receipt) (pre : Statedb.t)
+    : (I.path, string) result =
+  let spec = match spec with Some s -> s | None -> !Spec.current in
   try
-    let b = create tx pre in
+    let b = create spec prewarm tx pre in
     b.trace_len <- count_trace_len events;
     let invalid_reason =
       match receipt.status with Invalid r -> Some r | Success | Reverted -> None
@@ -921,6 +981,7 @@ let build (tx : Evm.Env.tx) (benv : Evm.Env.block_env) (events : Evm.Trace.event
           output = output_pieces;
           reg_count = b.next_reg;
           reg_values = Array.sub b.reg_vals 0 b.next_reg;
+          fork = b.spec.Spec.id;
           stats;
         }
     in

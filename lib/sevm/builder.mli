@@ -12,6 +12,8 @@
 exception Unsupported of string
 
 val build :
+  ?spec:Spec.t ->
+  ?prewarm:(State.Address.t * U256.t option) list ->
   Evm.Env.tx ->
   Evm.Env.block_env ->
   Evm.Trace.event array ->
@@ -25,6 +27,14 @@ val build :
     - [receipt] is the traced execution's result (status, gas, output);
     - [pre_state] must expose the state {e as of just before} the traced
       execution (callers snapshot, execute with tracing, then revert).
+
+    [?spec] (default [!Spec.current]) and [?prewarm] must be exactly what
+    the traced execution ran under: the path is stamped with the spec's
+    fork id, and under access-list specs a [Ir.Guard_warm] pins the entry
+    warmth of each first-touched location (plus a zeroness guard per
+    variable SSTORE value under refund specs), so replay in a colder or
+    warmer context falls back via guard violation instead of inheriting
+    the traced gas.
 
     Returns [Error reason] for the few transaction shapes specialization
     does not cover (contract creation, [SELFDESTRUCT]) — such transactions

@@ -46,6 +46,14 @@ type instr =
   | Read of reg * read_src
   | Guard of operand * U256.t  (** constraint: operand must equal the value *)
   | Guard_size of operand * int  (** constraint: byte_size(operand) = n *)
+  | Guard_warm of (Address.t * U256.t option) * bool
+      (** constraint: the access-list warmth of a location on transaction
+          entry — [(a, None)] the account, [(a, Some k)] one storage slot —
+          must equal the recorded bool.  Keys are concrete (guarded before
+          emission), so the guard has no register operands; it constrains
+          replay-time entry state instead of a register value, which is why
+          warmth gets its own guard class rather than riding on {!Guard}
+          (DESIGN.md §12). *)
 
 type write =
   | W_storage of Address.t * U256.t * operand
@@ -99,6 +107,8 @@ type path = {
   output : piece list;
   reg_count : int;
   reg_values : U256.t array;  (** value each register took during tracing *)
+  fork : int;  (** spec id the path was built under; replay under any other
+                   fork is a guard violation before the first instruction *)
   stats : stats;
 }
 
@@ -197,6 +207,10 @@ let pp_instr ppf = function
   | Read (r, src) -> Fmt.pf ppf "v%d = %a" r pp_read src
   | Guard (o, v) -> Fmt.pf ppf "GUARD(%a == %a)" pp_operand o U256.pp v
   | Guard_size (o, n) -> Fmt.pf ppf "GUARD(bytesize(%a) == %d)" pp_operand o n
+  | Guard_warm ((a, ko), w) -> (
+    match ko with
+    | None -> Fmt.pf ppf "GUARD(warm(%a) == %b)" Address.pp a w
+    | Some k -> Fmt.pf ppf "GUARD(warm(%a,%a) == %b)" Address.pp a U256.pp k w)
 
 let pp_write ppf = function
   | W_storage (a, k, v) -> Fmt.pf ppf "SSTORE(%a, %a, %a)" Address.pp a U256.pp k pp_operand v
@@ -234,10 +248,11 @@ let instr_uses = function
     | R_timestamp | R_number | R_coinbase | R_difficulty | R_gaslimit | R_nonce _
     | R_storage _ -> [])
   | Guard (o, _) | Guard_size (o, _) -> operand_regs o
+  | Guard_warm _ -> []
 
 let instr_def = function
   | Compute (r, _, _) | Keccak (r, _) | Sha256 (r, _) | Pack (r, _) | Read (r, _) -> Some r
-  | Guard _ | Guard_size _ -> None
+  | Guard _ | Guard_size _ | Guard_warm _ -> None
 
 let write_uses = function
   | W_storage (_, _, v) -> operand_regs v

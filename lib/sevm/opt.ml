@@ -41,7 +41,7 @@ let schedule (instrs : I.instr list) (writes : I.write list) (output : I.piece l
   Array.iteri
     (fun i ins ->
       match ins with
-      | I.Guard _ | I.Guard_size _ ->
+      | I.Guard _ | I.Guard_size _ | I.Guard_warm _ ->
         constraint_live.(i) <- true;
         List.iter (mark constraint_live) (I.instr_uses ins)
       | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> ())
@@ -59,7 +59,7 @@ let schedule (instrs : I.instr list) (writes : I.write list) (output : I.piece l
       else if fast_live.(i) then fast_section := ins :: !fast_section
       else
         match ins with
-        | I.Guard _ | I.Guard_size _ -> assert false
+        | I.Guard _ | I.Guard_size _ | I.Guard_warm _ -> assert false
         | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Read _ -> incr dead)
     arr;
   let cs = List.rev !constraint_section and fs = List.rev !fast_section in

@@ -44,7 +44,7 @@ let eval_read st (benv : Evm.Env.block_env) regs src =
     if Statedb.is_empty_account st addr then U256.zero
     else U256.of_bytes_be (Statedb.get_code_hash st addr)
 
-let step st benv regs i ins =
+let step ~warm st benv regs i ins =
   match ins with
   | I.Compute (r, op, args) -> regs.(r) <- I.eval_compute op (Array.map (value_of regs) args)
   | I.Keccak (r, ps) -> regs.(r) <- Khash.Keccak.digest_u256 (I.bytes_of_pieces regs ps)
@@ -61,6 +61,11 @@ let step st benv regs i ins =
     let got = U256.byte_size (value_of regs op) in
     if got <> n then
       raise (Guard_failed { index = i; detail = Fmt.str "expected size %d, got %d" n got })
+  | I.Guard_warm (key, want) ->
+    let got = warm key in
+    if got <> want then
+      raise
+        (Guard_failed { index = i; detail = Fmt.str "expected warm=%b, got %b" want got })
 
 let apply_write st regs logs w =
   match w with
@@ -131,7 +136,7 @@ let rw_sets (p : I.path) : rw =
              | I.R_gaslimit | I.R_blockhash _ ->
                [])
            | I.Compute _ | I.Keccak _ | I.Sha256 _ | I.Pack _ | I.Guard _
-           | I.Guard_size _ ->
+           | I.Guard_size _ | I.Guard_warm _ ->
              [])
   in
   let writes =
@@ -148,9 +153,20 @@ let rw_sets (p : I.path) : rw =
   in
   { rw_reads = dedup reads; rw_writes = dedup writes; rw_exact = !exact }
 
-let run (p : I.path) st benv (tx : Evm.Env.tx) : outcome =
+let run ?spec ?(prewarm = []) (p : I.path) st benv (tx : Evm.Env.tx) : outcome =
+  let spec = match spec with Some s -> s | None -> !Spec.current in
+  if p.fork <> spec.Spec.id then
+    Violated
+      {
+        index = -1;
+        detail =
+          Fmt.str "fork mismatch: path built under spec %d, replaying under %d" p.fork
+            spec.Spec.id;
+      }
+  else
+  let warm = Evm.Processor.entry_warm tx prewarm in
   let regs = Array.make (max p.reg_count 1) U256.zero in
-  match Array.iteri (step st benv regs) p.instrs with
+  match Array.iteri (step ~warm st benv regs) p.instrs with
   | exception Guard_failed v -> Violated v
   | () ->
     let sender_balance_before = Statedb.get_balance st tx.Evm.Env.sender in

@@ -42,8 +42,22 @@ type rw = {
 
 val rw_sets : Ir.path -> rw
 
-val run : Ir.path -> Statedb.t -> Evm.Env.block_env -> Evm.Env.tx -> outcome
+val run :
+  ?spec:Spec.t ->
+  ?prewarm:(Address.t * U256.t option) list ->
+  Ir.path ->
+  Statedb.t ->
+  Evm.Env.block_env ->
+  Evm.Env.tx ->
+  outcome
 (** [run path st benv tx] replays [path] against [st].  On [Replayed r],
     the deferred writes have been applied to [st] and [r] mirrors what
     [Evm.Processor.execute_tx] would have returned (modulo
-    [contract_address], which paths never carry). *)
+    [contract_address], which paths never carry).
+
+    [?spec] defaults to [!Spec.current]; a path built under a different
+    fork id is [Violated] at [index = -1] before any instruction runs.
+    [?prewarm] must match what the replayed transaction would execute
+    with: warmth guards are evaluated against
+    [Evm.Processor.entry_warm tx prewarm], so a path specialized under a
+    warm access-list entry falls back cleanly when replayed cold. *)

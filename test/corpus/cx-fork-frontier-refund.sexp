@@ -1,0 +1,1 @@
+(scenario (contracts ((set 0 0x5) (sstore 1 0) (set 1 0x0) (sstore 2 1) (sstore 3 1))) (storage (0 2 0x7) (0 3 0x9)) (balances) (txs (0 0 0x0 0x 600000)) (fork frontier))

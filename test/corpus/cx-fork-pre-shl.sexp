@@ -1,0 +1,1 @@
+(scenario (contracts ((set 1 0x2) (set 2 0x5) (arith 21 0 1 2 3))) (storage) (balances) (txs (0 0 0x0 0x 600000)) (fork tangerine))

@@ -16,8 +16,9 @@ let () =
     corpus_failures;
   let s = Fuzz.Driver.fuzz ~seed ~iters () in
   Printf.printf "fuzz-ci: %d iterations (seed %d): %d txs, %d fallbacks, %d perturbed \
-                 violations, %d perturbed hits\n%!"
-    s.iters_run seed s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits;
+                 violations, %d perturbed hits, %d warm-built cold-replay violations\n%!"
+    s.iters_run seed s.total_txs s.build_fallbacks s.perturbed_violations s.perturbed_hits
+    s.warm_violations;
   match (s.finding, corpus_failures) with
   | None, [] -> print_string "fuzz-ci: all three engines agree\n"
   | Some f, _ ->

@@ -34,6 +34,7 @@ let good_path =
     output = [];
     reg_count = 2;
     reg_values = [| u 5; u 6 |];
+    fork = Spec.fork_id Spec.default_fork;
     stats = I.empty_stats;
   }
 
@@ -41,7 +42,8 @@ let leaf ?(writes = []) () =
   P.Leaf { fast = []; writes; status = Evm.Processor.Success; gas_used = 0; output = [] }
 
 let program ~reg_count roots =
-  { P.roots; reg_count; n_paths = List.length roots; n_futures = 1; shortcut_count = 0 }
+  { P.roots; reg_count; n_paths = List.length roots; n_futures = 1; shortcut_count = 0;
+    fork = Spec.fork_id Spec.default_fork }
 
 let path_tests =
   [ t "well-formed path verifies" (fun () ->

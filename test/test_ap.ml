@@ -23,6 +23,7 @@ let mk_path ~guard_value =
     output = [];
     reg_count = 2;
     reg_values = [| guard_value; U256.add guard_value (u 1) |];
+    fork = Spec.fork_id Spec.default_fork;
     stats = { I.empty_stats with evm_trace_len = 10 };
   }
 
@@ -113,6 +114,7 @@ let structure_tests =
             output = [];
             reg_count = 4;
             reg_values;
+            fork = Spec.fork_id Spec.default_fork;
             stats = I.empty_stats;
           }
         in

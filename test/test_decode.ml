@@ -1,7 +1,7 @@
 (* The @decode alias: the decoded-dispatch engine pinned byte-for-byte
    against the legacy match-dispatch interpreter (DESIGN.md §11).
 
-   Four batteries, exit non-zero on any divergence:
+   Five batteries, exit non-zero on any divergence:
    1. every checked-in corpus scenario, both engines, per-tx receipts +
       committed roots + touched-account sets;
    2. a fixed-seed generated-scenario sweep (structured gadget programs);
@@ -10,7 +10,10 @@
       out-of-range jumps, unassigned opcode bytes;
    4. a 4-domain cache hammer: lib/sched workers decoding and executing
       the same code hash concurrently must agree on every receipt and
-      leave exactly one cached program behind. *)
+      leave exactly one cached program behind;
+   5. a mixed-spec cache audit: the same code hash hammered under all
+      five hardfork specs concurrently — one cached program per spec,
+      each wearing its own fork's gas column, never shared. *)
 
 let scenario_iters = 200
 let raw_iters = 1200
@@ -100,7 +103,7 @@ let hammer_battery () =
       (fun () ->
         let r, root =
           Fuzz.Enginediff.run_code ~engine:Evm.Interp.Decoded ~code:hammer_code ~data:""
-            ~gas_limit:200_000 ~value:U256.zero
+            ~gas_limit:200_000 ~value:U256.zero ()
         in
         (Fuzz.Sexp.hex_of_string root, r.Evm.Processor.gas_used))
   done;
@@ -149,6 +152,110 @@ let hammer_battery () =
       hits misses n
   end
 
+(* ---- 5: mixed-spec cache audit ---- *)
+
+(* The decode cache is keyed by code hash x spec id: two forks must never
+   share a cached artifact, or one fork executes under the other's gas
+   table.  Hammer ONE code hash under all five forks across 4 domains,
+   then audit gas, cache population, and physical identity. *)
+let mixed_code =
+  Evm.Asm.(
+    assemble [ push_int 0; op SLOAD; op POP; push_int 0; op SLOAD; op POP; op STOP ])
+
+(* SLOAD is repriced by almost every fork, so each spec's cached program
+   must carry its own static-gas column. *)
+let mixed_expected fork =
+  let spec = Spec.resolve fork in
+  let once =
+    3 + Spec.static_gas spec 0x54 + 2
+    + if spec.Spec.has_access_lists then spec.Spec.g_cold_sload else 0
+  in
+  let twice = 3 + Spec.static_gas spec 0x54 + 2 in
+  21000 + once + twice
+
+let mixed_spec_battery () =
+  Evm.Decode.clear_cache ();
+  let jobs = 4 and per_fork = 16 in
+  let s : (string * string * int) Sched.t = Sched.create ~jobs () in
+  List.iteri
+    (fun fi fork ->
+      for i = 0 to per_fork - 1 do
+        Sched.submit s
+          ~hash:(Printf.sprintf "mixed%d-%d" fi i)
+          ~root:"r" ~priority:(U256.of_int 1)
+          (fun () ->
+            let spec = Spec.resolve fork in
+            let r, root =
+              Fuzz.Enginediff.run_code ~spec ~engine:Evm.Interp.Decoded ~code:mixed_code
+                ~data:"" ~gas_limit:200_000 ~value:U256.zero ()
+            in
+            (Spec.fork_name fork, Fuzz.Sexp.hex_of_string root, r.Evm.Processor.gas_used))
+      done)
+    Spec.all_forks;
+  Sched.barrier s;
+  let results =
+    List.filter_map
+      (fun (r : _ Sched.result) ->
+        match r.Sched.r_value with
+        | Ok v -> Some v
+        | Error e ->
+          incr failures;
+          Printf.printf "decode-ci: MIXED: job %s raised %s\n%!" r.Sched.r_hash
+            (Printexc.to_string e);
+          None)
+      (Sched.drain s)
+  in
+  Sched.shutdown s;
+  if List.length results <> List.length Spec.all_forks * per_fork then begin
+    incr failures;
+    Printf.printf "decode-ci: MIXED: %d results, expected %d\n%!" (List.length results)
+      (List.length Spec.all_forks * per_fork)
+  end;
+  (* every job's gas must match its own fork's schedule — a shared cached
+     program would surface here as one fork wearing another's prices *)
+  List.iter
+    (fun (fname, _root, gas) ->
+      match Spec.fork_of_string fname with
+      | None -> ()
+      | Some fork ->
+        let exp = mixed_expected fork in
+        if gas <> exp then begin
+          incr failures;
+          Printf.printf "decode-ci: MIXED: %s gas %d, expected %d\n%!" fname gas exp
+        end)
+    results;
+  (* one cached program per spec for the single code hash *)
+  if Evm.Decode.cache_size () <> List.length Spec.all_forks then begin
+    incr failures;
+    Printf.printf "decode-ci: MIXED: cache holds %d programs, expected %d\n%!"
+      (Evm.Decode.cache_size ())
+      (List.length Spec.all_forks)
+  end;
+  (* physical identity audit: same spec shares, different specs never do *)
+  List.iter
+    (fun f ->
+      let spec = Spec.resolve f in
+      if
+        not
+          (Evm.Decode.get ~spec mixed_code == Evm.Decode.get ~spec mixed_code)
+      then begin
+        incr failures;
+        Printf.printf "decode-ci: MIXED: %s re-decoded instead of cache hit\n%!"
+          (Spec.fork_name f)
+      end;
+      List.iter
+        (fun g ->
+          if Spec.fork_id g > Spec.fork_id f then
+            let p_f = Evm.Decode.get ~spec mixed_code in
+            let p_g = Evm.Decode.get ~spec:(Spec.resolve g) mixed_code in
+            if p_f == p_g then begin
+              incr failures;
+              Printf.printf "decode-ci: MIXED: %s and %s share a cached artifact\n%!"
+                (Spec.fork_name f) (Spec.fork_name g)
+            end)
+        Spec.all_forks)
+    Spec.all_forks
+
 let () =
   let n_corpus = corpus_battery () in
   Printf.printf "decode-ci: corpus: %d scenarios\n%!" n_corpus;
@@ -158,6 +265,10 @@ let () =
   Printf.printf "decode-ci: raw bytecode: %d cases (seed %d)\n%!" raw_iters seed;
   hammer_battery ();
   Printf.printf "decode-ci: hammer: 64 jobs across 4 domains, one code hash\n%!";
+  mixed_spec_battery ();
+  Printf.printf
+    "decode-ci: mixed-spec: 80 jobs across 4 domains, one code hash x %d forks\n%!"
+    (List.length Spec.all_forks);
   if !failures > 0 then begin
     Printf.printf "decode-ci: %d FAILURE(S)\n%!" !failures;
     exit 1

@@ -9,6 +9,11 @@ open Evm
 
 let t name f = Alcotest.test_case name `Quick f
 
+(* The class pins below are written against lib/evm/gas.ml, which is the
+   Istanbul schedule; the spec layer's Istanbul column must stay
+   byte-identical to it. *)
+let ist = Spec.resolve Spec.Istanbul
+
 (* Assert every op of a class carries [expect] in both the decode table and
    the live schedule. *)
 let pins expect ops () =
@@ -20,7 +25,7 @@ let pins expect ops () =
         expect (Gas.static_cost op);
       Alcotest.(check int)
         (Printf.sprintf "%s decode table (0x%02x)" (Op.name op) b)
-        expect (Decode.static_gas_of_byte b))
+        expect (Decode.static_gas_of_byte ist b))
     ops
 
 let range f lo hi = List.init (hi - lo + 1) (fun i -> f (lo + i))
@@ -71,8 +76,53 @@ let log_class () =
 let all_bytes () =
   for b = 0 to 255 do
     let expect = match Op.of_byte b with Some op -> Gas.static_cost op | None -> 0 in
-    Alcotest.(check int) (Printf.sprintf "byte 0x%02x" b) expect (Decode.static_gas_of_byte b)
+    Alcotest.(check int)
+      (Printf.sprintf "byte 0x%02x" b)
+      expect
+      (Decode.static_gas_of_byte ist b)
   done
+
+(* The same sweep under every fork: the hoisted per-byte charge must mirror
+   the fork's resolved table — unassigned and not-yet-introduced bytes both
+   charge nothing — and a decoded instruction stream must carry exactly
+   these charges at every pc. *)
+let all_bytes_per_fork () =
+  let code = String.init 256 Char.chr in
+  List.iter
+    (fun f ->
+      let spec = Spec.resolve f in
+      let prog = Decode.decode ~spec code in
+      for b = 0 to 255 do
+        let expect =
+          if Op.of_byte b <> None && Spec.available spec b then Spec.static_gas spec b
+          else 0
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s table byte 0x%02x" spec.Spec.name b)
+          expect
+          (Decode.static_gas_of_byte spec b);
+        Alcotest.(check int)
+          (Printf.sprintf "%s decoded instr at pc %d" spec.Spec.name b)
+          expect prog.Decode.instrs.(b).Decode.static_gas
+      done)
+    Spec.all_forks
+
+(* The columns genuinely differ where the forks say they do: a quick
+   cross-fork triangulation so the per-fork sweep can never silently run
+   five identical tables. *)
+let fork_columns_differ () =
+  let g f b = Decode.static_gas_of_byte (Spec.resolve f) b in
+  let sload = Op.to_byte Op.SLOAD and bal = Op.to_byte Op.BALANCE in
+  Alcotest.(check int) "frontier SLOAD" 50 (g Spec.Frontier sload);
+  Alcotest.(check int) "tangerine SLOAD" 200 (g Spec.Tangerine sload);
+  Alcotest.(check int) "istanbul SLOAD" 800 (g Spec.Istanbul sload);
+  Alcotest.(check int) "berlin SLOAD (warm base)" 100 (g Spec.Berlin sload);
+  Alcotest.(check int) "frontier BALANCE" 20 (g Spec.Frontier bal);
+  Alcotest.(check int) "istanbul BALANCE" 700 (g Spec.Istanbul bal);
+  Alcotest.(check int) "berlin BALANCE (warm base)" 100 (g Spec.Berlin bal);
+  Alcotest.(check int) "frontier SHL unavailable" 0 (g Spec.Frontier (Op.to_byte Op.SHL));
+  Alcotest.(check bool) "constantinople SHL available" true
+    (g Spec.Constantinople (Op.to_byte Op.SHL) > 0)
 
 let suite =
   [ t "zero class" zero_class;
@@ -93,4 +143,6 @@ let suite =
     t "create class" create_class;
     t "call class" call_class;
     t "selfdestruct class" selfdestruct_class;
-    t "all 256 bytes" all_bytes ]
+    t "all 256 bytes" all_bytes;
+    t "all 256 bytes x all forks" all_bytes_per_fork;
+    t "fork columns differ where declared" fork_columns_differ ]

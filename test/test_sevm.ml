@@ -108,7 +108,7 @@ let builder_tests =
         Array.iteri
           (fun i ins ->
             match ins with
-            | Sevm.Ir.Guard _ | Sevm.Ir.Guard_size _ ->
+            | Sevm.Ir.Guard _ | Sevm.Ir.Guard_size _ | Sevm.Ir.Guard_warm _ ->
               Alcotest.(check bool) "guard in constraint section" true (i < p.first_fast)
             | Sevm.Ir.Compute _ | Sevm.Ir.Keccak _ | Sevm.Ir.Sha256 _ | Sevm.Ir.Pack _ | Sevm.Ir.Read _ -> ())
           p.instrs);
