@@ -262,6 +262,16 @@ let ablation () =
     | Some p -> p
     | None -> Node.replay ~policy:Node.Perfect_multi r.record)
 
+(* Every artifact the bench writes must open with the shared schema
+   header; a regression here breaks downstream consumers silently, so it
+   fails the benchmark run instead. *)
+let check_artifact ~experiment file =
+  match Schedbench.validate_header ~experiment file with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "artifact header validation failed: %s\n" e;
+    exit 1
+
 (* ---- Scheduler: parallel speculation throughput (lib/sched) ---- *)
 
 let sched () =
@@ -290,6 +300,7 @@ let sched () =
   (* always emitted, and always at the repo root regardless of the cwd *)
   let file = Schedbench.at_repo_root "BENCH_sched.json" in
   Schedbench.write_json ~file c;
+  check_artifact ~experiment:"sched" file;
   Printf.printf "scheduler benchmark written to %s\n%!" file
 
 (* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
@@ -544,7 +555,8 @@ let interp () =
   and bytes = count "interp.decode.bytes" in
   Printf.printf "decode cache: %d hits, %d misses, %d bytes decoded\n%!" hits misses bytes;
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"kernels\": [";
+  Buffer.add_string buf
+    (Printf.sprintf "{%s,\n  \"kernels\": [" (Schedbench.meta_header ~experiment:"interp" ()));
   List.iteri
     (fun i (name, steps, ns_l, ns_d) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -563,9 +575,150 @@ let interp () =
   let oc = open_out file in
   Buffer.output_buffer oc buf;
   close_out oc;
+  check_artifact ~experiment:"interp" file;
   Printf.printf "interpreter benchmark written to %s\n%!" file;
   if !divergences > 0 then begin
     Printf.printf "interp: %d divergence(s) between engines\n%!" !divergences;
+    exit 1
+  end
+
+(* ---- Apstore: template AP cache on an airdrop storm (DESIGN.md §13) ---- *)
+
+(* Many distinct senders hammer one ERC-20 `transfer` shape.  With the
+   store ON, speculation runs once — the first transaction's trace is
+   lifted into a template — and every later transaction binds its own
+   sender/recipient/amount into the cached template's input registers.
+   With the store OFF, the classic pipeline traces and synthesizes a
+   fresh per-transaction AP for every single transaction.  Both modes
+   replay the identical storm (same seed) and must commit the identical
+   final state root — the bench doubles as a differential oracle. *)
+
+let apstore () =
+  section "Apstore: template AP cache on an airdrop storm (DESIGN.md §13)";
+  let open State in
+  let n_txs = max 200 (int_of_float (2000.0 *. Datasets.scale ())) in
+  let benv : Evm.Env.block_env =
+    {
+      coinbase = Address.of_int 0xC0FFEE;
+      timestamp = 1_700_000_000L;
+      number = 1000L;
+      difficulty = U256.one;
+      gas_limit = 12_000_000;
+      chain_id = 1;
+      block_hash = (fun n -> U256.of_int64 n);
+    }
+  in
+  let run ~on =
+    let token = Address.of_int 0x70C0 in
+    let storm = Workload.Airdrop.create ~n_senders:64 ~seed:31337 ~token () in
+    let bk = Statedb.Backend.create () in
+    let root = Workload.Airdrop.genesis storm bk in
+    let st = Statedb.create bk ~root in
+    let store = Apstore.create () in
+    let spec_ns = ref 0 and exec_ns = ref 0 in
+    let hits = ref 0 and misses = ref 0 and violations = ref 0 in
+    (* trace + synthesize, charging the clock to the speculation bucket *)
+    let speculate ~template tx =
+      let ap_opt, ns =
+        Clock.time (fun () ->
+            let snap = Statedb.snapshot st in
+            let sink, get = Evm.Trace.collector () in
+            let receipt = Evm.Processor.execute_tx ~trace:sink st benv tx in
+            Statedb.revert st snap;
+            match Sevm.Builder.build ~template tx benv (get ()) receipt st with
+            | Ok path ->
+              let ap = Ap.Program.create () in
+              Ap.Program.add_path ap path;
+              Some ap
+            | Error _ -> None)
+      in
+      spec_ns := !spec_ns + ns;
+      ap_opt
+    in
+    let exec_via ap tx =
+      let outcome, ns = Clock.time (fun () -> Ap.Exec.execute ap st benv tx) in
+      exec_ns := !exec_ns + ns;
+      match outcome with
+      | Ap.Exec.Hit _ -> incr hits
+      | Ap.Exec.Violation ->
+        incr violations;
+        let _, ns = Clock.time (fun () -> Evm.Processor.execute_tx st benv tx) in
+        exec_ns := !exec_ns + ns
+    in
+    let exec_plain tx =
+      let _, ns = Clock.time (fun () -> Evm.Processor.execute_tx st benv tx) in
+      exec_ns := !exec_ns + ns
+    in
+    for _ = 1 to n_txs do
+      let tx = Workload.Airdrop.tx storm in
+      if on then begin
+        match Apstore.key_of_tx st !Spec.current tx with
+        | None -> exec_plain tx
+        | Some key -> (
+          match Apstore.find store key with
+          | Some tp -> exec_via tp tx
+          | None ->
+            incr misses;
+            ignore (Apstore.reserve store key);
+            (match speculate ~template:true tx with
+            | Some tp -> Apstore.publish store key tp
+            | None -> Apstore.abandon store key);
+            exec_plain tx)
+      end
+      else begin
+        (* classic pipeline: a fresh per-tx AP, speculated for every tx *)
+        match speculate ~template:false tx with
+        | Some ap -> exec_via ap tx
+        | None -> exec_plain tx
+      end
+    done;
+    (Statedb.commit st, !hits, !misses, !violations, !spec_ns, !exec_ns, Apstore.stats store)
+  in
+  let root_on, h_on, m_on, v_on, spec_on, exec_on, s_on = run ~on:true in
+  let root_off, h_off, m_off, v_off, spec_off, exec_off, _ = run ~on:false in
+  let roots_match = String.equal root_on root_off in
+  let pct n = 100.0 *. float_of_int n /. float_of_int n_txs in
+  Printf.printf "%d txs, 64 senders, one ERC-20 transfer shape\n\n" n_txs;
+  Printf.printf "%-14s %8s %8s %11s %10s %12s %12s\n" "variant" "hits" "misses" "violations"
+    "hit rate" "spec (ms)" "exec (ms)";
+  let row name h m v spec exec =
+    Printf.printf "%-14s %8d %8d %11d %9.2f%% %12.2f %12.2f\n" name h m v (pct h)
+      (float_of_int spec /. 1e6) (float_of_int exec /. 1e6)
+  in
+  row "apstore on" h_on m_on v_on spec_on exec_on;
+  row "apstore off" h_off m_off v_off spec_off exec_off;
+  let spec_speedup = float_of_int spec_off /. float_of_int (max 1 spec_on) in
+  Printf.printf "\nspeculation cost: %.1fx cheaper with the template store\n" spec_speedup;
+  Printf.printf "templates published: %d; coalesced misses: %d; evictions: %d\n"
+    s_on.Apstore.published s_on.Apstore.coalesced s_on.Apstore.evictions;
+  Printf.printf "final state roots identical across modes: %b\n" roots_match;
+  let json =
+    Printf.sprintf
+      "{%s,\"n_txs\":%d,\"n_senders\":64,\
+       \"on\":{\"hits\":%d,\"misses\":%d,\"violations\":%d,\"hit_rate_pct\":%.3f,\
+       \"spec_ns\":%d,\"exec_ns\":%d,\"published\":%d,\"coalesced\":%d,\
+       \"evictions\":%d},\
+       \"off\":{\"hits\":%d,\"misses\":%d,\"violations\":%d,\"hit_rate_pct\":%.3f,\
+       \"spec_ns\":%d,\"exec_ns\":%d},\
+       \"spec_speedup\":%.3f,\"roots_match\":%b}"
+      (Schedbench.meta_header ~experiment:"apstore" ())
+      n_txs h_on m_on v_on (pct h_on) spec_on exec_on s_on.Apstore.published
+      s_on.Apstore.coalesced s_on.Apstore.evictions h_off m_off v_off (pct h_off) spec_off
+      exec_off spec_speedup roots_match
+  in
+  let file = Schedbench.at_repo_root "BENCH_apstore.json" in
+  let oc = open_out file in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  check_artifact ~experiment:"apstore" file;
+  Printf.printf "apstore benchmark written to %s\n%!" file;
+  if not roots_match then begin
+    Printf.printf "apstore: final state roots DIVERGED between modes\n%!";
+    exit 1
+  end;
+  if pct h_on < 90.0 then begin
+    Printf.printf "apstore: template hit rate below the 90%% storm target\n%!";
     exit 1
   end
 
@@ -575,7 +728,7 @@ let experiments =
   [ ("fig2", fig2); ("table1", table1); ("fig11", fig11); ("table2", table2);
     ("table3", table3); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("sec55", sec55); ("sec56", sec56); ("ablation", ablation);
-    ("sched", sched); ("micro", micro); ("interp", interp) ]
+    ("sched", sched); ("micro", micro); ("interp", interp); ("apstore", apstore) ]
 
 (* [--metrics] / [--metrics-json FILE] enable the Obs registry around the
    experiments; [--fork NAME] sets the process-default hardfork spec every

@@ -50,6 +50,23 @@ let jobs_arg ~default =
            deterministic sequential pipeline); N>1 drains the pending set on N OCaml \
            domains in parallel.")
 
+let apstore_arg =
+  let onoff =
+    let parse = function
+      | "on" -> Ok true
+      | "off" -> Ok false
+      | s -> Error (`Msg (Printf.sprintf "expected on or off, got %S" s))
+    in
+    Arg.conv (parse, fun ppf b -> Fmt.string ppf (if b then "on" else "off"))
+  in
+  Arg.(
+    value & opt onoff false
+    & info [ "apstore" ] ~docv:"on|off"
+        ~doc:
+          "Enable the shared template-AP store (lib/apstore): speculation also \
+           publishes input-lifted template APs, and execution serves them to \
+           structurally equivalent transactions that missed per-tx speculation.")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -169,7 +186,7 @@ let compare_cmd =
       $ metrics_json_arg)
 
 let bench_cmd =
-  let run seed duration rate jobs metrics metrics_json =
+  let run seed duration rate jobs use_apstore metrics metrics_json =
     (* exit only after with_metrics has dumped, so a divergence still
        leaves the metrics JSON behind for diagnosis *)
     let ok =
@@ -194,7 +211,8 @@ let bench_cmd =
         Analysis.Verify.install_builder_hook ~raise_on_violation:false ();
       Printf.printf "-> %d blocks, %d txs; replaying with jobs=1, jobs=%d...\n%!"
         record.n_blocks record.n_txs jobs;
-      let c = Core.Schedbench.compare_jobs ~jobs record in
+      let config = { Core.Node.default_config with use_apstore } in
+      let c = Core.Schedbench.compare_jobs ~config ~jobs record in
       Core.Schedbench.print c;
       if metrics_json <> None then begin
         let file = Core.Schedbench.at_repo_root "BENCH_sched.json" in
@@ -216,8 +234,8 @@ let bench_cmd =
           jobs=N and compare speculation throughput; per-tx outcomes and block results \
           must be identical.  With --metrics-json, also writes BENCH_sched.json.")
     Term.(
-      const run $ seed_arg $ duration_arg $ rate_arg $ jobs_arg ~default:4 $ metrics_arg
-      $ metrics_json_arg)
+      const run $ seed_arg $ duration_arg $ rate_arg $ jobs_arg ~default:4 $ apstore_arg
+      $ metrics_arg $ metrics_json_arg)
 
 let contracts_cmd =
   let run () =

@@ -48,8 +48,8 @@ let warm_step_of a ko w =
   S_guard (I.Const (State.Address.to_u256 a), desc)
 
 let mutable_read_src = function
-  | I.R_storage _ | I.R_balance _ | I.R_nonce _ | I.R_blockhash _ | I.R_extcodesize _
-  | I.R_extcodehash _ -> true
+  | I.R_storage _ | I.R_storage_dyn _ | I.R_balance _ | I.R_nonce _ | I.R_nonce_of _
+  | I.R_blockhash _ | I.R_extcodesize _ | I.R_extcodehash _ -> true
   | I.R_timestamp | I.R_number | I.R_coinbase | I.R_difficulty | I.R_gaslimit -> false
 
 let of_path (p : I.path) : line =

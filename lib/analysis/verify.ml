@@ -79,18 +79,23 @@ let check_instr_pieces acc site = function
 let check_write_pieces acc site = function
   | I.W_code (_, ps) -> List.iter (check_piece acc site "deployed code") ps
   | I.W_log (_, _, ps) -> List.iter (check_piece acc site "log data") ps
-  | I.W_storage _ | I.W_balance_set _ | I.W_balance_add _ | I.W_balance_sub _
-  | I.W_nonce_set _ -> ()
+  | I.W_storage _ | I.W_storage_dyn _ | I.W_balance_set _ | I.W_balance_add _
+  | I.W_balance_sub _ | I.W_nonce_set _ | I.W_nonce_dyn _ -> ()
 
 (* ---- the linear checkers (shared by paths and AP enumerations) ---- *)
 
-let check_line acc ~reg_count (l : D.line) =
+let check_line acc ~reg_count ~n_inputs (l : D.line) =
   let n = Array.length l.steps in
   let nregs = max reg_count 1 in
   let in_bounds r = r >= 0 && r < reg_count in
   let first_fast = max 0 (min l.first_fast n) in
-  (* forward pass: bounds and def-before-use, including writes/output *)
+  (* forward pass: bounds and def-before-use, including writes/output.
+     Template input registers (0..n_inputs-1) are defined before the first
+     instruction: the executor seeds them from the transaction served. *)
   let defined = Array.make nregs false in
+  for r = 0 to min n_inputs nregs - 1 do
+    defined.(r) <- true
+  done;
   let check_use site what r =
     if not (in_bounds r) then
       report acc R.Reg_bounds site "register v%d out of bounds (reg_count = %d) in %s" r
@@ -393,10 +398,13 @@ let verify_path (p : I.path) : R.violation list =
   if Array.length p.reg_values <> p.reg_count then
     report acc R.Well_formedness "path" "reg_values has %d entries for reg_count %d"
       (Array.length p.reg_values) p.reg_count;
+  if Array.length p.inputs > p.reg_count then
+    report acc R.Reg_bounds "path" "%d input registers exceed reg_count %d"
+      (Array.length p.inputs) p.reg_count;
   Array.iteri (fun i ins -> check_instr_pieces acc (Printf.sprintf "i#%d" i) ins) p.instrs;
   List.iter (check_write_pieces acc "writes") p.writes;
   List.iter (check_piece acc "output" "the output") p.output;
-  check_line acc ~reg_count:p.reg_count (D.of_path p);
+  check_line acc ~reg_count:p.reg_count ~n_inputs:(Array.length p.inputs) (D.of_path p);
   finalize acc
 
 let verify ?max_paths (ap : P.t) : R.violation list =
@@ -404,6 +412,9 @@ let verify ?max_paths (ap : P.t) : R.violation list =
   let acc = { vs = [] } in
   if ap.reg_count < 0 then
     report acc R.Well_formedness "program" "negative reg_count %d" ap.reg_count;
+  if Array.length ap.inputs > ap.reg_count then
+    report acc R.Reg_bounds "program" "%d input registers exceed reg_count %d"
+      (Array.length ap.inputs) ap.reg_count;
   List.iteri
     (fun ri root -> check_node acc ~reg_count:ap.reg_count (Printf.sprintf "root#%d" ri) 0 root)
     ap.roots;
@@ -411,7 +422,7 @@ let verify ?max_paths (ap : P.t) : R.violation list =
   List.iter
     (fun l ->
       Obs.incr obs_paths;
-      check_line acc ~reg_count:ap.reg_count l)
+      check_line acc ~reg_count:ap.reg_count ~n_inputs:(Array.length ap.inputs) l)
     lines;
   finalize acc
 

@@ -52,7 +52,10 @@ let eval_read st (benv : Evm.Env.block_env) regs = function
     | Some _ | None -> U256.zero)
   | I.R_balance op -> Statedb.get_balance st (Address.of_u256 (value_of regs op))
   | I.R_nonce addr -> U256.of_int (Statedb.get_nonce st addr)
+  | I.R_nonce_of op ->
+    U256.of_int (Statedb.get_nonce st (Address.of_u256 (value_of regs op)))
   | I.R_storage (addr, key) -> Statedb.get_storage st addr key
+  | I.R_storage_dyn (addr, key) -> Statedb.get_storage st addr (value_of regs key)
   | I.R_extcodesize op ->
     U256.of_int (String.length (Statedb.get_code st (Address.of_u256 (value_of regs op))))
   | I.R_extcodehash op ->
@@ -104,6 +107,10 @@ let apply_writes st regs writes =
     (fun w ->
       match w with
       | I.W_nonce_set (addr, n) -> Statedb.set_nonce st addr n
+      | I.W_nonce_dyn (a, n) ->
+        Statedb.set_nonce st
+          (Address.of_u256 (value_of regs a))
+          (match U256.to_int_opt (value_of regs n) with Some v -> v | None -> 0)
       | I.W_code (addr, pieces) -> Statedb.set_code st addr (I.bytes_of_pieces regs pieces)
       | I.W_balance_set (addr_op, v) ->
         Statedb.set_balance st (Address.of_u256 (value_of regs addr_op)) (value_of regs v)
@@ -114,6 +121,8 @@ let apply_writes st regs writes =
         let a = Address.of_u256 (value_of regs addr_op) in
         Statedb.set_balance st a (U256.sub (Statedb.get_balance st a) (value_of regs v))
       | I.W_storage (addr, key, v) -> Statedb.set_storage st addr key (value_of regs v)
+      | I.W_storage_dyn (addr, key, v) ->
+        Statedb.set_storage st addr (value_of regs key) (value_of regs v)
       | I.W_log (addr, topics, data) ->
         logs :=
           {
@@ -124,6 +133,16 @@ let apply_writes st regs writes =
           :: !logs)
     writes;
   List.rev !logs
+
+(* The bind-inputs entry point (lib/apstore): a fresh register file for
+   running [ap] on behalf of [tx], with the template's input registers
+   pre-seeded from the transaction's own fields.  For ordinary
+   per-transaction programs ([ap.inputs] empty) this is just the zeroed
+   register file the executor always started from. *)
+let bind_inputs (ap : Program.t) (tx : Evm.Env.tx) =
+  let regs = Array.make (max ap.reg_count 1) U256.zero in
+  Array.iteri (fun i src -> regs.(i) <- I.input_value tx src) ap.inputs;
+  regs
 
 exception Violated
 
@@ -183,7 +202,7 @@ let execute ?(use_memos = true) ?spec ?(prewarm = []) (ap : Program.t) st benv
   end
   else begin
     let warm = Evm.Processor.entry_warm tx prewarm in
-    let regs = Array.make (max ap.reg_count 1) U256.zero in
+    let regs = bind_inputs ap tx in
     let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
     let rec try_roots = function
       | [] ->

@@ -49,6 +49,9 @@ type t = {
   mutable n_futures : int; (* pre-executions incorporated *)
   mutable shortcut_count : int;
   mutable fork : int; (* spec id all merged paths were built under; -1 = empty *)
+  mutable inputs : I.input_src array;
+      (* template input registers shared by every merged path; [||] for
+         ordinary per-transaction programs *)
 }
 
 let max_memo_alternatives = 4
@@ -287,7 +290,15 @@ let rec count_paths = function
   | Leaf _ -> 1
 
 let create () =
-  { roots = []; reg_count = 0; n_paths = 0; n_futures = 0; shortcut_count = 0; fork = -1 }
+  {
+    roots = [];
+    reg_count = 0;
+    n_paths = 0;
+    n_futures = 0;
+    shortcut_count = 0;
+    fork = -1;
+    inputs = [||];
+  }
 
 let refresh_counts ap =
   ap.n_paths <- List.fold_left (fun acc n -> acc + count_paths n) 0 ap.roots;
@@ -304,8 +315,11 @@ let add_path_hook : (t -> unit) ref = ref (fun _ -> ())
    under any other spec is dropped — the executor rejects cross-fork runs
    outright, so merging them could only produce dead branches. *)
 let add_path ap (p : I.path) =
-  if ap.roots = [] then ap.fork <- p.fork;
-  if p.fork <> ap.fork then ()
+  if ap.roots = [] then begin
+    ap.fork <- p.fork;
+    ap.inputs <- p.inputs
+  end;
+  if p.fork <> ap.fork || p.inputs <> ap.inputs then ()
   else begin
   ap.n_futures <- ap.n_futures + 1;
   ap.reg_count <- max ap.reg_count p.reg_count;
@@ -333,7 +347,8 @@ let add_path ap (p : I.path) =
 let fingerprint ap =
   Khash.Keccak.digest
     (Marshal.to_string
-       (ap.roots, ap.reg_count, ap.n_paths, ap.n_futures, ap.shortcut_count, ap.fork)
+       (ap.roots, ap.reg_count, ap.n_paths, ap.n_futures, ap.shortcut_count, ap.fork,
+        ap.inputs)
        [ Marshal.No_sharing ])
 
 let instr_count ap =

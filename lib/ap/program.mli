@@ -52,6 +52,12 @@ type t = {
   mutable fork : int;
       (** spec id every merged path was built under; -1 while empty.  The
           executor refuses to run the program under any other fork. *)
+  mutable inputs : I.input_src array;
+      (** template input registers (lib/apstore): register [i] is
+          pre-seeded from the transaction being served via
+          [Sevm.Ir.input_value].  Fixed by the first path like [fork];
+          paths with different inputs are dropped.  [[||]] for ordinary
+          per-transaction programs. *)
 }
 
 val create : unit -> t

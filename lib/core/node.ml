@@ -68,6 +68,7 @@ type result = {
   fork_blocks : int; (* side blocks processed *)
   synth : Speculator.synth_acc; (* summed per-path synthesis stats *)
   sched : Sched.stats; (* speculation scheduler accounting *)
+  apstore : Apstore.stats option; (* template store accounting, when enabled *)
 }
 
 type config = {
@@ -79,6 +80,10 @@ type config = {
   prefetch : bool; (* ablation: disable StateDB warming *)
   seed : int;
   jobs : int; (* speculation worker domains; 1 = inline, fully sequential *)
+  use_apstore : bool;
+      (* the shared template store (lib/apstore): speculation publishes
+         input-lifted template APs keyed by call shape; execution serves
+         them to structurally-equivalent txs that have no usable per-tx AP *)
   drop_stale_spec : bool;
       (* async invalidation: on a head-extending block, cancel queued
          speculations for the now-included txs and prune every other hash
@@ -96,6 +101,7 @@ let default_config =
     prefetch = true;
     seed = 7;
     jobs = 1;
+    use_apstore = false;
     drop_stale_spec = false;
   }
 
@@ -155,6 +161,23 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
      where and when. *)
   let sched : pending_entry Sched.t = Sched.create ~jobs:(max 1 config.jobs) () in
 
+  (* The shared template store (lib/apstore).  All three touch points run
+     on this thread at deterministic pipeline positions — reservations
+     during prediction, publications while draining results in submission
+     order, serves after the pre-block barrier — so store contents at
+     every serve are independent of worker timing and jobs=1 ≡ jobs=N
+     parity survives.  Workers only ever *build* templates (into their
+     entry's own spec record), never touch the store. *)
+  let store =
+    if config.use_apstore && is_speculative policy then Some (Apstore.create ())
+    else None
+  in
+  let retire_template (e : pending_entry) =
+    match (store, e.spec.template_key) with
+    | Some s, Some k when not e.spec.template_published -> Apstore.abandon s k
+    | _ -> ()
+  in
+
   (* Fingerprint of one speculation's inputs: the head root plus every
      predicted future (the deterministic env fields and the ordered tx
      hashes; [block_hash] is the same closure everywhere).  Equal keys mean
@@ -177,6 +200,15 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
   in
 
   let speculate_tx now entry n_contexts =
+    (* Single-flight template reservation, in prediction order: the first
+       pending tx of each call shape owns the template build; later
+       same-shape txs coalesce and just consume the published template. *)
+    (match store with
+    | Some s when entry.spec.template_key = None -> (
+      match Apstore.key_of_tx !next_st !Spec.current entry.p.tx with
+      | Some k when Apstore.reserve s k -> entry.spec.template_key <- Some k
+      | Some _ | None -> ())
+    | Some _ | None -> ());
     let ctxs =
       Predictor.contexts predictor ~pool:(pool ()) ~max_contexts:n_contexts
         ~tx_hash:entry.p.hash entry.p.tx
@@ -196,7 +228,16 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
       (fun (r : pending_entry Sched.result) ->
         match r.r_value with
         | Error e -> raise e
-        | Ok entry -> if config.prefetch then Statedb.warm !next_st entry.spec.touches)
+        | Ok entry ->
+          if config.prefetch then Statedb.warm !next_st entry.spec.touches;
+          (match (store, entry.spec.template_key) with
+          | Some s, Some k when not entry.spec.template_published -> (
+            match entry.spec.template_ready with
+            | Some tp ->
+              Apstore.publish s k tp;
+              entry.spec.template_published <- true
+            | None -> ())
+          | _ -> ()))
       (Sched.drain sched)
   in
 
@@ -261,13 +302,14 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
         | Some e when e.spec.ready_at <= t_block && e.spec.ap.roots <> [] -> Some e
         | Some _ | None -> None
       in
-      match ap_usable with
-      | None -> full_exec (if heard then O_missed else O_unheard)
-      | Some e -> (
+      (* Shared AP-execution arm: per-tx APs classify a guard violation as
+         O_missed (the tx was heard and speculated); template serves pass
+         the heard-sensitive outcome through [miss_outcome]. *)
+      let run_ap ~paths ~miss_outcome ap =
         (* outcome classification (Table 3) must look at the pre-write
            context; it runs before the timed execution and outside it *)
         let was_perfect =
-          List.exists (fun p -> Perfect.context_matches p st benv) e.spec.paths
+          List.exists (fun p -> Perfect.context_matches p st benv) paths
         in
         let reference =
           if config.validate_hits then begin
@@ -280,7 +322,7 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
           else None
         in
         let res, ns = Clock.time (fun () ->
-            match Ap.Exec.execute ~use_memos:config.use_memos e.spec.ap st benv tx with
+            match Ap.Exec.execute ~use_memos:config.use_memos ap st benv tx with
             | Ap.Exec.Hit (receipt, stats) -> `Hit (receipt, stats)
             | Ap.Exec.Violation -> `Miss (Evm.Processor.execute_tx st benv tx))
         in
@@ -301,7 +343,25 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
                    (Khash.Keccak.to_hex hash))
           | None -> ());
           record_of receipt (if was_perfect then O_perfect else O_imperfect) ns (Some stats)
-        | `Miss receipt -> record_of receipt O_missed ns None))
+        | `Miss receipt -> record_of receipt miss_outcome ns None
+      in
+      match ap_usable with
+      | Some e -> run_ap ~paths:e.spec.paths ~miss_outcome:O_missed e.spec.ap
+      | None -> (
+        let missed = if heard then O_missed else O_unheard in
+        (* no usable per-tx AP: a template built from some structurally
+           equivalent transaction may still serve this one *)
+        let template =
+          match store with
+          | Some s -> (
+            match Apstore.key_of_tx st !Spec.current tx with
+            | Some k -> Apstore.find s k
+            | None -> None)
+          | None -> None
+        in
+        match template with
+        | Some tp -> run_ap ~paths:[] ~miss_outcome:missed tp
+        | None -> full_exec missed))
   in
 
   Fun.protect
@@ -440,6 +500,7 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
                   spec_ctxs := !spec_ctxs + e.spec.contexts;
                   spec_errs := !spec_errs + e.spec.build_errors;
                   Speculator.acc_merge synth_global e.spec.synth;
+                  retire_template e;
                   Hashtbl.remove pending h
                 | None -> ())
               b.txs;
@@ -447,10 +508,15 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
             let stale = ref [] in
             Hashtbl.iter
               (fun h (e : pending_entry) ->
-                if e.p.tx.nonce < Statedb.get_nonce !next_st e.p.tx.sender then
-                  stale := h :: !stale)
+                if e.p.tx.nonce < Statedb.get_nonce !next_st e.p.tx.sender then begin
+                  retire_template e;
+                  stale := h :: !stale
+                end)
               pending;
             List.iter (Hashtbl.remove pending) !stale;
+            (* bound the scheduler's dedupe memo: retired hashes never
+               resubmit, so their entries would otherwise pile up forever *)
+            Sched.forget sched (List.map Evm.Env.tx_hash b.txs @ !stale);
             (* re-speculate the hottest pending txs against the new head *)
             if is_speculative policy then begin
               let entries = Hashtbl.fold (fun _ e acc -> e :: acc) pending [] in
@@ -487,4 +553,5 @@ let replay ?(config = default_config) ~policy (record : Netsim.Record.t) : resul
     fork_blocks = !fork_blocks;
     synth = synth_global;
     sched = Sched.stats sched;
+    apstore = Option.map Apstore.stats store;
   }

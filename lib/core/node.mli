@@ -60,6 +60,8 @@ type result = {
   fork_blocks : int;  (** temporary-fork blocks processed *)
   synth : Speculator.synth_acc;  (** summed per-path synthesis statistics *)
   sched : Sched.stats;  (** speculation scheduler accounting *)
+  apstore : Apstore.stats option;
+      (** template store accounting; [Some _] iff the store was enabled *)
 }
 
 type config = {
@@ -73,6 +75,12 @@ type config = {
   jobs : int;
       (** speculation worker domains; 1 (the default) runs every
           speculation inline at submission — the sequential pipeline *)
+  use_apstore : bool;
+      (** enable the shared template store (lib/apstore, DESIGN.md §13):
+          speculation also builds input-lifted template APs, published
+          once per call shape; execution serves them to structurally
+          equivalent transactions that have no usable per-tx AP (off by
+          default so the classic pipeline's outcomes are unchanged) *)
   drop_stale_spec : bool;
       (** async invalidation: on a head-extending block, cancel queued
           speculation for the included txs and requeue the rest against the

@@ -267,6 +267,54 @@ let print c =
       c.parallel
   end
 
+(* ---- shared BENCH_*.json artifact header (schema + run metadata) ----
+
+   Every benchmark artifact the repo emits (BENCH_sched.json,
+   BENCH_interp.json, BENCH_apstore.json) opens with the same fields so
+   downstream tooling can dispatch on one stable prefix:
+
+     {"schema_version":N,"experiment":"...","fork":"...",...}
+
+   Bump [schema_version] whenever a field of any artifact changes meaning
+   or disappears; adding fields is backward compatible. *)
+
+let schema_version = 1
+
+let meta_header ?(extra = []) ~experiment () =
+  let kvs =
+    [ ("schema_version", string_of_int schema_version);
+      ("experiment", Printf.sprintf "%S" experiment);
+      ("fork", Printf.sprintf "%S" !Spec.current.Spec.name) ]
+    @ extra
+  in
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) kvs)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Structural check, not a JSON parser: the artifact must be an object
+   opening with the exact shared header prefix for [experiment], with a
+   fork field right behind it.  Run by the bench binary on every artifact
+   it writes, so a header regression fails the benchmark run itself. *)
+let validate_header ~experiment file =
+  match (try Ok (read_file file) with Sys_error e -> Error e) with
+  | Error e -> Error e
+  | Ok s ->
+    let prefix =
+      Printf.sprintf "{\"schema_version\":%d,\"experiment\":%S,\"fork\":\""
+        schema_version experiment
+    in
+    if String.length s >= String.length prefix
+       && String.equal (String.sub s 0 (String.length prefix)) prefix
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: missing or stale schema header (want prefix %s)" file
+           prefix)
+
 let json_of_run (s : run_stats) =
   Printf.sprintf
     "{\"jobs\":%d,\"drop_stale\":%b,\"replay_wall_ns\":%d,\"speculated\":%d,\
@@ -288,8 +336,9 @@ let json_of_workload (pw : par_workload) =
 
 let to_json c =
   Printf.sprintf
-    "{\"seq\":%s,\"par\":%s,\"drop_stale\":%s,\"throughput_ratio\":%.3f,\
+    "{%s,\"seq\":%s,\"par\":%s,\"drop_stale\":%s,\"throughput_ratio\":%.3f,\
      \"outcomes_match\":%b,\"blocks_match\":%b,\"parallel_blocks\":[%s]}"
+    (meta_header ~experiment:"sched" ())
     (json_of_run c.seq) (json_of_run c.par) (json_of_run c.stale) c.throughput_ratio
     c.outcomes_match c.blocks_match
     (String.concat "," (List.map json_of_workload c.parallel))

@@ -80,6 +80,21 @@ val print : comparison -> unit
 (** Human-readable comparison table on stdout. *)
 
 val to_json : comparison -> string
+(** The full comparison as one JSON object, opening with the shared
+    artifact header ({!meta_header}, experiment ["sched"]). *)
+
+val schema_version : int
+(** Version stamp every BENCH_*.json artifact opens with; bump on any
+    incompatible field change in any artifact. *)
+
+val meta_header : ?extra:(string * string) list -> experiment:string -> unit -> string
+(** The shared run-metadata fields (no surrounding braces):
+    [schema_version], [experiment], the active fork name, then any
+    [extra] key/value pairs (values must already be JSON-encoded). *)
+
+val validate_header : experiment:string -> string -> (unit, string) result
+(** Check that the file at the given path opens with the exact
+    {!meta_header} prefix for [experiment]. *)
 
 val at_repo_root : string -> string
 (** Resolve a filename against the repo root (nearest ancestor of the cwd

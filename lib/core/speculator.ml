@@ -63,6 +63,16 @@ type spec = {
   mutable base_exec_ns : int; (* time of the plain pre-executions (for §5.6) *)
   mutable spec_gas : int; (* gas burned by pre-executions (readiness cost model) *)
   synth : synth_acc;
+  (* Template-store fields (lib/apstore).  [template_key] is written by the
+     node on its own thread before the speculation job is submitted (the
+     store's single-flight reservation); a worker that holds it builds a
+     second, template-mode path per context into a fresh program and
+     publishes the pointer through [template_ready] as its last act on
+     that program — after the write the program is immutable, so the node
+     thread can hand whatever version it observes to the store. *)
+  mutable template_key : string option;
+  mutable template_ready : Ap.Program.t option;
+  mutable template_published : bool; (* node thread only *)
 }
 
 let create_spec () =
@@ -77,6 +87,9 @@ let create_spec () =
     base_exec_ns = 0;
     spec_gas = 0;
     synth = empty_acc ();
+    template_key = None;
+    template_ready = None;
+    template_published = false;
   }
 
 let max_paths_kept = 16
@@ -85,11 +98,15 @@ let obs_contexts = Obs.counter "speculator.contexts_built"
 let obs_build_errors = Obs.counter "speculator.build_errors"
 let obs_paths = Obs.counter "speculator.paths_synthesized"
 let obs_build_ns = Obs.histogram "speculator.context_build_ns"
+let obs_tmpl_paths = Obs.counter "speculator.template_paths"
+let obs_tmpl_errors = Obs.counter "speculator.template_errors"
 
 (* Pre-execute [tx] in one future context and fold the result into [spec].
    [bk]/[root] give the chain head state; [pre_txs] are the predicted
-   preceding transactions. *)
-let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env.tx) =
+   preceding transactions.  When [tmpl] is given, the same trace is also
+   lifted into a template path (input registers instead of baked tx
+   constants) and merged into it. *)
+let speculate_one ~tmpl spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env.tx) =
   let (), elapsed =
     Clock.time (fun () ->
         let st = Statedb.create bk ~root in
@@ -113,7 +130,8 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
         spec.touches <- Statedb.touches st @ spec.touches;
         spec.contexts <- spec.contexts + 1;
         Obs.incr obs_contexts;
-        match Sevm.Builder.build tx env (get ()) receipt st with
+        let events = get () in
+        (match Sevm.Builder.build tx env events receipt st with
         | Ok path ->
           acc_add spec.synth path.stats;
           Ap.Program.add_path spec.ap path;
@@ -121,7 +139,16 @@ let speculate_one spec bk ~root (env : Evm.Env.block_env) ~pre_txs (tx : Evm.Env
           if List.length spec.paths < max_paths_kept then spec.paths <- spec.paths @ [ path ]
         | Error _ ->
           spec.build_errors <- spec.build_errors + 1;
-          Obs.incr obs_build_errors)
+          Obs.incr obs_build_errors);
+        match tmpl with
+        | None -> ()
+        | Some tp -> (
+          (* second pass over the same trace, tx fields lifted to inputs *)
+          match Sevm.Builder.build ~template:true tx env events receipt st with
+          | Ok path ->
+            Ap.Program.add_path tp path;
+            Obs.incr obs_tmpl_paths
+          | Error _ -> Obs.incr obs_tmpl_errors))
   in
   Obs.observe_int obs_build_ns elapsed;
   spec.spec_time_ns <- spec.spec_time_ns + elapsed
@@ -139,7 +166,21 @@ let ns_per_gas = 50.0
 
 let speculate spec bk ~root ~now contexts tx =
   let g0 = spec.spec_gas in
-  List.iter (fun (env, pre_txs) -> speculate_one spec bk ~root env ~pre_txs tx) contexts;
+  (* Build the template once per entry (the first job that gets this far):
+     one template per key is all the store keeps, and the first version is
+     as good as any — every same-key transaction it serves re-binds the
+     lifted inputs anyway.  The fresh program is published through
+     [template_ready] only after its last [add_path], so readers never see
+     a program that is still being mutated. *)
+  let tmpl =
+    if spec.template_key <> None && spec.template_ready = None then
+      Some (Ap.Program.create ())
+    else None
+  in
+  List.iter (fun (env, pre_txs) -> speculate_one ~tmpl spec bk ~root env ~pre_txs tx) contexts;
+  (match tmpl with
+  | Some tp when tp.roots <> [] -> spec.template_ready <- Some tp
+  | Some _ | None -> ());
   let elapsed_s = float_of_int (spec.spec_gas - g0) *. ns_per_gas /. 1e9 in
   let candidate = now +. elapsed_s in
   if candidate < spec.ready_at then spec.ready_at <- candidate

@@ -22,6 +22,15 @@ type spec = {
   mutable base_exec_ns : int;  (** plain-execution share (for §5.6) *)
   mutable spec_gas : int;  (** gas burned pre-executing (readiness model) *)
   synth : synth_acc;
+  mutable template_key : string option;
+      (** lib/apstore single-flight reservation held by this entry; set by
+          the node (producer thread) before submission.  [Some _] asks the
+          speculation job to also build a template-mode AP. *)
+  mutable template_ready : Ap.Program.t option;
+      (** the finished template, written once by the worker as its last
+          action on the program — immutable afterwards, so the node thread
+          may publish whichever version it observes *)
+  mutable template_published : bool;  (** node thread only *)
 }
 
 val create_spec : unit -> spec

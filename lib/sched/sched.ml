@@ -304,6 +304,27 @@ let cancel t hashes =
     Mutex.unlock t.mu
   end
 
+(* Memo-only bookkeeping: no queue or cell state is touched, so (unlike
+   [cancel]) this is safe to call for hashes with live work — although the
+   node only calls it for retired ones.  Taking the mutex in parallel mode
+   mirrors [memo_check]'s locking discipline. *)
+let forget t hashes =
+  if t.n_jobs <= 1 then List.iter (Hashtbl.remove t.memo) hashes
+  else begin
+    Mutex.lock t.mu;
+    List.iter (Hashtbl.remove t.memo) hashes;
+    Mutex.unlock t.mu
+  end
+
+let memo_size t =
+  if t.n_jobs <= 1 then Hashtbl.length t.memo
+  else begin
+    Mutex.lock t.mu;
+    let n = Hashtbl.length t.memo in
+    Mutex.unlock t.mu;
+    n
+  end
+
 (* Keep-latest-per-hash pruning.  The old policy dropped every queued job
    whose root differed from the new head, discarding still-valid
    speculations wholesale — APs accumulated against the previous head are

@@ -95,6 +95,21 @@ val cancel : 'r t -> string list -> unit
     in-flight ones (used when a new block includes the txs: their
     speculations are moot).  Already-published results are not recalled. *)
 
+val forget : 'r t -> string list -> unit
+(** Drop the dedupe-memo entries for these hashes without touching any
+    queued or running work.  The memo otherwise grows monotonically — one
+    entry per tx hash ever submitted with a [dedupe_key] — so the node
+    calls this at block commit for the hashes it retires (included or
+    stale), bounding the memo to the live pending set.  Safe in both
+    modes and identical across job counts (pure memo bookkeeping), so it
+    preserves jobs=1 ≡ jobs=N parity.  Forgetting a hash that later
+    resubmits merely costs one redundant speculation; it never changes
+    results. *)
+
+val memo_size : 'r t -> int
+(** Number of entries currently in the dedupe memo (for the bound's
+    regression test and leak diagnosis). *)
+
 val invalidate : 'r t -> root:string -> int
 (** Keep-latest-per-hash pruning at a head change to [root]: for every tx
     hash with several queued jobs, keep only the newest (its contexts

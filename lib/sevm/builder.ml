@@ -78,6 +78,32 @@ type cse_key =
   | K_pack of I.piece list
   | K_read of I.read_src
 
+(* Template-lifting state (lib/apstore, DESIGN.md §13).  In template mode
+   the caller-varying transaction fields — sender, value, nonce, gas price
+   and the ABI calldata words past the selector — live in input registers
+   seeded at execution time instead of being baked in as constants, so one
+   specialization serves every structurally-equivalent transaction.  The
+   tables below track what that lifting must additionally pin:
+
+   - [t_skeys]: per-contract storage-key operands already seen, for the
+     pairwise aliasing guards that keep the builder's traced-key slot map a
+     faithful model under any serve-time binding;
+   - [t_skey_first]: the operand that first named each traced slot, so the
+     deferred write set can address it dynamically ([W_storage_dyn]);
+   - [t_addr_reads]/[t_addr_ops]: same two roles for balance addresses. *)
+type tmpl = {
+  t_sender : I.reg;
+  t_value : I.reg;
+  t_nonce : I.reg;
+  t_gasprice : I.reg;
+  t_words : I.reg array; (* calldata word k = bytes [4+32k, 4+32k+32) *)
+  t_inputs : I.input_src array;
+  t_skeys : (string, (I.operand * U256.t) list ref) Hashtbl.t;
+  t_skey_first : (string * string, I.operand) Hashtbl.t;
+  mutable t_addr_reads : (I.operand * U256.t) list;
+  t_addr_ops : (string, I.operand) Hashtbl.t;
+}
+
 type t = {
   tx : Evm.Env.tx;
   pre : Statedb.t; (* state as of just before the traced execution *)
@@ -92,6 +118,7 @@ type t = {
   mutable reg_vals : U256.t array;
   cse : (cse_key, I.operand) Hashtbl.t;
   guards_seen : (I.operand * U256.t, unit) Hashtbl.t;
+  mutable tmpl : tmpl option; (* Some = template-lifting mode *)
   mutable frames : frame list; (* head = innermost *)
   (* stats *)
   mutable st_stack : int;
@@ -119,6 +146,7 @@ let create spec prewarm tx pre =
     reg_vals = Array.make 64 U256.zero;
     cse = Hashtbl.create 64;
     guards_seen = Hashtbl.create 16;
+    tmpl = None;
     frames = [];
     st_stack = 0;
     st_mem = 0;
@@ -147,6 +175,59 @@ let fresh b v =
 let emit b ins =
   b.instrs <- ins :: b.instrs;
   b.n_emitted <- b.n_emitted + 1
+
+(* Allocate the template's input registers — they occupy v0..v(k-1), are
+   defined by no instruction, and are seeded by [Ap.Exec.bind_inputs] from
+   the transaction being served.  Build-time register values hold the
+   speculated transaction's own fields, so symbolic/traced divergence
+   checks work unchanged.
+
+   Shapes a template cannot serve soundly are rejected up front: creations
+   (the created address depends on the sender), precompile targets (their
+   output is folded from concrete calldata), invalid receipts (the
+   preamble guards assume a valid sender context) and non-empty prewarm
+   hints (warmth guards must pin the cold entry state every served
+   transaction shares). *)
+let init_template b (receipt : Evm.Processor.receipt) =
+  let tx = b.tx in
+  (match receipt.status with
+  | Evm.Processor.Invalid _ -> raise (Unsupported "template: invalid transaction")
+  | Evm.Processor.Success | Evm.Processor.Reverted -> ());
+  (match tx.to_ with
+  | None -> raise (Unsupported "template: contract creation")
+  | Some target ->
+    if Evm.Interp.precompile_of target <> None then
+      raise (Unsupported "template: precompile target"));
+  if b.prewarm <> [] then raise (Unsupported "template: prewarm hint");
+  let inputs = ref [] in
+  let mk src v =
+    inputs := src :: !inputs;
+    fresh b v
+  in
+  let t_sender = mk I.In_sender (Address.to_u256 tx.sender) in
+  let t_value = mk I.In_value tx.value in
+  let t_nonce = mk I.In_nonce (U256.of_int tx.nonce) in
+  let t_gasprice = mk I.In_gas_price tx.gas_price in
+  let len = String.length tx.data in
+  let n_words = if len > 4 then (len - 4 + 31) / 32 else 0 in
+  let t_words = Array.make n_words 0 in
+  for k = 0 to n_words - 1 do
+    t_words.(k) <- mk (I.In_calldata_word k) (I.input_value tx (I.In_calldata_word k))
+  done;
+  b.tmpl <-
+    Some
+      {
+        t_sender;
+        t_value;
+        t_nonce;
+        t_gasprice;
+        t_words;
+        t_inputs = Array.of_list (List.rev !inputs);
+        t_skeys = Hashtbl.create 8;
+        t_skey_first = Hashtbl.create 8;
+        t_addr_reads = [];
+        t_addr_ops = Hashtbl.create 4;
+      }
 
 (* Emit (or fold / reuse) a compute instruction; [traced] is the concrete
    result observed during the pre-execution. *)
@@ -255,22 +336,73 @@ let env_read b src traced =
 
 let skey addr key = (Address.to_bytes addr, U256.to_bytes_be key)
 
+(* Pin a storage-key operand.  Outside template mode a variable key is
+   guarded to its traced constant.  In template mode that would defeat
+   reuse (ERC-20 balance slots are keccaks over the sender register), so
+   instead the key's aliasing pattern against every other key operand of
+   the same contract is pinned: the builder's slot map is keyed by traced
+   values, and it models serve-time state faithfully exactly when equal
+   traced keys stay equal and distinct traced keys stay distinct. *)
+let pin_skey b addr key_op traced_key =
+  match b.tmpl with
+  | None -> guard b key_op traced_key
+  | Some t ->
+    (match key_op with
+    | I.Const v ->
+      if not (U256.equal v traced_key) then raise (Unsupported "constant guard mismatch")
+    | I.Reg _ -> ());
+    let ak = Address.to_bytes addr in
+    let seen =
+      match Hashtbl.find_opt t.t_skeys ak with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.t_skeys ak l;
+        l
+    in
+    if not (List.exists (fun (op', _) -> op' = key_op) !seen) then begin
+      List.iter
+        (fun (op', k') ->
+          match (key_op, op') with
+          | I.Const _, I.Const _ -> () (* constants never change aliasing *)
+          | _ ->
+            let equal = U256.equal traced_key k' in
+            let e = compute b I.C_eq [| key_op; op' |] (I.bool_word equal) in
+            guard b e (I.bool_word equal))
+        !seen;
+      seen := (key_op, traced_key) :: !seen
+    end
+
+(* Remember the operand that first named a traced slot so the deferred
+   write set can address it the same way ([W_storage_dyn] for registers). *)
+let skey_first_op b k key_op =
+  match b.tmpl with
+  | None -> ()
+  | Some t -> if not (Hashtbl.mem t.t_skey_first k) then Hashtbl.replace t.t_skey_first k key_op
+
 let sload b addr key_op traced_key traced_val =
-  guard b key_op traced_key;
+  pin_skey b addr key_op traced_key;
   let k = skey addr traced_key in
+  skey_first_op b k key_op;
   match SKey.find_opt k b.world.storage with
   | Some op ->
     b.st_state <- b.st_state + 1;
     op
   | None ->
     let r = fresh b traced_val in
-    emit b (I.Read (r, I.R_storage (addr, traced_key)));
+    let src =
+      match (b.tmpl, key_op) with
+      | Some _, I.Reg _ -> I.R_storage_dyn (addr, key_op)
+      | (None | Some _), _ -> I.R_storage (addr, traced_key)
+    in
+    emit b (I.Read (r, src));
     b.world <- { b.world with storage = SKey.add k (I.Reg r) b.world.storage };
     I.Reg r
 
 let sstore b addr key_op traced_key value_op =
-  guard b key_op traced_key;
+  pin_skey b addr key_op traced_key;
   let k = skey addr traced_key in
+  skey_first_op b k key_op;
   b.world <-
     {
       b.world with
@@ -288,17 +420,38 @@ let traced_balance b addr =
   | None -> Statedb.get_balance b.pre addr
 
 (* Current symbolic balance of [addr], reading it (pre-state value) if it
-   has not been read yet and folding in any pending deltas. *)
-let balance_read b addr =
+   has not been read yet and folding in any pending deltas.  [?addr_op]
+   lets template mode read through a register (the sender input); the
+   world's balance map is keyed by traced addresses, so in template mode
+   every newly-read address is aliasing-guarded against the ones already
+   read — delta-only addresses commute and need no guard. *)
+let balance_read ?addr_op b addr =
   let k = akey addr in
   match AKey.find_opt k b.world.balances with
   | Some op ->
     b.st_state <- b.st_state + 1;
     op
   | None ->
+    let a_op = match addr_op with Some o -> o | None -> I.Const (Address.to_u256 addr) in
+    (match b.tmpl with
+    | Some t ->
+      if not (List.exists (fun (op', _) -> op' = a_op) t.t_addr_reads) then begin
+        List.iter
+          (fun (op', a') ->
+            match (a_op, op') with
+            | I.Const _, I.Const _ -> ()
+            | _ ->
+              let equal = U256.equal (Address.to_u256 addr) a' in
+              let e = compute b I.C_eq [| a_op; op' |] (I.bool_word equal) in
+              guard b e (I.bool_word equal))
+          t.t_addr_reads;
+        t.t_addr_reads <- (a_op, Address.to_u256 addr) :: t.t_addr_reads
+      end;
+      if not (Hashtbl.mem t.t_addr_ops k) then Hashtbl.replace t.t_addr_ops k a_op
+    | None -> ());
     let pre_val = Statedb.get_balance b.pre addr in
     let r = fresh b pre_val in
-    emit b (I.Read (r, I.R_balance (I.Const (Address.to_u256 addr))));
+    emit b (I.Read (r, I.R_balance a_op));
     let pending = match AKey.find_opt k b.world.deltas with Some ds -> ds | None -> [] in
     let op, traced =
       List.fold_left
@@ -553,10 +706,16 @@ let do_step b (step : Evm.Trace.step) =
     spush b (I.Const (out 0))
   (* constants of the transaction itself *)
   | ADDRESS -> spush b (I.Const (Address.to_u256 f.ctx))
-  | ORIGIN -> spush b (I.Const (Address.to_u256 b.tx.sender))
+  | ORIGIN ->
+    spush b
+      (match b.tmpl with
+      | Some t -> I.Reg t.t_sender
+      | None -> I.Const (Address.to_u256 b.tx.sender))
   | CALLER -> spush b f.caller_word
   | CALLVALUE -> spush b f.callvalue
-  | CALLDATASIZE | CODESIZE | GASPRICE | CHAINID -> spush b (I.Const (out 0))
+  | GASPRICE ->
+    spush b (match b.tmpl with Some t -> I.Reg t.t_gasprice | None -> I.Const (out 0))
+  | CALLDATASIZE | CODESIZE | CHAINID -> spush b (I.Const (out 0))
   (* environment reads *)
   | TIMESTAMP -> spush b (env_read b I.R_timestamp (out 0))
   | NUMBER -> spush b (env_read b I.R_number (out 0))
@@ -864,16 +1023,43 @@ let emit_writes b (receipt : Evm.Processor.receipt) ~extra_writes benv_coinbase_
   | Success | Reverted ->
     let tx = b.tx in
     let gas_left = tx.gas_limit - receipt.gas_used in
+    (* gas quantities are pinned by the template key (gas limit, calldata
+       shape), so refund and fee stay products of a constant quantity and
+       the — possibly register-held — gas price *)
+    let gasprice_op =
+      match b.tmpl with Some t -> I.Reg t.t_gasprice | None -> I.Const tx.gas_price
+    in
+    let gas_cost n =
+      let traced = U256.mul (U256.of_int n) tx.gas_price in
+      match b.tmpl with
+      | None -> I.Const traced
+      | Some _ -> compute b I.C_mul [| I.Const (U256.of_int n); gasprice_op |] traced
+    in
     (* refund of unused gas *)
-    balance_delta b tx.sender ~is_add:true
-      (I.Const (U256.mul (U256.of_int gas_left) tx.gas_price));
-    let writes = ref [ I.W_nonce_set (tx.sender, tx.nonce + 1) ] in
+    balance_delta b tx.sender ~is_add:true (gas_cost gas_left);
+    let nonce_write =
+      match b.tmpl with
+      | None -> I.W_nonce_set (tx.sender, tx.nonce + 1)
+      | Some t ->
+        let n1 =
+          compute b I.C_add
+            [| I.Reg t.t_nonce; I.Const U256.one |]
+            (U256.of_int (tx.nonce + 1))
+        in
+        I.W_nonce_dyn (I.Reg t.t_sender, n1)
+    in
+    let writes = ref [ nonce_write ] in
     let add w = writes := w :: !writes in
-    (* absolute balance writes for addresses whose balance was read *)
+    (* absolute balance writes for addresses whose balance was read,
+       addressed the way they were first read (register in template mode) *)
+    let balance_addr_op k =
+      match b.tmpl with
+      | Some t when Hashtbl.mem t.t_addr_ops k -> Hashtbl.find t.t_addr_ops k
+      | Some _ | None -> I.Const (Address.to_u256 (Address.of_bytes k))
+    in
     AKey.iter
       (fun k op ->
-        if AKey.mem k b.world.balance_dirty then
-          add (I.W_balance_set (I.Const (Address.to_u256 (Address.of_bytes k)), op)))
+        if AKey.mem k b.world.balance_dirty then add (I.W_balance_set (balance_addr_op k, op)))
       b.world.balances;
     (* pure deltas for addresses never read: fold constants into one add
        (wrap-around makes subtraction an addition of the complement) *)
@@ -895,18 +1081,27 @@ let emit_writes b (receipt : Evm.Processor.receipt) ~extra_writes benv_coinbase_
                  else I.W_balance_sub (addr_op, amount)))
           regs)
       b.world.deltas;
-    (* storage, one write per dirty slot *)
+    (* storage, one write per dirty slot — dynamically addressed when the
+       slot was first named by a register key *)
     let seen = Hashtbl.create 16 in
     List.iter
       (fun k ->
         if not (Hashtbl.mem seen k) then begin
           Hashtbl.replace seen k ();
           let addr_bytes, key_bytes = k in
-          add
-            (I.W_storage
-               ( Address.of_bytes addr_bytes,
-                 U256.of_bytes_be key_bytes,
-                 SKey.find k b.world.storage ))
+          let addr = Address.of_bytes addr_bytes in
+          let value = SKey.find k b.world.storage in
+          let dyn_key =
+            match b.tmpl with
+            | Some t -> (
+              match Hashtbl.find_opt t.t_skey_first k with
+              | Some (I.Reg _ as op) -> Some op
+              | Some (I.Const _) | None -> None)
+            | None -> None
+          in
+          match dyn_key with
+          | Some key_op -> add (I.W_storage_dyn (addr, key_op, value))
+          | None -> add (I.W_storage (addr, U256.of_bytes_be key_bytes, value))
         end)
       b.world.storage_dirty;
     (* creation effects (deployed code, fresh nonce) *)
@@ -914,9 +1109,8 @@ let emit_writes b (receipt : Evm.Processor.receipt) ~extra_writes benv_coinbase_
     (* logs in emission order *)
     List.iter (fun (a, topics, data) -> add (I.W_log (a, topics, data))) (List.rev b.world.logs);
     (* miner fee last: coinbase is a context value, read not guarded *)
-    let fee = U256.mul (U256.of_int receipt.gas_used) tx.gas_price in
     let cb = env_read b I.R_coinbase benv_coinbase_traced in
-    add (I.W_balance_add (cb, I.Const fee));
+    add (I.W_balance_add (cb, gas_cost receipt.gas_used));
     List.rev !writes
 
 (* ---- main entry ---- *)
@@ -929,25 +1123,27 @@ let count_trace_len events =
       | Evm.Trace.Call_exit _ -> acc)
     0 events
 
-let build ?spec ?(prewarm = []) (tx : Evm.Env.tx) (benv : Evm.Env.block_env)
-    (events : Evm.Trace.event array) (receipt : Evm.Processor.receipt) (pre : Statedb.t)
-    : (I.path, string) result =
+let build ?spec ?(prewarm = []) ?(template = false) (tx : Evm.Env.tx)
+    (benv : Evm.Env.block_env) (events : Evm.Trace.event array)
+    (receipt : Evm.Processor.receipt) (pre : Statedb.t) : (I.path, string) result =
   let spec = match spec with Some s -> s | None -> !Spec.current in
   try
     let b = create spec prewarm tx pre in
+    if template then init_template b receipt;
     b.trace_len <- count_trace_len events;
     let invalid_reason =
       match receipt.status with Invalid r -> Some r | Success | Reverted -> None
     in
     (* --- preamble: nonce and upfront-balance constraints --- *)
     let r_nonce = fresh b (U256.of_int receipt.sender_nonce_before) in
-    emit b (I.Read (r_nonce, I.R_nonce tx.sender));
+    (match b.tmpl with
+    | Some t -> emit b (I.Read (r_nonce, I.R_nonce_of (I.Reg t.t_sender)))
+    | None -> emit b (I.Read (r_nonce, I.R_nonce tx.sender)));
     let nonce_ok = receipt.sender_nonce_before = tx.nonce in
-    let eq =
-      compute b I.C_eq
-        [| I.Reg r_nonce; I.Const (U256.of_int tx.nonce) |]
-        (I.bool_word nonce_ok)
+    let nonce_expect =
+      match b.tmpl with Some t -> I.Reg t.t_nonce | None -> I.Const (U256.of_int tx.nonce)
     in
+    let eq = compute b I.C_eq [| I.Reg r_nonce; nonce_expect |] (I.bool_word nonce_ok) in
     let is_nonce_invalid =
       match invalid_reason with Some r -> String.length r >= 5 && String.sub r 0 5 = "nonce" | None -> false
     in
@@ -982,24 +1178,38 @@ let build ?spec ?(prewarm = []) (tx : Evm.Env.tx) (benv : Evm.Env.block_env)
           reg_count = b.next_reg;
           reg_values = Array.sub b.reg_vals 0 b.next_reg;
           fork = b.spec.Spec.id;
+          inputs = (match b.tmpl with Some t -> t.t_inputs | None -> [||]);
           stats;
         }
     in
     if is_nonce_invalid then finish_path []
     else begin
-      let bal_op = balance_read b tx.sender in
+      let sender_addr_op = match b.tmpl with Some t -> Some (I.Reg t.t_sender) | None -> None in
+      let bal_op = balance_read ?addr_op:sender_addr_op b tx.sender in
       if not (U256.equal (val_of b bal_op) receipt.sender_balance_before) then
         raise (Unsupported "pre-state balance mismatch");
       let upfront = Evm.Processor.upfront_cost tx in
+      let purchase_traced = U256.mul (U256.of_int tx.gas_limit) tx.gas_price in
+      let upfront_op, purchase_op =
+        match b.tmpl with
+        | None -> (I.Const upfront, I.Const purchase_traced)
+        | Some t ->
+          (* gas limit is template-key-pinned; price and value are inputs *)
+          let m =
+            compute b I.C_mul
+              [| I.Const (U256.of_int tx.gas_limit); I.Reg t.t_gasprice |]
+              purchase_traced
+          in
+          (compute b I.C_add [| m; I.Reg t.t_value |] upfront, m)
+      in
       let insufficient = U256.lt receipt.sender_balance_before upfront in
-      let lt = compute b I.C_lt [| bal_op; I.Const upfront |] (I.bool_word insufficient) in
+      let lt = compute b I.C_lt [| bal_op; upfront_op |] (I.bool_word insufficient) in
       guard b lt (I.bool_word insufficient);
       match invalid_reason with
       | Some _ -> finish_path [] (* insufficient funds or intrinsic gas *)
       | None ->
         (* gas purchase *)
-        balance_delta b tx.sender ~is_add:false
-          (I.Const (U256.mul (U256.of_int tx.gas_limit) tx.gas_price));
+        balance_delta b tx.sender ~is_add:false purchase_op;
         (* Walk the recorded events against the symbolic top frame, then
            unwind it; returns the frame's termination and result bytes. *)
         let run_top top =
@@ -1052,8 +1262,12 @@ let build ?spec ?(prewarm = []) (tx : Evm.Env.tx) (benv : Evm.Env.block_env)
             stack = [];
             mem = Hashtbl.create 64;
             calldata;
-            callvalue = I.Const tx.value;
-            caller_word = I.Const (Address.to_u256 tx.sender);
+            callvalue =
+              (match b.tmpl with Some t -> I.Reg t.t_value | None -> I.Const tx.value);
+            caller_word =
+              (match b.tmpl with
+              | Some t -> I.Reg t.t_sender
+              | None -> I.Const (Address.to_u256 tx.sender));
             code;
             retdata = [||];
             result = [||];
@@ -1067,23 +1281,41 @@ let build ?spec ?(prewarm = []) (tx : Evm.Env.tx) (benv : Evm.Env.block_env)
           match tx.to_ with
           | Some target ->
             let snap_world = b.world in
+            (* zero-value transactions skip the transfer legs at build time;
+               the template key pins value zeroness, so a served transaction
+               never needs legs the template lacks (and a register-held
+               nonzero value flows through the legs symbolically) *)
             if not (U256.is_zero tx.value) then begin
-              balance_delta b tx.sender ~is_add:false (I.Const tx.value);
-              balance_delta b target ~is_add:true (I.Const tx.value)
+              let v_op =
+                match b.tmpl with Some t -> I.Reg t.t_value | None -> I.Const tx.value
+              in
+              balance_delta b tx.sender ~is_add:false v_op;
+              balance_delta b target ~is_add:true v_op
             end;
             let code = Statedb.get_code pre target in
+            let calldata_srcs =
+              match b.tmpl with
+              | None -> bytes_as_srcs tx.data
+              | Some t ->
+                (* selector bytes are template-key-pinned constants; every
+                   byte past offset 4 aliases a calldata-word input register *)
+                Array.init (String.length tx.data) (fun i ->
+                    if i < 4 then B_const tx.data.[i]
+                    else B_reg (t.t_words.((i - 4) / 32), (i - 4) mod 32))
+            in
             let pieces =
               match Evm.Interp.precompile_of target with
               | Some kind ->
                 (* top-level precompile call: data is constant, so is the
-                   result *)
+                   result (template mode rejected precompile targets up
+                   front) *)
                 let _, out = Evm.Interp.run_precompile kind tx.data in
                 if out = "" then [] else [ I.P_const out ]
               | None ->
                 if code = "" then []
                 else begin
                   let _, result =
-                    run_top (mk_top ~ctx:target ~code ~calldata:(bytes_as_srcs tx.data) ~snap_world)
+                    run_top (mk_top ~ctx:target ~code ~calldata:calldata_srcs ~snap_world)
                   in
                   pieces_of_srcs result
                 end

@@ -14,6 +14,7 @@ exception Unsupported of string
 val build :
   ?spec:Spec.t ->
   ?prewarm:(State.Address.t * U256.t option) list ->
+  ?template:bool ->
   Evm.Env.tx ->
   Evm.Env.block_env ->
   Evm.Trace.event array ->
@@ -35,6 +36,18 @@ val build :
     variable SSTORE value under refund specs), so replay in a colder or
     warmer context falls back via guard violation instead of inheriting
     the traced gas.
+
+    [?template] (default [false]) builds a {e template} path for the
+    shared AP store (lib/apstore, DESIGN.md §13): the caller-varying
+    transaction fields — sender, value, nonce, gas price and the ABI
+    calldata words past the 4-byte selector — are promoted from baked-in
+    constants to input registers recorded in [Ir.path.inputs], which
+    [Ap.Exec.bind_inputs] seeds from whatever transaction the template is
+    later served to.  Storage keys and balance addresses derived from
+    those inputs stay symbolic ([Ir.R_storage_dyn]/[Ir.W_storage_dyn],
+    operand-addressed balance writes) with pairwise aliasing guards
+    pinning their equality pattern.  Template builds reject creations,
+    precompile targets, invalid receipts and non-empty [?prewarm] hints.
 
     Returns [Error reason] for the few transaction shapes specialization
     does not cover (contract creation, [SELFDESTRUCT]) — such transactions

@@ -34,7 +34,15 @@ type read_src =
   | R_blockhash of operand
   | R_balance of operand  (** address (low 160 bits of the operand) *)
   | R_nonce of Address.t
+  | R_nonce_of of operand
+      (** nonce of a register-held address (template paths: the sender is
+          an input register, not a baked constant) *)
   | R_storage of Address.t * U256.t  (** keys are constants after guarding *)
+  | R_storage_dyn of Address.t * operand
+      (** storage read with a register-held key.  The contract address
+          stays concrete (it is part of the template key); the slot varies
+          per caller (e.g. keccak(sender . slot)), so the key rides in a
+          register.  Only template paths emit this. *)
   | R_extcodesize of operand
   | R_extcodehash of operand
 
@@ -57,12 +65,56 @@ type instr =
 
 type write =
   | W_storage of Address.t * U256.t * operand
+  | W_storage_dyn of Address.t * operand * operand
+      (** register-held key (template paths), value *)
   | W_balance_set of operand * operand  (** address operand, absolute value *)
   | W_balance_add of operand * operand
   | W_balance_sub of operand * operand
   | W_nonce_set of Address.t * int
+  | W_nonce_dyn of operand * operand
+      (** register-held address, register-held new nonce (template paths:
+          the sender bump becomes nonce_input + 1) *)
   | W_code of Address.t * piece list  (** contract deployment *)
   | W_log of Address.t * operand list * piece list
+
+(* ---- template input registers (lib/apstore) ----
+
+   A template path promotes caller-varying transaction fields from baked-in
+   constants to {e input registers}: registers 0..k-1 of the path are
+   pre-seeded from the transaction being served, before any instruction
+   runs.  [input_src] says where each one comes from.  Gas limit and the
+   calldata intrinsic class are deliberately NOT inputs — they are pinned
+   into the template key so [gas_used] stays an exact constant. *)
+
+type input_src =
+  | In_sender  (** [tx.sender] as a u256 word *)
+  | In_value  (** [tx.value] *)
+  | In_nonce  (** [tx.nonce] *)
+  | In_gas_price  (** [tx.gas_price] *)
+  | In_calldata_word of int
+      (** the 32-byte big-endian word of [tx.data] at byte offset [4+32k]
+          (ABI argument [k]), zero-padded past the end *)
+
+let input_value (tx : Evm.Env.tx) = function
+  | In_sender -> Address.to_u256 tx.sender
+  | In_value -> tx.value
+  | In_nonce -> U256.of_int tx.nonce
+  | In_gas_price -> tx.gas_price
+  | In_calldata_word k ->
+    let off = 4 + (32 * k) in
+    let len = String.length tx.data in
+    let buf = Bytes.make 32 '\x00' in
+    for i = 0 to 31 do
+      if off + i < len then Bytes.set buf i tx.data.[off + i]
+    done;
+    U256.of_bytes_be (Bytes.to_string buf)
+
+let pp_input ppf = function
+  | In_sender -> Fmt.string ppf "sender"
+  | In_value -> Fmt.string ppf "value"
+  | In_nonce -> Fmt.string ppf "nonce"
+  | In_gas_price -> Fmt.string ppf "gas_price"
+  | In_calldata_word k -> Fmt.pf ppf "calldata[%d]" k
 
 (* Per-path synthesis statistics, feeding Fig. 15 / §5.5. *)
 type stats = {
@@ -109,6 +161,10 @@ type path = {
   reg_values : U256.t array;  (** value each register took during tracing *)
   fork : int;  (** spec id the path was built under; replay under any other
                    fork is a guard violation before the first instruction *)
+  inputs : input_src array;
+      (** template input registers: register [i] is pre-seeded with
+          [input_value tx inputs.(i)] before the path runs.  Empty for
+          ordinary per-transaction paths. *)
   stats : stats;
 }
 
@@ -194,7 +250,9 @@ let pp_read ppf = function
   | R_blockhash o -> Fmt.pf ppf "BLOCKHASH(%a)" pp_operand o
   | R_balance o -> Fmt.pf ppf "BALANCE(%a)" pp_operand o
   | R_nonce a -> Fmt.pf ppf "NONCE(%a)" Address.pp a
+  | R_nonce_of o -> Fmt.pf ppf "NONCE(%a)" pp_operand o
   | R_storage (a, k) -> Fmt.pf ppf "SLOAD(%a,%a)" Address.pp a U256.pp k
+  | R_storage_dyn (a, k) -> Fmt.pf ppf "SLOAD(%a,%a)" Address.pp a pp_operand k
   | R_extcodesize o -> Fmt.pf ppf "EXTCODESIZE(%a)" pp_operand o
   | R_extcodehash o -> Fmt.pf ppf "EXTCODEHASH(%a)" pp_operand o
 
@@ -214,10 +272,13 @@ let pp_instr ppf = function
 
 let pp_write ppf = function
   | W_storage (a, k, v) -> Fmt.pf ppf "SSTORE(%a, %a, %a)" Address.pp a U256.pp k pp_operand v
+  | W_storage_dyn (a, k, v) ->
+    Fmt.pf ppf "SSTORE(%a, %a, %a)" Address.pp a pp_operand k pp_operand v
   | W_balance_set (a, v) -> Fmt.pf ppf "BAL[%a] := %a" pp_operand a pp_operand v
   | W_balance_add (a, v) -> Fmt.pf ppf "BAL[%a] += %a" pp_operand a pp_operand v
   | W_balance_sub (a, v) -> Fmt.pf ppf "BAL[%a] -= %a" pp_operand a pp_operand v
   | W_nonce_set (a, n) -> Fmt.pf ppf "NONCE[%a] := %d" Address.pp a n
+  | W_nonce_dyn (a, n) -> Fmt.pf ppf "NONCE[%a] := %a" pp_operand a pp_operand n
   | W_code (a, ps) -> Fmt.pf ppf "CODE[%a] := %d pieces" Address.pp a (List.length ps)
   | W_log (a, topics, _) ->
     Fmt.pf ppf "LOG(%a, %a)" Address.pp a (Fmt.list ~sep:Fmt.comma pp_operand) topics
@@ -244,7 +305,9 @@ let instr_uses = function
   | Keccak (_, ps) | Sha256 (_, ps) | Pack (_, ps) -> List.concat_map piece_regs ps
   | Read (_, src) -> (
     match src with
-    | R_blockhash o | R_balance o | R_extcodesize o | R_extcodehash o -> operand_regs o
+    | R_blockhash o | R_balance o | R_nonce_of o | R_storage_dyn (_, o) | R_extcodesize o
+    | R_extcodehash o ->
+      operand_regs o
     | R_timestamp | R_number | R_coinbase | R_difficulty | R_gaslimit | R_nonce _
     | R_storage _ -> [])
   | Guard (o, _) | Guard_size (o, _) -> operand_regs o
@@ -256,9 +319,11 @@ let instr_def = function
 
 let write_uses = function
   | W_storage (_, _, v) -> operand_regs v
+  | W_storage_dyn (_, k, v) -> operand_regs k @ operand_regs v
   | W_balance_set (a, v) | W_balance_add (a, v) | W_balance_sub (a, v) ->
     operand_regs a @ operand_regs v
   | W_nonce_set _ -> []
+  | W_nonce_dyn (a, n) -> operand_regs a @ operand_regs n
   | W_code (_, ps) -> List.concat_map piece_regs ps
   | W_log (_, topics, ps) -> List.concat_map operand_regs topics @ List.concat_map piece_regs ps
 

@@ -36,7 +36,10 @@ let eval_read st (benv : Evm.Env.block_env) regs src =
     | _ -> U256.zero)
   | I.R_balance op -> Statedb.get_balance st (Address.of_u256 (value_of regs op))
   | I.R_nonce addr -> U256.of_int (Statedb.get_nonce st addr)
+  | I.R_nonce_of op ->
+    U256.of_int (Statedb.get_nonce st (Address.of_u256 (value_of regs op)))
   | I.R_storage (addr, key) -> Statedb.get_storage st addr key
+  | I.R_storage_dyn (addr, key) -> Statedb.get_storage st addr (value_of regs key)
   | I.R_extcodesize op ->
     U256.of_int (String.length (Statedb.get_code st (Address.of_u256 (value_of regs op))))
   | I.R_extcodehash op ->
@@ -70,6 +73,8 @@ let step ~warm st benv regs i ins =
 let apply_write st regs logs w =
   match w with
   | I.W_storage (addr, key, v) -> Statedb.set_storage st addr key (value_of regs v)
+  | I.W_storage_dyn (addr, key, v) ->
+    Statedb.set_storage st addr (value_of regs key) (value_of regs v)
   | I.W_balance_set (a, v) ->
     Statedb.set_balance st (Address.of_u256 (value_of regs a)) (value_of regs v)
   | I.W_balance_add (a, v) ->
@@ -79,6 +84,10 @@ let apply_write st regs logs w =
     let addr = Address.of_u256 (value_of regs a) in
     Statedb.set_balance st addr (U256.sub (Statedb.get_balance st addr) (value_of regs v))
   | I.W_nonce_set (addr, n) -> Statedb.set_nonce st addr n
+  | I.W_nonce_dyn (a, n) ->
+    Statedb.set_nonce st
+      (Address.of_u256 (value_of regs a))
+      (match U256.to_int_opt (value_of regs n) with Some v -> v | None -> 0)
   | I.W_code (addr, ps) -> Statedb.set_code st addr (I.bytes_of_pieces regs ps)
   | I.W_log (addr, topics, data) ->
     logs :=
@@ -112,6 +121,12 @@ let rw_sets (p : I.path) : rw =
       exact := false;
       Address.of_u256 p.reg_values.(r)
   in
+  let key_of = function
+    | I.Const v -> v
+    | I.Reg r ->
+      exact := false;
+      p.reg_values.(r)
+  in
   let touch_equal a b =
     match (a, b) with
     | Statedb.T_account x, Statedb.T_account y | Statedb.T_code x, Statedb.T_code y ->
@@ -126,9 +141,10 @@ let rw_sets (p : I.path) : rw =
            match ins with
            | I.Read (_, src) -> (
              match src with
-             | I.R_balance op -> [ Statedb.T_account (addr_of op) ]
+             | I.R_balance op | I.R_nonce_of op -> [ Statedb.T_account (addr_of op) ]
              | I.R_nonce addr -> [ Statedb.T_account addr ]
              | I.R_storage (addr, key) -> [ Statedb.T_slot (addr, key) ]
+             | I.R_storage_dyn (addr, key) -> [ Statedb.T_slot (addr, key_of key) ]
              | I.R_extcodesize op | I.R_extcodehash op ->
                let a = addr_of op in
                [ Statedb.T_account a; Statedb.T_code a ]
@@ -144,9 +160,11 @@ let rw_sets (p : I.path) : rw =
       (fun w ->
         match w with
         | I.W_storage (addr, key, _) -> [ Statedb.T_slot (addr, key) ]
+        | I.W_storage_dyn (addr, key, _) -> [ Statedb.T_slot (addr, key_of key) ]
         | I.W_balance_set (a, _) | I.W_balance_add (a, _) | I.W_balance_sub (a, _) ->
           [ Statedb.T_account (addr_of a) ]
         | I.W_nonce_set (addr, _) -> [ Statedb.T_account addr ]
+        | I.W_nonce_dyn (a, _) -> [ Statedb.T_account (addr_of a) ]
         | I.W_code (addr, _) -> [ Statedb.T_account addr; Statedb.T_code addr ]
         | I.W_log _ -> [])
       p.writes
@@ -166,6 +184,7 @@ let run ?spec ?(prewarm = []) (p : I.path) st benv (tx : Evm.Env.tx) : outcome =
   else
   let warm = Evm.Processor.entry_warm tx prewarm in
   let regs = Array.make (max p.reg_count 1) U256.zero in
+  Array.iteri (fun i src -> regs.(i) <- I.input_value tx src) p.inputs;
   match Array.iteri (step ~warm st benv regs) p.instrs with
   | exception Guard_failed v -> Violated v
   | () ->

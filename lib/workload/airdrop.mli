@@ -1,0 +1,29 @@
+(** Airdrop-storm traffic for the lib/apstore template cache: many distinct
+    senders each calling [transfer] on one ERC-20 contract, with calldata
+    shaped so every transaction in the storm shares a single template key
+    (constant length, selector, nonzero-byte count, value zeroness and gas
+    limit) while sender, recipient, amount, nonce and gas price all vary. *)
+
+open State
+
+type t
+
+val create : ?n_senders:int -> seed:int -> token:Address.t -> unit -> t
+(** Senders are deterministic [Address.of_int]-shaped accounts (base
+    [0x500000], disjoint from [Population]'s users/observers). *)
+
+val gas_limit : int
+(** The fixed gas limit every storm transaction carries (part of the
+    template key). *)
+
+val genesis : t -> Statedb.Backend.t -> string
+(** Standalone genesis: install the ERC-20 at [token], fund every sender
+    with ETH and tokens; returns the committed root. *)
+
+val fund : t -> Statedb.t -> unit
+(** Seed the senders (ETH + token balances) into an existing uncommitted
+    state — composes with [Population.genesis]. *)
+
+val tx : t -> Evm.Env.tx
+(** The next storm transaction: round-robin sender, fresh all-nonzero-byte
+    recipient, fresh two-nonzero-byte amount, correct per-sender nonce. *)

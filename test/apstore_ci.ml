@@ -1,0 +1,311 @@
+(* The @apstore alias: the template-store battery.
+
+   1. Key discipline: every structurally-equivalent airdrop transaction
+      maps to one key; every shape ingredient (target, selector, calldata
+      length, nonzero-byte count, value zeroness, gas limit, fork)
+      perturbs it; creations / precompiles / codeless targets get none.
+   2. Store mechanics: single-flight reserve/publish/abandon, LRU
+      eviction bounded by max_entries, and a 4-domain hammer asserting
+      exactly one winner among 64 concurrent reservations per key.
+   3. The differential oracle: a template built from ONE transaction's
+      trace, served to many perturbed transactions (different sender,
+      recipient, amount, nonce, gas price), must produce receipts, logs
+      and committed state roots byte-identical to both a freshly
+      specialized per-tx AP and the plain interpreter; the static
+      verifier must pass on the template; cross-fork serves and
+      self-transfer aliasing must refuse (Violation), never corrupt.
+   4. Node-level determinism: a Forerunner replay with the store enabled
+      must produce identical per-tx outcomes and block results under
+      jobs=1 and jobs=4.
+
+   Exit non-zero on any failure. *)
+
+open State
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("apstore-ci: FAIL " ^ m); exit 1) fmt
+let check b fmt = Printf.ksprintf (fun m -> if not b then fail "%s" m) fmt
+
+let benv : Evm.Env.block_env =
+  {
+    coinbase = Address.of_int 0xC0FFEE;
+    timestamp = 1_700_000_000L;
+    number = 1000L;
+    difficulty = U256.one;
+    gas_limit = 12_000_000;
+    chain_id = 1;
+    block_hash = (fun n -> U256.of_int64 n);
+  }
+
+let token = Address.of_int 0x70C0
+
+let make_storm () =
+  let storm = Workload.Airdrop.create ~n_senders:32 ~seed:4242 ~token () in
+  let bk = Statedb.Backend.create () in
+  let root = Workload.Airdrop.genesis storm bk in
+  (storm, bk, root)
+
+(* ---- 1. key discipline ---- *)
+
+let key_tests () =
+  let storm, bk, root = make_storm () in
+  let st = Statedb.create bk ~root in
+  let spec = !Spec.current in
+  let key tx =
+    match Apstore.key_of_tx st spec tx with
+    | Some k -> k
+    | None -> fail "storm tx has no template key"
+  in
+  let a = Workload.Airdrop.tx storm and b = Workload.Airdrop.tx storm in
+  check (not (Address.equal a.sender b.sender)) "fixture: distinct senders";
+  check (String.equal (key a) (key b)) "same call shape must share one key";
+  check
+    (not (String.equal (key a) (key { b with gas_limit = b.gas_limit + 1 })))
+    "gas limit is part of the key";
+  check
+    (not (String.equal (key a) (key { b with value = U256.one })))
+    "value zeroness is part of the key";
+  check
+    (not (String.equal (key a) (key { b with data = b.data ^ "\000" })))
+    "calldata length is part of the key";
+  (* flip a nonzero amount byte to zero: same length, different count *)
+  let zeroed = Bytes.of_string b.data in
+  Bytes.set zeroed (String.length b.data - 1) '\000';
+  check
+    (not (String.equal (key a) (key { b with data = Bytes.to_string zeroed })))
+    "nonzero-byte count is part of the key";
+  let resel = Bytes.of_string b.data in
+  Bytes.set resel 0 '\xff';
+  check
+    (not (String.equal (key a) (key { b with data = Bytes.to_string resel })))
+    "selector is part of the key";
+  let other_spec = Spec.resolve Spec.Berlin in
+  check (other_spec.Spec.id <> spec.Spec.id) "fixture: different fork id";
+  (match Apstore.key_of_tx st other_spec b with
+  | Some k -> check (not (String.equal (key a) k)) "fork id is part of the key"
+  | None -> fail "keyable tx lost its key under another fork");
+  check (Apstore.key_of_tx st spec { a with to_ = None } = None) "creations have no key";
+  check
+    (Apstore.key_of_tx st spec { a with to_ = Some (Address.of_int 2) } = None)
+    "precompile targets have no key";
+  check
+    (Apstore.key_of_tx st spec { a with to_ = Some (Address.of_int 0xD0D0) } = None)
+    "codeless targets have no key";
+  print_endline "apstore-ci: key discipline holds"
+
+(* ---- 2. store mechanics ---- *)
+
+let tiny_program () =
+  let ap = Ap.Program.create () in
+  ap.Ap.Program.fork <- 0;
+  ap
+
+let store_tests () =
+  let s = Apstore.create ~max_entries:4 () in
+  check (Apstore.reserve s "k1") "first reservation wins";
+  check (not (Apstore.reserve s "k1")) "second reservation coalesces";
+  check ((Apstore.stats s).Apstore.coalesced = 1) "coalesced miss counted";
+  Apstore.abandon s "k1";
+  check (Apstore.reserve s "k1") "abandoned key is reservable again";
+  Apstore.publish s "k1" (tiny_program ());
+  check (not (Apstore.reserve s "k1")) "resident key is not reservable";
+  check (Apstore.find s "k1" <> None) "published entry is served";
+  check (Apstore.find s "nope" = None) "absent key misses";
+  check (Apstore.length s = 1) "one resident entry";
+  (* LRU: fill to capacity, keep touching k1, then overflow — the evicted
+     entries must be the untouched ones, never k1 *)
+  List.iter (fun k -> Apstore.publish s k (tiny_program ())) [ "k2"; "k3"; "k4" ];
+  ignore (Apstore.find s "k1");
+  List.iter (fun k -> Apstore.publish s k (tiny_program ())) [ "k5"; "k6" ];
+  check (Apstore.length s = 4) "eviction holds the entry bound";
+  check ((Apstore.stats s).Apstore.evictions = 2) "two evictions at +2 overflow";
+  check (Apstore.find s "k1" <> None) "recently-used entry survives eviction";
+  check (Apstore.find s "k2" = None) "least-recently-used entry was evicted";
+  check (Apstore.resident_bytes s > 0) "resident bytes accounted";
+  (* byte bound: a store with a tiny budget evicts down to one entry *)
+  let b = Apstore.create ~max_bytes:1 () in
+  Apstore.publish b "k1" (tiny_program ());
+  Apstore.publish b "k2" (tiny_program ());
+  check (Apstore.length b <= 1) "byte bound enforced";
+  print_endline "apstore-ci: store mechanics hold"
+
+let hammer_tests () =
+  let s = Apstore.create () in
+  let keys = Array.init 8 (fun i -> Printf.sprintf "key%d" i) in
+  let wins = Array.init 8 (fun _ -> Atomic.make 0) in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            (* 64 racing reservation attempts per key, across 4 domains *)
+            for _ = 1 to 16 do
+              Array.iteri
+                (fun i k -> if Apstore.reserve s k then Atomic.incr wins.(i))
+                keys
+            done))
+  in
+  Array.iter Domain.join domains;
+  Array.iteri
+    (fun i w ->
+      check (Atomic.get w = 1) "key %d: %d reservation winners, want exactly 1" i
+        (Atomic.get w))
+    wins;
+  check ((Apstore.stats s).Apstore.inflight = 8) "all winners still in flight";
+  check ((Apstore.stats s).Apstore.coalesced = (4 * 16 * 8) - 8) "losers coalesced";
+  print_endline "apstore-ci: 4-domain single-flight hammer holds (64 racers per key)"
+
+(* ---- 3. the differential oracle ---- *)
+
+let receipts_agree ~what (a : Evm.Processor.receipt) (b : Evm.Processor.receipt) =
+  check (Evm.Processor.status_equal a.status b.status) "%s: status differs" what;
+  check (a.gas_used = b.gas_used) "%s: gas_used %d vs %d" what a.gas_used b.gas_used;
+  check (String.equal a.output b.output) "%s: output differs" what;
+  check
+    (List.length a.logs = List.length b.logs
+    && List.for_all2 Evm.Env.log_equal a.logs b.logs)
+    "%s: logs differ" what;
+  check (a.contract_address = b.contract_address) "%s: contract_address differs" what;
+  check
+    (U256.equal a.sender_balance_before b.sender_balance_before)
+    "%s: sender_balance_before differs" what;
+  check (a.sender_nonce_before = b.sender_nonce_before) "%s: sender_nonce differs" what
+
+let oracle_tests () =
+  let storm, bk, root = make_storm () in
+  (* the template: ONE transaction's trace, inputs lifted *)
+  let seed_tx = Workload.Airdrop.tx storm in
+  let template =
+    let st = Statedb.create bk ~root in
+    let snap = Statedb.snapshot st in
+    let sink, get = Evm.Trace.collector () in
+    let receipt = Evm.Processor.execute_tx ~trace:sink st benv seed_tx in
+    Statedb.revert st snap;
+    match Sevm.Builder.build ~template:true seed_tx benv (get ()) receipt st with
+    | Ok path ->
+      let ap = Ap.Program.create () in
+      Ap.Program.add_path ap path;
+      ap
+    | Error e -> fail "template build failed: %s" e
+  in
+  check (Array.length template.Ap.Program.inputs > 0) "template lifted input registers";
+  (match Analysis.Verify.verify template with
+  | [] -> ()
+  | vs -> fail "static verifier rejects the template (%d violations)" (List.length vs));
+  (* three lanes evolve in lockstep from the same genesis: the plain
+     interpreter, the ONE cached template serving everything, and a fresh
+     per-tx AP specialized for every transaction.  96 txs over 32 senders
+     walks every sender through nonces 0..2, so nonce progression and
+     balance drift are exercised, not just the pristine first serve. *)
+  (* the seed tx itself must hit its own template *)
+  (let st = Statedb.create bk ~root in
+   match Ap.Exec.execute template st benv seed_tx with
+   | Ap.Exec.Violation -> fail "seed tx violated its own template"
+   | Ap.Exec.Hit _ -> ());
+  let st_ref = Statedb.create bk ~root in
+  let st_tp = Statedb.create bk ~root in
+  let st_sp = Statedb.create bk ~root in
+  (* the generator burned seed_tx's nonce, so land it in every lane before
+     serving the rest — otherwise its sender's next tx desyncs at nonce 1 *)
+  List.iter
+    (fun st -> ignore (Evm.Processor.execute_tx st benv seed_tx))
+    [ st_ref; st_tp; st_sp ];
+  let served = ref 0 in
+  for i = 1 to 96 do
+    let tx = Workload.Airdrop.tx storm in
+    let r_ref = Evm.Processor.execute_tx st_ref benv tx in
+    (match Ap.Exec.execute template st_tp benv tx with
+    | Ap.Exec.Violation -> fail "storm tx %d violated the template" i
+    | Ap.Exec.Hit (r_tp, _) ->
+      incr served;
+      receipts_agree ~what:"template vs interpreter" r_tp r_ref);
+    (* freshly specialized per-tx AP must agree with the same serve *)
+    let snap = Statedb.snapshot st_sp in
+    let sink, get = Evm.Trace.collector () in
+    let receipt = Evm.Processor.execute_tx ~trace:sink st_sp benv tx in
+    Statedb.revert st_sp snap;
+    match Sevm.Builder.build tx benv (get ()) receipt st_sp with
+    | Error e -> fail "per-tx build failed: %s" e
+    | Ok path -> (
+      let ap = Ap.Program.create () in
+      Ap.Program.add_path ap path;
+      match Ap.Exec.execute ap st_sp benv tx with
+      | Ap.Exec.Violation -> fail "per-tx AP violated its own context"
+      | Ap.Exec.Hit (r_sp, _) -> receipts_agree ~what:"template vs per-tx AP" r_sp r_ref)
+  done;
+  check (!served = 96) "all 96 perturbed serves hit";
+  let root_ref = Statedb.commit st_ref in
+  check
+    (String.equal (Statedb.commit st_tp) root_ref)
+    "template-served state root diverged from the interpreter";
+  check
+    (String.equal (Statedb.commit st_sp) root_ref)
+    "per-tx-AP state root diverged from the interpreter";
+  (* cross-fork serve must refuse before touching anything; back to the
+     pristine root here, so pin the nonce to the genesis value *)
+  let tx = { (Workload.Airdrop.tx storm) with nonce = 0 } in
+  let st = Statedb.create bk ~root in
+  (match Ap.Exec.execute ~spec:(Spec.resolve Spec.Berlin) template st benv tx with
+  | Ap.Exec.Violation -> ()
+  | Ap.Exec.Hit _ -> fail "cross-fork serve must be a Violation");
+  (* sender==recipient aliasing: the template traced distinct balance
+     slots; a self-transfer must refuse or match the interpreter exactly *)
+  let self = { tx with data = Contracts.Erc20.transfer_call ~to_:tx.sender ~amount:U256.one } in
+  let st_ref = Statedb.create bk ~root in
+  let r_ref = Evm.Processor.execute_tx st_ref benv self in
+  let root_ref = Statedb.commit st_ref in
+  let st = Statedb.create bk ~root in
+  (match Ap.Exec.execute template st benv self with
+  | Ap.Exec.Violation -> ()
+  | Ap.Exec.Hit (r, _) ->
+    receipts_agree ~what:"self-transfer serve" r r_ref;
+    check
+      (String.equal (Statedb.commit st) root_ref)
+      "self-transfer serve corrupted state");
+  print_endline
+    "apstore-ci: differential oracle holds (96 serves ≡ interpreter ≡ per-tx AP)"
+
+(* ---- 4. node-level determinism with the store enabled ---- *)
+
+let node_tests () =
+  let params =
+    {
+      Netsim.Sim.default_params with
+      seed = 9911;
+      duration = 40.0;
+      tx_rate = 10.0;
+      tick_interval = Some 1.0;
+    }
+  in
+  let record = Netsim.Sim.run ~params () in
+  let run jobs =
+    let config = { Core.Node.default_config with use_apstore = true; jobs } in
+    (* replay itself raises on any state-root mismatch *)
+    Core.Node.replay ~config ~policy:Core.Node.Forerunner record
+  in
+  let r1 = run 1 and r4 = run 4 in
+  let tx_key (t : Core.Node.tx_record) = (t.hash, t.outcome, t.gas_used, t.block_number) in
+  let block_key (b : Core.Node.block_record) = (b.number, b.root_ok, b.gas_used) in
+  check
+    (List.map tx_key r1.txs = List.map tx_key r4.txs)
+    "jobs=1 vs jobs=4 tx outcomes diverged with the store on";
+  check
+    (List.map block_key r1.blocks = List.map block_key r4.blocks)
+    "jobs=1 vs jobs=4 block results diverged with the store on";
+  match (r1.apstore, r4.apstore) with
+  | Some s1, Some s4 ->
+    check (s1.Apstore.published >= 1) "no template was ever published";
+    check
+      (s1.Apstore.published = s4.Apstore.published)
+      "published counts diverged across job counts (%d vs %d)" s1.Apstore.published
+      s4.Apstore.published;
+    Printf.printf
+      "apstore-ci: node replay deterministic across jobs (%d templates, %d hits, %d \
+       misses)\n"
+      s1.Apstore.published s1.Apstore.hits s1.Apstore.misses
+  | _ -> fail "use_apstore replay reported no store stats"
+
+let () =
+  key_tests ();
+  store_tests ();
+  hammer_tests ();
+  oracle_tests ();
+  node_tests ();
+  print_endline "apstore-ci: all passes green"

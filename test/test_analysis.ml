@@ -35,6 +35,7 @@ let good_path =
     reg_count = 2;
     reg_values = [| u 5; u 6 |];
     fork = Spec.fork_id Spec.default_fork;
+    inputs = [||];
     stats = I.empty_stats;
   }
 
@@ -43,7 +44,7 @@ let leaf ?(writes = []) () =
 
 let program ~reg_count roots =
   { P.roots; reg_count; n_paths = List.length roots; n_futures = 1; shortcut_count = 0;
-    fork = Spec.fork_id Spec.default_fork }
+    fork = Spec.fork_id Spec.default_fork; inputs = [||] }
 
 let path_tests =
   [ t "well-formed path verifies" (fun () ->

@@ -24,6 +24,7 @@ let mk_path ~guard_value =
     reg_count = 2;
     reg_values = [| guard_value; U256.add guard_value (u 1) |];
     fork = Spec.fork_id Spec.default_fork;
+    inputs = [||];
     stats = { I.empty_stats with evm_trace_len = 10 };
   }
 
@@ -115,6 +116,7 @@ let structure_tests =
             reg_count = 4;
             reg_values;
             fork = Spec.fork_id Spec.default_fork;
+            inputs = [||];
             stats = I.empty_stats;
           }
         in
@@ -271,4 +273,66 @@ let violation_tests =
         Alcotest.(check string) "post-state roots agree" (Statedb.commit st_ref)
           (Statedb.commit st)) ]
 
-let suite = structure_tests @ violation_tests
+(* ---- fingerprint properties (the lib/apstore cache-key contract) ----
+
+   The template store trusts [Program.fingerprint] as a structural
+   identity: equal digests ⇒ interchangeable programs.  Pin the three
+   properties that contract leans on — determinism across independent
+   builds, sensitivity to any structural mutation (a dropped guard is the
+   smallest one Analysis.Mutate models), and fork/input scoping. *)
+
+let arb_guard_values =
+  QCheck.(list_of_size (Gen.int_range 1 4) (int_range 0 1000))
+
+let program_of values =
+  let p = Ap.Program.create () in
+  List.iter (fun v -> Ap.Program.add_path p (mk_path ~guard_value:(u v))) values;
+  p
+
+(* The suite installs the raising verifier on every [add_path]; the
+   deliberately-miscompiled program below must bypass it. *)
+let with_no_hook f =
+  let old = !Ap.Program.add_path_hook in
+  Ap.Program.add_path_hook := (fun _ -> ());
+  Fun.protect ~finally:(fun () -> Ap.Program.add_path_hook := old) f
+
+let fp = Ap.Program.fingerprint
+
+let fingerprint_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100
+         ~name:"structurally equal programs fingerprint identically" arb_guard_values
+         (fun vs -> String.equal (fp (program_of vs)) (fp (program_of vs))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"a dropped guard changes the fingerprint"
+         arb_guard_values (fun vs ->
+           let mutated =
+             with_no_hook (fun () ->
+                 let p = Ap.Program.create () in
+                 List.iteri
+                   (fun i v ->
+                     let path = mk_path ~guard_value:(u v) in
+                     let path =
+                       if i = 0 then Option.get (Analysis.Mutate.drop_guard path)
+                       else path
+                     in
+                     Ap.Program.add_path p path)
+                   vs;
+                 p)
+           in
+           not (String.equal (fp (program_of vs)) (fp mutated))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"fork id is part of the fingerprint"
+         arb_guard_values (fun vs ->
+           let a = program_of vs and b = program_of vs in
+           b.Ap.Program.fork <- b.Ap.Program.fork + 1;
+           not (String.equal (fp a) (fp b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100
+         ~name:"template input registers are part of the fingerprint" arb_guard_values
+         (fun vs ->
+           let a = program_of vs and b = program_of vs in
+           b.Ap.Program.inputs <- [| Sevm.Ir.In_sender |];
+           not (String.equal (fp a) (fp b)))) ]
+
+let suite = structure_tests @ violation_tests @ fingerprint_tests

@@ -310,6 +310,7 @@ let metrics_tests =
       fork_blocks = 1;
       synth = Core.Speculator.empty_acc ();
       sched = Sched.empty_stats;
+      apstore = None;
     }
   in
   [ t "ap_shape counts canonical executions only" (fun () ->

@@ -282,6 +282,38 @@ let test_dedupe_jobs4_parity () =
   Alcotest.(check int) "no redundant execution at jobs=4" st1.Sched.completed
     st4.Sched.completed
 
+(* The memo-growth regression (lib/apstore PR): the dedupe memo used to
+   keep one entry per hash ever submitted, for the life of the scheduler.
+   The node now calls [forget] for every retired hash at block commit, so
+   the memo is bounded by the live pending set — pin the API contract that
+   makes that possible. *)
+let memo_bound_script jobs =
+  let s : int Sched.t = Sched.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Sched.shutdown s) @@ fun () ->
+  for i = 0 to 9 do
+    Sched.submit s ~dedupe_key:"ctx" ~hash:(string_of_int i) ~root:"r" ~priority:(u 1)
+      (fun () -> i)
+  done;
+  Sched.barrier s;
+  Alcotest.(check int) "memo holds one entry per live hash" 10 (Sched.memo_size s);
+  (* a duplicate submission is deduped without growing the memo *)
+  Sched.submit s ~dedupe_key:"ctx" ~hash:"3" ~root:"r" ~priority:(u 1) (fun () -> 3);
+  Alcotest.(check int) "dedupe does not grow the memo" 10 (Sched.memo_size s);
+  (* block commit: the node forgets every retired hash (absent ones are a
+     no-op), bounding the memo to what is still pending *)
+  Sched.forget s [ "0"; "1"; "2"; "absent" ];
+  Alcotest.(check int) "forget drops retired hashes" 7 (Sched.memo_size s);
+  (* a forgotten hash speculates again instead of being deduped stale *)
+  Sched.submit s ~dedupe_key:"ctx" ~hash:"0" ~root:"r" ~priority:(u 1) (fun () -> 0);
+  Sched.barrier s;
+  Alcotest.(check int) "forgotten hash re-memoizes on resubmission" 8 (Sched.memo_size s);
+  let st = Sched.stats s in
+  Alcotest.(check int) "only the duplicate was deduped" 1 st.Sched.deduped;
+  Alcotest.(check int) "resubmission after forget executed" 11 st.Sched.completed
+
+let test_memo_bound () = memo_bound_script 1
+let test_memo_bound_jobs4 () = memo_bound_script 4
+
 let test_barrier_quiesces () =
   let s : int Sched.t = Sched.create ~jobs:3 () in
   for round = 0 to 2 do
@@ -351,6 +383,8 @@ let suite =
     t "dedupe memo skips duplicate submissions" test_dedupe;
     t "dedupe decisions identical at jobs=1 and jobs=4 (merged-waste)"
       test_dedupe_jobs4_parity;
+    t "forget bounds the dedupe memo to the live pending set" test_memo_bound;
+    t "forget bounds the memo at jobs=4 too" test_memo_bound_jobs4;
     t "barrier quiesces; shutdown is idempotent" test_barrier_quiesces;
     t "obs counters are exact under 4 hammering domains" test_obs_hammer;
     t "parallel speculation is deterministic on fuzz scenarios" test_parallel_oracle ]

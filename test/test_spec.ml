@@ -324,6 +324,7 @@ let cross_fork_rejection () =
       reg_count = 0;
       reg_values = [||];
       fork = fork_id;
+      inputs = [||];
       stats = I.empty_stats;
     }
   in
