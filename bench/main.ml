@@ -521,6 +521,9 @@ let interp () =
   let divergences = ref 0 in
   let obs_was = !Obs.enabled in
   Obs.set_enabled true;
+  (* the triple/DUP fusions exist only under lib/bca's CFG certifier; the
+     live pipeline installs it in Stf, the bench drives Interp directly *)
+  Bca.ensure_installed ();
   Evm.Decode.clear_cache ();
   let rows =
     List.map
@@ -552,8 +555,18 @@ let interp () =
   let count n = Obs.count (Obs.counter n) in
   let hits = count "interp.decode.hits"
   and misses = count "interp.decode.misses"
-  and bytes = count "interp.decode.bytes" in
-  Printf.printf "decode cache: %d hits, %d misses, %d bytes decoded\n%!" hits misses bytes;
+  and bytes = count "interp.decode.bytes"
+  and triples = count "interp.decode.fused_triples"
+  and dups = count "interp.decode.fused_dups" in
+  Printf.printf
+    "decode cache: %d hits, %d misses, %d bytes decoded; %d fused triples, %d fused dups\n%!"
+    hits misses bytes triples dups;
+  (* the tight-loop and keccak kernels carry PUSH-PUSH-op runs, so a zero
+     here means the certifier or the triple fuser regressed *)
+  if triples = 0 then begin
+    Printf.printf "interp: no fused triples across the kernels — fusion regressed\n%!";
+    incr divergences
+  end;
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "{%s,\n  \"kernels\": [" (Schedbench.meta_header ~experiment:"interp" ()));
@@ -568,9 +581,9 @@ let interp () =
     rows;
   Buffer.add_string buf
     (Printf.sprintf
-       "\n  ],\n  \"decode_cache\": {\"hits\": %d, \"misses\": %d, \"bytes\": %d},\n  \
-        \"divergences\": %d\n}\n"
-       hits misses bytes !divergences);
+       "\n  ],\n  \"decode_cache\": {\"hits\": %d, \"misses\": %d, \"bytes\": %d, \
+        \"fused_triples\": %d, \"fused_dups\": %d},\n  \"divergences\": %d\n}\n"
+       hits misses bytes triples dups !divergences);
   let file = Schedbench.at_repo_root "BENCH_interp.json" in
   let oc = open_out file in
   Buffer.output_buffer oc buf;

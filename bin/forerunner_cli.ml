@@ -439,12 +439,102 @@ let check_cmd =
       const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
       $ metrics_json_arg)
 
+let analyze_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "iters" ] ~docv:"N"
+          ~doc:
+            "Generated scenarios per hardfork to sweep on top of the corpus and the \
+             built-in sentinels (seeded, reproducible).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory of s-expression scenarios to check the footprints on.")
+  in
+  let mutate_arg =
+    let narrow_conv =
+      let parse s =
+        match Bca.narrowing_of_string s with
+        | Some n -> Ok n
+        | None ->
+          Error (`Msg (Printf.sprintf "unknown narrowing %S (cfg, stack, footprint, calldata)" s))
+      in
+      Arg.conv (parse, fun ppf n -> Fmt.string ppf (Bca.narrowing_name n))
+    in
+    Arg.(
+      value
+      & opt (some narrow_conv) None
+      & info [ "mutate" ] ~docv:"DOMAIN"
+          ~doc:
+            "Seed an unsound narrowing of one analysis domain ($(b,cfg) drops JUMPI taken \
+             edges, $(b,stack) corrupts DUP constant propagation, $(b,footprint) ignores \
+             SSTORE, $(b,calldata) claims calldata never reaches control flow) before \
+             sweeping.  The oracle must then report violations, so the run exits nonzero \
+             — the rejection contract.")
+  in
+  let run seed iters corpus narrow metrics metrics_json =
+    with_metrics ~metrics ~metrics_json @@ fun () ->
+    let r = Fuzz.Bcarun.run ?narrow ~corpus ~seed ~iters () in
+    List.iter (fun (f, e) -> Printf.printf "corpus error: %s: %s\n" f e) r.corpus_errors;
+    let s = r.report in
+    Printf.printf
+      "analyzed %d scenarios (%d corpus entries + sentinels + %d generated per fork x %d \
+       forks), %d txs%s\n\
+       footprint coverage: %d runtime touches, %d committed changes, %d wild predictions\n\
+       calldata witnesses: %d flip re-executions\n%!"
+      s.scenarios r.corpus_files iters Spec.n_forks s.txs
+      (match narrow with
+      | None -> ""
+      | Some n -> Printf.sprintf "; narrowing %s SEEDED" (Bca.narrowing_name n))
+      s.touches_checked s.changes_checked s.wild s.flips;
+    let shown = 12 in
+    List.iteri
+      (fun i v -> if i < shown then Fmt.pr "  %a@." Fuzz.Bcarun.pp_violation v)
+      s.violations;
+    if List.length s.violations > shown then
+      Printf.printf "  ... and %d more\n" (List.length s.violations - shown);
+    let nv = List.length s.violations in
+    match narrow with
+    | None ->
+      if nv = 0 && r.corpus_errors = [] then
+        Printf.printf
+          "all footprints sound: static analysis ⊇ runtime touch log on every execution.\n%!"
+      else begin
+        Printf.printf "%d violation(s)\n" nv;
+        exit 1
+      end
+    | Some n ->
+      if nv = 0 then
+        Printf.printf "narrowing %s produced no violation — the oracle missed it.\n%!"
+          (Bca.narrowing_name n)
+      else begin
+        Printf.printf
+          "narrowing %s caught: %d violation(s); exiting nonzero per the rejection \
+           contract.\n%!"
+          (Bca.narrowing_name n) nv;
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Check lib/bca's static bytecode analysis against real executions: every runtime \
+          state touch and committed change must lie inside the per-transaction static \
+          footprint, and every calldata-independence claim must survive a witness flip.  \
+          --mutate seeds an unsound narrowing the sweep must catch.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ corpus_arg $ mutate_arg $ metrics_arg
+      $ metrics_json_arg)
+
 let main =
   (* no subcommand defaults to [run], so
      [forerunner --metrics-json out.json] measures the default workload *)
   Cmd.group ~default:run_term
     (Cmd.info "forerunner" ~version:"1.0.0"
        ~doc:"Constraint-based speculative transaction execution (SOSP'21) in OCaml.")
-    [ run_cmd; compare_cmd; bench_cmd; contracts_cmd; fuzz_cmd; check_cmd ]
+    [ run_cmd; compare_cmd; bench_cmd; contracts_cmd; fuzz_cmd; check_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -139,9 +139,9 @@ let apply_writes st regs writes =
    pre-seeded from the transaction's own fields.  For ordinary
    per-transaction programs ([ap.inputs] empty) this is just the zeroed
    register file the executor always started from. *)
-let bind_inputs (ap : Program.t) (tx : Evm.Env.tx) =
+let bind_inputs ~spec (ap : Program.t) (tx : Evm.Env.tx) =
   let regs = Array.make (max ap.reg_count 1) U256.zero in
-  Array.iteri (fun i src -> regs.(i) <- I.input_value tx src) ap.inputs;
+  Array.iteri (fun i src -> regs.(i) <- I.input_value ~spec tx src) ap.inputs;
   regs
 
 exception Violated
@@ -176,9 +176,20 @@ let rec exec_node ~use_memos ~warm st benv regs stats tx = function
     let sender_balance_before = Statedb.get_balance st tx.Evm.Env.sender in
     let sender_nonce_before = Statedb.get_nonce st tx.Evm.Env.sender in
     let logs = apply_writes st regs leaf.writes in
+    let gas_used =
+      match leaf.gas_used_src with
+      | None -> leaf.gas_used
+      | Some op -> (
+        (* template serve: the In_gas_used register was seeded with the
+           served transaction's own recomputed charge *)
+        match U256.to_int_opt (value_of regs op) with
+        | Some g -> g
+        | None -> leaf.gas_used)
+    in
     {
       Evm.Processor.status = leaf.status;
-      gas_used = leaf.gas_used;
+      gas_used;
+      gas_refund = leaf.gas_refund;
       output = I.bytes_of_pieces regs leaf.output;
       logs;
       contract_address = None;
@@ -202,7 +213,7 @@ let execute ?(use_memos = true) ?spec ?(prewarm = []) (ap : Program.t) st benv
   end
   else begin
     let warm = Evm.Processor.entry_warm tx prewarm in
-    let regs = bind_inputs ap tx in
+    let regs = bind_inputs ~spec ap tx in
     let stats = { executed = 0; skipped = 0; guards = 0; memo_hits = 0 } in
     let rec try_roots = function
       | [] ->

@@ -39,11 +39,12 @@ val apply_writes :
 (** Commit a deferred write set with the given register file; returns the
     logs it emitted. *)
 
-val bind_inputs : Program.t -> Evm.Env.tx -> U256.t array
+val bind_inputs : spec:Spec.t -> Program.t -> Evm.Env.tx -> U256.t array
 (** A fresh register file for running the program on behalf of [tx], with
     the template's input registers ([Program.t.inputs]) pre-seeded from the
-    transaction's own fields (lib/apstore's bind step).  {!execute} calls
-    this itself; exposed for tests and the template oracle. *)
+    transaction's own fields (lib/apstore's bind step); [spec] resolves the
+    fork-dependent gas inputs ([In_intrinsic_gas] and friends).  {!execute}
+    calls this itself; exposed for tests and the template oracle. *)
 
 val execute :
   ?use_memos:bool ->

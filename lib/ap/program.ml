@@ -32,6 +32,10 @@ type leaf = {
   writes : I.write list;
   status : Evm.Processor.status;
   gas_used : int;
+  gas_used_src : I.operand option;
+      (* template paths: register holding the served receipt's gas_used
+         (the constant above is the traced value only) *)
+  gas_refund : int; (* raw refund counter, surfaced into the receipt *)
   output : I.piece list;
 }
 
@@ -153,6 +157,8 @@ let of_path (p : I.path) : node =
             writes = p.writes;
             status = p.status;
             gas_used = p.gas_used;
+            gas_used_src = p.gas_used_src;
+            gas_refund = p.gas_refund;
             output = p.output;
           }
       in
@@ -258,7 +264,10 @@ let rec merge_node n1 n2 : node option =
     Some (Branch_warm (k1, merged))
   | Leaf l1, Leaf l2 ->
     if
-      l1.status = l2.status && l1.gas_used = l2.gas_used && writes_equal l1.writes l2.writes
+      l1.status = l2.status && l1.gas_used = l2.gas_used
+      && l1.gas_used_src = l2.gas_used_src
+      && l1.gas_refund = l2.gas_refund
+      && writes_equal l1.writes l2.writes
       && l1.output = l2.output
     then begin
       let fast =

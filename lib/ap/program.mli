@@ -27,7 +27,11 @@ type leaf = {
   fast : block list;  (** the fast path: everything no guard depends on *)
   writes : I.write list;  (** deferred effects, committed on completion *)
   status : Evm.Processor.status;
-  gas_used : int;
+  gas_used : int;  (** the traced charge (exact for per-transaction paths) *)
+  gas_used_src : I.operand option;
+      (** template paths: the [In_gas_used] register holding the served
+          transaction's recomputed charge; [None] otherwise *)
+  gas_refund : int;  (** raw refund counter, surfaced into the receipt *)
   output : I.piece list;
 }
 

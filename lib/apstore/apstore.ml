@@ -72,31 +72,76 @@ let locked t f =
    (lib/sevm/builder.ml, template mode): target + code hash fix the code
    the fast path was specialized from; fork id scopes gas tables and
    warmth rules (cross-fork reuse is rejected like any cross-fork AP);
-   calldata length, selector and nonzero-byte count fix the dispatch
-   shape and the intrinsic-gas constant; value zeroness fixes whether the
-   transfer legs were emitted; gas_limit keeps the baked gas_used and the
-   upfront-purchase constant exact. *)
+   calldata length fixes CALLDATASIZE (baked as an unguarded constant) and
+   the ABI word layout; value zeroness fixes whether the transfer legs
+   were emitted.
+
+   The gas components are consulted, not unconditional (lib/bca): with
+   gas accounting lifted into input registers, the exact gas limit and
+   the calldata nonzero-byte count (the intrinsic class) stay pinned only
+   for code that may execute GAS — the builder bakes GAS pushes as
+   unguarded constants, so such templates are sound only within one
+   (limit, intrinsic) class.  The selector bytes stay pinned only when
+   the analysis shows calldata[0..3] may be read (selector bytes precede
+   the lifted ABI words, so a selector-dispatching template served with a
+   different selector would constant-fold down the wrong path).  Zeroness
+   of the calldata words that flow into branch decisions is pinned so
+   obviously-divergent path classes get distinct templates instead of
+   guard-violating each other's.  A wild or fully calldata-dependent
+   analysis falls back to every legacy pin. *)
 let key_of_tx st (spec : Spec.t) (tx : Evm.Env.tx) : string option =
   match tx.to_ with
   | None -> None (* creation: the created address depends on the sender *)
   | Some target ->
     if Evm.Interp.is_precompile target then None
-    else if String.length (State.Statedb.get_code st target) = 0 then
-      None (* plain transfer: nothing to accelerate *)
     else begin
-      let len = String.length tx.data in
-      let selector = if len <= 4 then tx.data else String.sub tx.data 0 4 in
-      let nonzero = ref 0 in
-      String.iter (fun c -> if c <> '\000' then incr nonzero) tx.data;
-      let b = Buffer.create 96 in
-      Buffer.add_string b (State.Statedb.get_code_hash st target);
-      Buffer.add_string b (State.Address.to_bytes target);
-      Buffer.add_string b
-        (Printf.sprintf "|%d|%d|%d|%c|%d|" spec.id len !nonzero
-           (if U256.is_zero tx.value then 'z' else 'v')
-           tx.gas_limit);
-      Buffer.add_string b selector;
-      Some (Khash.Keccak.digest (Buffer.contents b))
+      let code = State.Statedb.get_code st target in
+      if String.length code = 0 then None (* plain transfer: nothing to accelerate *)
+      else begin
+        let code_of a =
+          if Evm.Interp.is_precompile a then None
+          else
+            match State.Statedb.get_code st a with "" -> None | c -> Some c
+        in
+        let f =
+          Bca.facts_for ~spec ~hash:(State.Statedb.get_code_hash st target) code
+        in
+        let conservative = f.Bca.f_wild || f.Bca.f_cf_top in
+        let pin_gas = conservative || Bca.uses_gas_deep ~spec ~code_of target in
+        let pin_selector = conservative || f.Bca.f_reads_selector in
+        let len = String.length tx.data in
+        let b = Buffer.create 96 in
+        Buffer.add_string b (State.Statedb.get_code_hash st target);
+        Buffer.add_string b (State.Address.to_bytes target);
+        Buffer.add_string b
+          (Printf.sprintf "|%d|%d|%c|" spec.id len
+             (if U256.is_zero tx.value then 'z' else 'v'));
+        if pin_gas then begin
+          let nonzero = ref 0 in
+          String.iter (fun c -> if c <> '\000' then incr nonzero) tx.data;
+          Buffer.add_string b (Printf.sprintf "g%d:%d|" tx.gas_limit !nonzero)
+        end;
+        if pin_selector then begin
+          Buffer.add_char b 's';
+          Buffer.add_string b (if len <= 4 then tx.data else String.sub tx.data 0 4)
+        end;
+        if (not conservative) && f.Bca.f_cf_words <> 0 then begin
+          Buffer.add_char b '|';
+          let n_words = if len > 4 then (len - 4 + 31) / 32 else 0 in
+          for k = 0 to min (n_words - 1) 60 do
+            if f.Bca.f_cf_words land (1 lsl k) <> 0 then begin
+              let off = 4 + (32 * k) in
+              let z = ref true in
+              for i = off to min (off + 31) (len - 1) do
+                if tx.data.[i] <> '\000' then z := false
+              done;
+              Buffer.add_char b (if !z then 'z' else 'v')
+            end
+            else Buffer.add_char b '-'
+          done
+        end;
+        Some (Khash.Keccak.digest (Buffer.contents b))
+      end
     end
 
 (* ---- probe / single-flight / publish ---- *)

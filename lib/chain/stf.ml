@@ -162,6 +162,7 @@ type par_stats = {
   par_aborted : int; (* read/write conflicts: speculation discarded *)
   par_forced : int; (* non-commutative coinbase patterns *)
   par_reruns : int; (* sequential re-executions = aborted + forced *)
+  par_static_serial : int; (* statically partitioned out: never speculated *)
   par_ap_hits : int; (* speculative executions through the AP fast path *)
   par_commit_ns : int;
 }
@@ -213,7 +214,71 @@ let speculate_one ?spec bk ~parent_root ~ap (benv : Evm.Env.block_env) idx (tx :
 
 let no_ap : Evm.Env.tx -> Ap.Program.t option = fun _ -> None
 
-let apply_txs_parallel ?pool ?(ap = no_ap) ?spec st (benv : Evm.Env.block_env) txs =
+(* ---- static pre-partitioning (lib/bca) ----
+
+   Before speculating, concretize each transaction's static footprint and
+   serialize — in consensus order, on the master state, without spending a
+   worker slot — every transaction whose predicted write set may intersect
+   an earlier transaction's predicted read/write set.  The decision is a
+   pure heuristic: a wrongly-parallelized transaction is still caught by
+   the dynamic conflict check at commit, and a wrongly-serialized one only
+   costs the skipped speculation — the committed root is byte-identical
+   either way.  Wild footprints (creations, unresolved call targets)
+   serialize themselves but are NOT folded into the running union, so one
+   opaque transaction does not serialize the rest of the block; if it
+   truly conflicts, the dynamic check catches the overlap.  The coinbase
+   is stripped from the predictions exactly as [read_keys]/[write_keys]
+   strip it from the dynamic sets: fee credits commute. *)
+
+let empty_prediction =
+  {
+    Bca.p_wild = false;
+    p_r_accounts = [];
+    p_w_accounts = [];
+    p_codes = [];
+    p_r_slots = [];
+    p_w_slots = [];
+    p_r_slot_wild = [];
+    p_w_slot_wild = [];
+  }
+
+let obs_static_serial = Obs.counter "stf.parallel.static_serial"
+
+let static_partition_plan ~spec st (benv : Evm.Env.block_env) txs_arr =
+  Bca.ensure_installed ();
+  let code_of a = match Statedb.get_code st a with "" -> None | c -> Some c in
+  let strip (p : Bca.prediction) =
+    if p.Bca.p_wild then p
+    else
+      let f = List.filter (fun a -> not (Address.equal a benv.coinbase)) in
+      { p with Bca.p_r_accounts = f p.Bca.p_r_accounts; p_w_accounts = f p.Bca.p_w_accounts }
+  in
+  let n = Array.length txs_arr in
+  let serial = Array.make n false in
+  let acc = ref empty_prediction in
+  Array.iteri
+    (fun j tx ->
+      let p = strip (Bca.predict_tx ~spec ~code_of ~coinbase:benv.coinbase tx) in
+      if p.Bca.p_wild then serial.(j) <- true
+      else begin
+        if Bca.overlap p !acc then serial.(j) <- true;
+        acc :=
+          {
+            Bca.p_wild = false;
+            p_r_accounts = p.Bca.p_r_accounts @ !acc.Bca.p_r_accounts;
+            p_w_accounts = p.Bca.p_w_accounts @ !acc.Bca.p_w_accounts;
+            p_codes = p.Bca.p_codes @ !acc.Bca.p_codes;
+            p_r_slots = p.Bca.p_r_slots @ !acc.Bca.p_r_slots;
+            p_w_slots = p.Bca.p_w_slots @ !acc.Bca.p_w_slots;
+            p_r_slot_wild = p.Bca.p_r_slot_wild @ !acc.Bca.p_r_slot_wild;
+            p_w_slot_wild = p.Bca.p_w_slot_wild @ !acc.Bca.p_w_slot_wild;
+          }
+      end)
+    txs_arr;
+  serial
+
+let apply_txs_parallel ?pool ?(ap = no_ap) ?spec ?(static_partition = false) st
+    (benv : Evm.Env.block_env) txs =
   (* resolve once on the caller's domain: worker-domain speculation and the
      commit-phase reruns must run under the same fork *)
   let spec = match spec with Some s -> s | None -> !Spec.current in
@@ -229,67 +294,92 @@ let apply_txs_parallel ?pool ?(ap = no_ap) ?spec st (benv : Evm.Env.block_env) t
       (Some p, p)
   in
   Fun.protect ~finally:(fun () -> Option.iter shutdown_pool owned) @@ fun () ->
-  (* speculative phase: fan the block out across the pool's domains *)
-  Obs.span "stf.parallel.exec" (fun () ->
-      List.iteri
-        (fun idx tx ->
-          Sched.submit sched ~hash:(Evm.Env.tx_hash tx) ~root:parent_root
-            ~priority:tx.Evm.Env.gas_price
-            (speculate_one ~spec bk ~parent_root ~ap benv idx tx))
-        txs;
-      Sched.barrier sched);
-  let specs =
-    List.map
-      (fun (r : spec Sched.result) ->
-        match r.r_value with Ok sp -> sp | Error e -> raise e)
-      (Sched.drain sched)
+  let txs_arr = Array.of_list txs in
+  let n_txs = Array.length txs_arr in
+  (* static pre-partition: transactions the footprints prove must
+     serialize skip the speculative phase entirely *)
+  let serial =
+    if static_partition then
+      Obs.span "stf.parallel.partition" (fun () ->
+          static_partition_plan ~spec st benv txs_arr)
+    else Array.make n_txs false
   in
-  let specs = List.sort (fun a b -> compare a.sp_idx b.sp_idx) specs in
-  let n_txs = List.length txs in
-  if List.length specs <> n_txs then
+  (* speculative phase: fan the block out across the pool's domains *)
+  let n_submitted = ref 0 in
+  Obs.span "stf.parallel.exec" (fun () ->
+      Array.iteri
+        (fun idx tx ->
+          if not serial.(idx) then begin
+            incr n_submitted;
+            Sched.submit sched ~hash:(Evm.Env.tx_hash tx) ~root:parent_root
+              ~priority:tx.Evm.Env.gas_price
+              (speculate_one ~spec bk ~parent_root ~ap benv idx tx)
+          end)
+        txs_arr;
+      Sched.barrier sched);
+  let results : spec option array = Array.make n_txs None in
+  List.iter
+    (fun (r : spec Sched.result) ->
+      match r.r_value with
+      | Ok sp -> results.(sp.sp_idx) <- Some sp
+      | Error e -> raise e)
+    (Sched.drain sched);
+  let n_results = Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
+  if n_results <> !n_submitted then
     invalid_arg "apply_txs_parallel: speculation result count mismatch";
   (* commit phase: consensus order, conflict check, abort-and-rerun *)
   let conflict = Sched.Conflict.create () in
   let aborted = ref 0 and forced = ref 0 and ap_hits = ref 0 in
+  let static_serial = ref 0 in
   let commit_ns = ref 0 in
+  (* sequential execution on the master state: by induction it holds
+     exactly the sequential prefix, so this execution is the sequential
+     one; its write keys feed the conflict manager so later speculated
+     transactions abort correctly *)
+  let run_inline idx tx =
+    let mark = Statedb.snapshot st in
+    let r = Evm.Processor.execute_tx ~spec st benv tx in
+    let changes = Statedb.changes_since st mark in
+    Sched.Conflict.commit conflict ~index:idx (write_keys ~coinbase:benv.coinbase changes);
+    r
+  in
   let receipts =
-    List.map2
-      (fun tx sp ->
+    List.init n_txs (fun idx ->
+        let tx = txs_arr.(idx) in
         let t0 = Obs.now_ns () in
-        let clash =
-          if sp.sp_forced then begin
-            incr forced;
-            true
-          end
-          else
-            match Sched.Conflict.check conflict sp.sp_reads with
-            | Some _ -> incr aborted; true
-            | None -> false
-        in
         let receipt =
-          if clash then begin
-            (* rerun on the master state: by induction it holds exactly the
-               sequential prefix, so this execution is the sequential one *)
-            Obs.incr Sched.Conflict.obs_reruns;
-            let mark = Statedb.snapshot st in
-            let r = Evm.Processor.execute_tx ~spec st benv tx in
-            let changes = Statedb.changes_since st mark in
-            Sched.Conflict.commit conflict ~index:sp.sp_idx
-              (write_keys ~coinbase:benv.coinbase changes);
-            r
-          end
-          else begin
-            if sp.sp_ap_hit then incr ap_hits;
-            Statedb.apply_changes st sp.sp_changes;
-            if not (U256.is_zero sp.sp_cb_delta) then
-              Statedb.add_balance st benv.coinbase sp.sp_cb_delta;
-            Sched.Conflict.commit conflict ~index:sp.sp_idx sp.sp_writes;
-            sp.sp_receipt
-          end
+          match results.(idx) with
+          | None ->
+            (* statically partitioned out: first execution, not a rerun *)
+            incr static_serial;
+            Obs.incr obs_static_serial;
+            run_inline idx tx
+          | Some sp ->
+            let clash =
+              if sp.sp_forced then begin
+                incr forced;
+                true
+              end
+              else
+                match Sched.Conflict.check conflict sp.sp_reads with
+                | Some _ -> incr aborted; true
+                | None -> false
+            in
+            if clash then begin
+              Obs.incr Sched.Conflict.obs_reruns;
+              run_inline sp.sp_idx tx
+            end
+            else begin
+              if sp.sp_ap_hit then incr ap_hits;
+              Statedb.apply_changes st sp.sp_changes;
+              if not (U256.is_zero sp.sp_cb_delta) then
+                Statedb.add_balance st benv.coinbase sp.sp_cb_delta;
+              Sched.Conflict.commit conflict ~index:sp.sp_idx sp.sp_writes;
+              sp.sp_receipt
+            end
         in
         commit_ns := !commit_ns + Int64.to_int (Int64.sub (Obs.now_ns ()) t0);
         receipt)
-      txs specs
   in
   Obs.add Sched.Conflict.obs_aborts !aborted;
   Obs.incr obs_par_blocks;
@@ -311,12 +401,13 @@ let apply_txs_parallel ?pool ?(ap = no_ap) ?spec st (benv : Evm.Env.block_env) t
       par_aborted = !aborted;
       par_forced = !forced;
       par_reruns = !aborted + !forced;
+      par_static_serial = !static_serial;
       par_ap_hits = !ap_hits;
       par_commit_ns = !commit_ns;
     } )
 
-let apply_block_parallel ?pool ?ap ?spec st ~block_hash (b : Block.t) =
+let apply_block_parallel ?pool ?ap ?spec ?static_partition st ~block_hash (b : Block.t) =
   let benv = block_env_of_header b.header ~block_hash in
-  let r, stats = apply_txs_parallel ?pool ?ap ?spec st benv b.txs in
+  let r, stats = apply_txs_parallel ?pool ?ap ?spec ?static_partition st benv b.txs in
   check_valid ~what:"apply_block_parallel" r.receipts;
   (r, stats)

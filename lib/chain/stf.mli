@@ -55,6 +55,9 @@ type par_stats = {
   par_aborted : int;  (** commits aborted on a read/write conflict *)
   par_forced : int;  (** forced sequential reruns (non-commutative coinbase) *)
   par_reruns : int;  (** sequential re-executions: aborted + forced *)
+  par_static_serial : int;
+      (** transactions the static pre-partitioner (lib/bca) kept out of the
+          speculative phase and executed in order on the master state *)
   par_ap_hits : int;  (** speculative executions through the AP fast path *)
   par_commit_ns : int;  (** wall time of the consensus-order commit loop *)
 }
@@ -63,6 +66,7 @@ val apply_txs_parallel :
   ?pool:pool ->
   ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
   ?spec:Spec.t ->
+  ?static_partition:bool ->
   Statedb.t ->
   Evm.Env.block_env ->
   Evm.Env.tx list ->
@@ -73,13 +77,20 @@ val apply_txs_parallel :
     any (never consulted for creations); default: none, interpreter only.
     [spec] is resolved once on the submitting domain so speculation and
     commit-phase reruns agree on the fork.  Without [pool] an ephemeral
-    inline pool is used.
+    inline pool is used.  With [static_partition] (default off) each
+    transaction's static footprint ({!Bca.predict_tx}) is concretized
+    first and transactions that provably conflict with an earlier one
+    skip speculation entirely, executing in consensus order at commit
+    ([par_static_serial]) — a pure scheduling heuristic: the dynamic
+    conflict check still guards every speculated commit and the root is
+    byte-identical either way.
     @raise Invalid_argument if [st] has uncommitted state. *)
 
 val apply_block_parallel :
   ?pool:pool ->
   ?ap:(Evm.Env.tx -> Ap.Program.t option) ->
   ?spec:Spec.t ->
+  ?static_partition:bool ->
   Statedb.t ->
   block_hash:(int64 -> U256.t) ->
   Block.t ->

@@ -65,6 +65,7 @@ let try_path (path : I.path) st (benv : Evm.Env.block_env) (tx : Evm.Env.tx) :
       {
         Evm.Processor.status = path.status;
         gas_used = path.gas_used;
+        gas_refund = path.gas_refund;
         output = I.bytes_of_pieces regs path.output;
         logs;
         contract_address = None;

@@ -33,11 +33,13 @@ type run_stats = {
 type par_workload = {
   pw_name : string;
   pw_jobs : int;
+  pw_static : bool;
   pw_blocks : int;
   pw_txs : int;
   pw_aborted : int;
   pw_forced : int;
   pw_reruns : int;
+  pw_static_serial : int;
   pw_ap_hits : int;
   pw_abort_rate_pct : float;
   pw_seq_wall_ns : int;
@@ -132,7 +134,8 @@ let build_aps bk ~parent_root benv (txs : Evm.Env.tx list) =
     txs;
   table
 
-let run_parallel_blocks ?(with_ap = true) ~jobs ~name (record : Netsim.Record.t) =
+let run_parallel_blocks ?(with_ap = true) ?(static_partition = false) ~jobs ~name
+    (record : Netsim.Record.t) =
   let bk = record.backend in
   let blocks = canonical_blocks record in
   let pool = Chain.Stf.create_pool ~jobs () in
@@ -140,7 +143,7 @@ let run_parallel_blocks ?(with_ap = true) ~jobs ~name (record : Netsim.Record.t)
   let parent = ref record.genesis_root in
   let seq_ns = ref 0 and par_ns = ref 0 in
   let n_txs = ref 0 and aborted = ref 0 and forced = ref 0 in
-  let reruns = ref 0 and ap_hits = ref 0 in
+  let reruns = ref 0 and ap_hits = ref 0 and static_serial = ref 0 in
   let roots_ok = ref true in
   List.iter
     (fun (b : Chain.Block.t) ->
@@ -156,7 +159,8 @@ let run_parallel_blocks ?(with_ap = true) ~jobs ~name (record : Netsim.Record.t)
       seq_ns := !seq_ns + ns;
       let st_par = Statedb.create bk ~root:!parent in
       let (r_par, stats), nsp =
-        Clock.time (fun () -> Chain.Stf.apply_txs_parallel ~pool ~ap st_par benv b.txs)
+        Clock.time (fun () ->
+            Chain.Stf.apply_txs_parallel ~pool ~ap ~static_partition st_par benv b.txs)
       in
       par_ns := !par_ns + nsp;
       n_txs := !n_txs + stats.par_txs;
@@ -164,6 +168,7 @@ let run_parallel_blocks ?(with_ap = true) ~jobs ~name (record : Netsim.Record.t)
       forced := !forced + stats.par_forced;
       reruns := !reruns + stats.par_reruns;
       ap_hits := !ap_hits + stats.par_ap_hits;
+      static_serial := !static_serial + stats.par_static_serial;
       if
         not
           (String.equal r_par.state_root r_seq.state_root
@@ -174,11 +179,13 @@ let run_parallel_blocks ?(with_ap = true) ~jobs ~name (record : Netsim.Record.t)
   {
     pw_name = name;
     pw_jobs = jobs;
+    pw_static = static_partition;
     pw_blocks = List.length blocks;
     pw_txs = !n_txs;
     pw_aborted = !aborted;
     pw_forced = !forced;
     pw_reruns = !reruns;
+    pw_static_serial = !static_serial;
     pw_ap_hits = !ap_hits;
     pw_abort_rate_pct = 100.0 *. float_of_int (!aborted + !forced) /. float_of_int (max 1 !n_txs);
     pw_seq_wall_ns = !seq_ns;
@@ -201,9 +208,16 @@ let parallel_suite ?(with_ap = true) ?(scale = 1.0) ~jobs () =
       mix;
     }
   in
+  (* Each workload runs twice on the same record: static pre-partitioning
+     off, then on.  The partitioner is a pure scheduling heuristic, so the
+     on/off pair must agree on every committed root (pw_roots_match checks
+     each run against the canonical header roots, which the off run already
+     matched — so agreement there is byte-identity between the two) while
+     the abort/rerun counts show what the static footprints bought. *)
   let work name params =
     let record = Netsim.Sim.run ~params () in
-    run_parallel_blocks ~with_ap ~jobs ~name record
+    [ run_parallel_blocks ~with_ap ~static_partition:false ~jobs ~name record;
+      run_parallel_blocks ~with_ap ~static_partition:true ~jobs ~name record ]
   in
   (* The transfer record draws senders/recipients uniformly, so the user
      pool sets the collision rate: a ~200-tx block over 2000 users touches
@@ -211,12 +225,13 @@ let parallel_suite ?(with_ap = true) ?(scale = 1.0) ~jobs () =
      measured), while the same block over 120 users is one big nonce/
      balance pile-up.  The AMM record conflicts through the shared pair
      reserves no matter how many users swap. *)
-  [
-    work "transfer"
-      (mk ~seed:7001 ~mix:[ (Workload.Gen.Eth_transfer, 1.0) ] ~n_users:2000 60.0);
-    work "amm" (mk ~seed:7002 ~mix:[ (Workload.Gen.Amm_swap, 1.0) ] ~n_users:120 60.0);
-    work "mixed" (mk ~seed:7003 ~mix:Workload.Gen.default_mix ~n_users:120 60.0);
-  ]
+  List.concat
+    [
+      work "transfer"
+        (mk ~seed:7001 ~mix:[ (Workload.Gen.Eth_transfer, 1.0) ] ~n_users:2000 60.0);
+      work "amm" (mk ~seed:7002 ~mix:[ (Workload.Gen.Amm_swap, 1.0) ] ~n_users:120 60.0);
+      work "mixed" (mk ~seed:7003 ~mix:Workload.Gen.default_mix ~n_users:120 60.0);
+    ]
 
 let compare_jobs ?(config = Node.default_config) ?(par_suite = true) ~jobs record =
   let r_seq, seq = one_run ~jobs:1 ~drop_stale:false ~config record in
@@ -256,13 +271,14 @@ let print c =
   if c.parallel <> [] then begin
     Printf.printf "\nconflict-aware parallel block apply (jobs=%d):\n"
       (match c.parallel with pw :: _ -> pw.pw_jobs | [] -> 0);
-    Printf.printf "%-10s %7s %7s %8s %8s %8s %11s %9s %6s\n" "workload" "blocks" "txs"
-      "aborted" "forced" "ap hits" "abort rate" "speedup" "roots";
+    Printf.printf "%-10s %6s %7s %7s %8s %8s %7s %8s %11s %9s %6s\n" "workload" "static"
+      "blocks" "txs" "aborted" "forced" "serial" "ap hits" "abort rate" "speedup" "roots";
     List.iter
       (fun pw ->
-        Printf.printf "%-10s %7d %7d %8d %8d %8d %10.2f%% %8.2fx %6s\n" pw.pw_name
-          pw.pw_blocks pw.pw_txs pw.pw_aborted pw.pw_forced pw.pw_ap_hits
-          pw.pw_abort_rate_pct pw.pw_speedup
+        Printf.printf "%-10s %6s %7d %7d %8d %8d %7d %8d %10.2f%% %8.2fx %6s\n" pw.pw_name
+          (if pw.pw_static then "on" else "off")
+          pw.pw_blocks pw.pw_txs pw.pw_aborted pw.pw_forced pw.pw_static_serial
+          pw.pw_ap_hits pw.pw_abort_rate_pct pw.pw_speedup
           (if pw.pw_roots_match then "ok" else "FAIL"))
       c.parallel
   end
@@ -276,9 +292,14 @@ let print c =
      {"schema_version":N,"experiment":"...","fork":"...",...}
 
    Bump [schema_version] whenever a field of any artifact changes meaning
-   or disappears; adding fields is backward compatible. *)
+   or disappears; adding fields is backward compatible.
 
-let schema_version = 1
+   v2: BENCH_sched.json's parallel_blocks array carries each workload
+   twice, keyed by the new static_partition field (the lib/bca
+   pre-partitioning comparison), so per-workload consumers must group by
+   (workload, static_partition) instead of workload alone. *)
+
+let schema_version = 2
 
 let meta_header ?(extra = []) ~experiment () =
   let kvs =
@@ -327,12 +348,13 @@ let json_of_run (s : run_stats) =
 
 let json_of_workload (pw : par_workload) =
   Printf.sprintf
-    "{\"workload\":\"%s\",\"jobs\":%d,\"blocks\":%d,\"txs\":%d,\"aborted\":%d,\
-     \"forced\":%d,\"reruns\":%d,\"ap_hits\":%d,\"abort_rate_pct\":%.3f,\
-     \"seq_wall_ns\":%d,\"par_wall_ns\":%d,\"speedup\":%.3f,\"roots_match\":%b}"
-    pw.pw_name pw.pw_jobs pw.pw_blocks pw.pw_txs pw.pw_aborted pw.pw_forced pw.pw_reruns
-    pw.pw_ap_hits pw.pw_abort_rate_pct pw.pw_seq_wall_ns pw.pw_par_wall_ns pw.pw_speedup
-    pw.pw_roots_match
+    "{\"workload\":\"%s\",\"jobs\":%d,\"static_partition\":%b,\"blocks\":%d,\"txs\":%d,\
+     \"aborted\":%d,\"forced\":%d,\"reruns\":%d,\"static_serial\":%d,\"ap_hits\":%d,\
+     \"abort_rate_pct\":%.3f,\"seq_wall_ns\":%d,\"par_wall_ns\":%d,\"speedup\":%.3f,\
+     \"roots_match\":%b}"
+    pw.pw_name pw.pw_jobs pw.pw_static pw.pw_blocks pw.pw_txs pw.pw_aborted pw.pw_forced
+    pw.pw_reruns pw.pw_static_serial pw.pw_ap_hits pw.pw_abort_rate_pct pw.pw_seq_wall_ns
+    pw.pw_par_wall_ns pw.pw_speedup pw.pw_roots_match
 
 let to_json c =
   Printf.sprintf

@@ -33,11 +33,14 @@ type run_stats = {
 type par_workload = {
   pw_name : string;  (** ["transfer"], ["amm"] or ["mixed"] *)
   pw_jobs : int;
+  pw_static : bool;  (** lib/bca static pre-partitioning enabled *)
   pw_blocks : int;
   pw_txs : int;
   pw_aborted : int;  (** commits aborted on read/write conflicts *)
   pw_forced : int;  (** forced sequential reruns (coinbase patterns) *)
   pw_reruns : int;
+  pw_static_serial : int;
+      (** transactions the static partitioner kept out of speculation *)
   pw_ap_hits : int;  (** speculative executions through the AP fast path *)
   pw_abort_rate_pct : float;  (** (aborted + forced) / txs *)
   pw_seq_wall_ns : int;
@@ -59,16 +62,24 @@ type comparison = {
 }
 
 val run_parallel_blocks :
-  ?with_ap:bool -> jobs:int -> name:string -> Netsim.Record.t -> par_workload
+  ?with_ap:bool ->
+  ?static_partition:bool ->
+  jobs:int ->
+  name:string ->
+  Netsim.Record.t ->
+  par_workload
 (** Apply every canonical block of the recording sequentially and in
     parallel (jobs workers, APs pre-built per block unless
     [with_ap:false]), asserting root identity and accumulating
-    abort/rerun/speedup numbers. *)
+    abort/rerun/speedup numbers.  [static_partition] (default off)
+    forwards to {!Chain.Stf.apply_txs_parallel}. *)
 
 val parallel_suite :
   ?with_ap:bool -> ?scale:float -> jobs:int -> unit -> par_workload list
 (** The transfer / amm / mixed workload sweep ([scale] shrinks the
-    simulated duration like [FORERUNNER_SCALE]). *)
+    simulated duration like [FORERUNNER_SCALE]).  Each workload record is
+    applied twice — static pre-partitioning off, then on — so the pair's
+    abort/rerun counts are directly comparable on identical blocks. *)
 
 val compare_jobs :
   ?config:Node.config -> ?par_suite:bool -> jobs:int -> Netsim.Record.t -> comparison

@@ -24,9 +24,28 @@ type instr = {
   max_sp : int;
   steps : int;
   next : int;
-  xop : int;  (** untraced dispatch id: [op_id], or [0x100 + successor] when
-                  this PUSH is fused with the instruction that consumes it *)
+  xop : int;  (** untraced dispatch id: [op_id]; [0x100 + successor] for a
+                  fused PUSH-op pair; [0x200 + successor] for a certified
+                  DUP1-op pair; [0x300 + third] for a certified
+                  PUSH-PUSH-op triple *)
+  meta : int;  (** the scalar metadata above packed into one immediate:
+                   bits 0..9 xop, 10..14 stack_in, 15..25 min(max_sp,2047),
+                   26..40 static_gas, 41 steps — one load per untraced
+                   dispatch instead of five *)
 }
+
+let pack_meta i =
+  i.xop land 0x3ff
+  lor (i.stack_in lsl 10)
+  lor (min i.max_sp 2047 lsl 15)
+  lor (i.static_gas lsl 26)
+  lor (i.steps lsl 41)
+
+let meta_xop m = m land 0x3ff
+let meta_stack_in m = (m lsr 10) land 0x1f
+let meta_max_sp m = (m lsr 15) land 0x7ff
+let meta_static_gas m = (m lsr 26) land 0x7fff
+let meta_steps m = (m lsr 41) land 1
 
 type program = {
   code : string;
@@ -77,14 +96,15 @@ let decode_at (spec : Spec.t) code pc =
        handler raises with no stack check, no charge and no step counted —
        the legacy loop's behaviour for bytes [Op.of_byte] rejects. *)
     { op_id = b; op = Op.INVALID; imm = U256.zero; imm_i = 0; static_gas = 0;
-      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = b }
+      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = b; meta = 0 }
   | Some _ when not (Spec.available spec b) ->
     (* Assigned byte not yet introduced under this fork: decoded exactly
        like an unassigned one, but dispatched through [invalid_xop] so the
        real handler installed at slot [b] is never reached.  [op_id] keeps
        the original byte for the failure payload. *)
     { op_id = b; op = Op.INVALID; imm = U256.zero; imm_i = 0; static_gas = 0;
-      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = invalid_xop }
+      stack_in = 0; max_sp = max_int; steps = 0; next = pc + 1; xop = invalid_xop;
+      meta = 0 }
   | Some op ->
     let si = Op.stack_in op and so = Op.stack_out op in
     let npush = Op.push_bytes op in
@@ -100,6 +120,7 @@ let decode_at (spec : Spec.t) code pc =
       steps = 1;
       next = pc + 1 + npush;
       xop = b;
+      meta = 0;
     }
 
 (* Successor opcodes a PUSH fuses with: the untraced decoded engine
@@ -116,6 +137,37 @@ let fusable_ids =
 let fusable = Array.make 256 false
 let () = List.iter (fun id -> fusable.(id) <- true) fusable_ids
 
+(* Third opcodes of a certified PUSH-PUSH-op triple (slot [0x300 + id]):
+   stack-neutral-or-shrinking consumers whose static charge is
+   fork-invariant, so the fused handler can capture it at install time.
+   SLOAD/JUMP/JUMPI stay pair-only (fork-dependent charge / control
+   transfer). *)
+let triple_ids =
+  [ 0x01 (* ADD *); 0x02 (* MUL *); 0x03 (* SUB *); 0x04 (* DIV *); 0x10 (* LT *);
+    0x11 (* GT *); 0x14 (* EQ *); 0x16 (* AND *); 0x17 (* OR *); 0x18 (* XOR *);
+    0x1b (* SHL *); 0x1c (* SHR *); 0x52 (* MSTORE *) ]
+
+let triple_fusable = Array.make 256 false
+let () = List.iter (fun id -> triple_fusable.(id) <- true) triple_ids
+
+(* Successors of a certified DUP1-op pair (slot [0x200 + id]): binops only,
+   so the window is a pure x -> op(x,x) rewrite on the existing top. *)
+let dup_ids =
+  [ 0x01; 0x02; 0x03; 0x04; 0x10; 0x11; 0x14; 0x16; 0x17; 0x18 ]
+
+let dup_fusable = Array.make 256 false
+let () = List.iter (fun id -> dup_fusable.(id) <- true) dup_ids
+
+(* Multi-instruction windows beyond the unconditional PUSH-op pair need a
+   proof that nothing jumps into the window interior; lib/bca installs one
+   (its CFG leader bitmap) via this hook.  Decode stays analysis-agnostic:
+   no certifier, no triples. *)
+let fusion_certifier : (Spec.t -> program -> (int -> bool)) option ref = ref None
+let set_fusion_certifier f = fusion_certifier := Some f
+
+let obs_triples = Obs.counter "interp.decode.fused_triples"
+let obs_dups = Obs.counter "interp.decode.fused_dups"
+
 let decode ?hash ~spec code =
   let code_hash = match hash with Some h -> h | None -> Khash.Keccak.digest code in
   let instrs = Array.init (String.length code) (decode_at spec code) in
@@ -128,7 +180,41 @@ let decode ?hash ~spec code =
           instrs.(pc) <- { i with xop = 0x100 lor j.op_id }
       end)
     instrs;
-  { code; code_hash; instrs; jumpdests = analyze_jumpdests code }
+  let p = { code; code_hash; instrs; jumpdests = analyze_jumpdests code } in
+  (match !fusion_certifier with
+  | None -> ()
+  | Some cert ->
+    (* The certifier sees the pair-fused program; the analysis reads only
+       op/steps/next/imm, never xop, so the order is immaterial. *)
+    let ok = cert spec p in
+    for pc = 0 to n - 1 do
+      let i = instrs.(pc) in
+      if i.op_id = 0x80 && i.steps = 1 && i.next < n then begin
+        let j = instrs.(i.next) in
+        if dup_fusable.(j.op_id) && j.steps = 1 && ok i.next then begin
+          instrs.(pc) <- { i with xop = 0x200 lor j.op_id };
+          Obs.incr obs_dups
+        end
+      end
+    done;
+    for pc = 0 to n - 1 do
+      let i = instrs.(pc) in
+      if i.op_id >= 0x60 && i.op_id <= 0x7f && i.steps = 1 && i.next < n then begin
+        let i2 = instrs.(i.next) in
+        if i2.op_id >= 0x60 && i2.op_id <= 0x7f && i2.steps = 1 && i2.next < n then begin
+          let i3 = instrs.(i2.next) in
+          (* the second PUSH keeps its own pair fusion: a direct dispatch
+             of [i.next] (jump-adjacent stream) still executes correctly *)
+          if triple_fusable.(i3.op_id) && i3.steps = 1 && ok i.next && ok i2.next
+          then begin
+            instrs.(pc) <- { i with xop = 0x300 lor i3.op_id };
+            Obs.incr obs_triples
+          end
+        end
+      end
+    done);
+  Array.iteri (fun pc i -> instrs.(pc) <- { i with meta = pack_meta i }) instrs;
+  p
 
 (* ---- the process-wide program cache ----
 

@@ -24,8 +24,22 @@ type instr = {
   next : int;  (** fall-through pc: one past the opcode and its immediate *)
   xop : int;  (** dispatch id for the untraced engine: [op_id], or
                   [0x100 + successor_id] for a PUSH fused with the
-                  instruction that consumes it (see {!fusable_ids}) *)
+                  instruction that consumes it (see {!fusable_ids});
+                  [0x200 + successor_id] / [0x300 + third_id] for the
+                  certified DUP1-op pairs and PUSH-PUSH-op triples *)
+  meta : int;  (** the dispatch scalars packed into one int — bits 0..9
+                   [xop], 10..14 [stack_in], 15..25 [min max_sp 2047],
+                   26..40 [static_gas], 41 [steps] — so the untraced hot
+                   loop issues one load per step (see the [meta_*]
+                   accessors, pinned against the unpacked fields in
+                   [test_gastable.ml]) *)
 }
+
+val meta_xop : int -> int
+val meta_stack_in : int -> int
+val meta_max_sp : int -> int
+val meta_static_gas : int -> int
+val meta_steps : int -> int
 
 type program = {
   code : string;
@@ -49,6 +63,24 @@ val static_gas_of_byte : Spec.t -> int -> int
     decoded under [spec] — the gas-table tests pin the Istanbul column
     against {!Gas.static_cost} and every fork's column against the
     spec's resolved table. Unassigned and unavailable bytes charge 0. *)
+
+val triple_ids : int list
+(** Third opcodes of a certified PUSH-PUSH-op triple (table slot
+    [0x300 + id]): binops/shifts/MSTORE whose static charge is
+    fork-invariant. *)
+
+val dup_ids : int list
+(** Successor opcodes of a certified DUP1-op pair (table slot
+    [0x200 + id]): binops only. *)
+
+val set_fusion_certifier : (Spec.t -> program -> (int -> bool)) -> unit
+(** Install the straight-line-window certifier (lib/bca's CFG leader
+    bitmap).  [cert spec p] returns a predicate telling whether pc is a
+    proven window interior — i.e. no jump can land there — which unlocks
+    DUP1-op and PUSH-PUSH-op fusion in subsequent decodes.  Without a
+    certifier decode emits pairs only.  The certifier runs inside
+    [decode] (outside the cache lock) and must not call back into this
+    module's cached entry points for the same code. *)
 
 val invalid_xop : int
 (** Dispatch id given to opcodes unavailable under the decoding spec: a

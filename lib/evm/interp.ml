@@ -276,10 +276,13 @@ let handler_table : (ctx -> frame -> Decode.instr -> unit) array =
 
 (* The untraced engine dispatches on [instr.xop] through this wider table:
    slots 0..255 mirror [handler_table], slots [0x100 + id] hold fused
-   PUSH+op handlers for {!Decode.fusable_ids}.  The traced path always
-   dispatches unfused so every step is captured individually. *)
+   PUSH+op handlers for {!Decode.fusable_ids}, slots [0x200 + id] /
+   [0x300 + id] hold the certified DUP1+op and PUSH+PUSH+op windows
+   (emitted only when lib/bca's fusion certifier is installed).  The
+   traced path always dispatches unfused so every step is captured
+   individually. *)
 let xtable : (ctx -> frame -> Decode.instr -> unit) array =
-  Array.make 512 (fun _ _ (i : Decode.instr) -> raise (Fail (Invalid_opcode i.Decode.op_id)))
+  Array.make 1024 (fun _ _ (i : Decode.instr) -> raise (Fail (Invalid_opcode i.Decode.op_id)))
 
 (* ---- message execution ---- *)
 
@@ -356,13 +359,18 @@ and exec_frame_decoded ctx f : status =
       while true do
         if f.pc >= code_len then raise (Frame_done (Returned ""));
         let i = Array.unsafe_get instrs f.pc in
-        ctx.steps_executed <- ctx.steps_executed + i.Decode.steps;
-        if f.sp < i.Decode.stack_in then raise (Fail Stack_underflow);
-        if f.sp > i.Decode.max_sp then raise (Fail Stack_overflow);
-        let g = i.Decode.static_gas in
+        (* one packed load covers step count, both stack bounds, the
+           static charge and the dispatch id (Decode.meta layout); the
+           max_sp clamp to 2047 is invisible because sp never exceeds
+           1024 *)
+        let m = i.Decode.meta in
+        ctx.steps_executed <- ctx.steps_executed + (m lsr 41);
+        if f.sp < (m lsr 10) land 0x1f then raise (Fail Stack_underflow);
+        if f.sp > (m lsr 15) land 0x7ff then raise (Fail Stack_overflow);
+        let g = (m lsr 26) land 0x7fff in
         if f.gas < g then raise (Fail Out_of_gas);
         f.gas <- f.gas - g;
-        (Array.unsafe_get xtable i.Decode.xop) ctx f i;
+        (Array.unsafe_get xtable (m land 0x3ff)) ctx f i;
         f.pc <- f.pc + 1
       done;
       assert false
@@ -1162,6 +1170,104 @@ let () =
       f.stack.(f.sp) <- f.stack.(f.sp - 1);
       f.stack.(f.sp - 1) <- i.Decode.imm;
       f.sp <- f.sp + 1)
+
+(* ---- certified windows: DUP1+op pairs and PUSH+PUSH+op triples ----
+
+   Decode emits [0x200 + id] / [0x300 + id] xops only under a fusion
+   certifier (lib/bca) proving no jump lands inside the window.  Each
+   handler replays the constituent steps' loop prologues in legacy order
+   — step count, stack bounds, static charge taken from the decoded
+   (spec-correct) instrs — so a window is observationally identical to
+   its unfused steps, including steps_executed and gas at a mid-window
+   failure.  Checks that cannot fire are dropped: after a validated DUP1
+   the binop can neither underflow nor overflow; after two PUSHes the
+   third op (all have stack_in >= 2, stack_out <= 2) cannot underflow or
+   overflow past what the second PUSH's own bound already admitted. *)
+
+let () =
+  let dup id g =
+    xtable.(0x200 lor id) <-
+      (fun ctx f (i : Decode.instr) ->
+        let j = Array.unsafe_get f.prog.Decode.instrs i.Decode.next in
+        ctx.steps_executed <- ctx.steps_executed + 1;
+        let sg = j.Decode.static_gas in
+        if f.gas < sg then raise (Fail Out_of_gas);
+        f.gas <- f.gas - sg;
+        (* DUP1 then binop: g (copy of x) x = g x x on the existing top *)
+        let x = f.stack.(f.sp - 1) in
+        f.stack.(f.sp - 1) <- g x x;
+        f.pc <- i.Decode.next)
+  in
+  dup 0x01 U256.add;
+  dup 0x02 U256.mul;
+  dup 0x03 U256.sub;
+  dup 0x04 U256.div;
+  dup 0x10 (fun a b -> bool_word (U256.lt a b));
+  dup 0x11 (fun a b -> bool_word (U256.gt a b));
+  dup 0x14 (fun a b -> bool_word (U256.equal a b));
+  dup 0x16 U256.logand;
+  dup 0x17 U256.logor;
+  dup 0x18 U256.logxor;
+  (* Second PUSH + third op prologues.  The second PUSH's overflow check is
+     the one bound that can fire mid-window (sp was validated only against
+     the first PUSH). *)
+  let triple_pre ctx f (i : Decode.instr) =
+    let instrs = f.prog.Decode.instrs in
+    let i2 = Array.unsafe_get instrs i.Decode.next in
+    let i3 = Array.unsafe_get instrs i2.Decode.next in
+    ctx.steps_executed <- ctx.steps_executed + 1;
+    if f.sp + 1 > i2.Decode.max_sp then raise (Fail Stack_overflow);
+    let g2 = i2.Decode.static_gas in
+    if f.gas < g2 then raise (Fail Out_of_gas);
+    f.gas <- f.gas - g2;
+    ctx.steps_executed <- ctx.steps_executed + 1;
+    let g3 = i3.Decode.static_gas in
+    if f.gas < g3 then raise (Fail Out_of_gas);
+    f.gas <- f.gas - g3;
+    i2
+  in
+  (* stack after the two pushes: top = i2.imm, second = i.imm; binop's
+     argument order is (top, second) *)
+  let triple_binop id g =
+    xtable.(0x300 lor id) <-
+      (fun ctx f (i : Decode.instr) ->
+        let i2 = triple_pre ctx f i in
+        f.stack.(f.sp) <- g i2.Decode.imm i.Decode.imm;
+        f.sp <- f.sp + 1;
+        f.pc <- i2.Decode.next)
+  in
+  triple_binop 0x01 U256.add;
+  triple_binop 0x02 U256.mul;
+  triple_binop 0x03 U256.sub;
+  triple_binop 0x04 U256.div;
+  triple_binop 0x10 (fun a b -> bool_word (U256.lt a b));
+  triple_binop 0x11 (fun a b -> bool_word (U256.gt a b));
+  triple_binop 0x14 (fun a b -> bool_word (U256.equal a b));
+  triple_binop 0x16 U256.logand;
+  triple_binop 0x17 U256.logor;
+  triple_binop 0x18 U256.logxor;
+  (* the second PUSH supplies the shift amount (popped first) *)
+  let triple_shift id g =
+    xtable.(0x300 lor id) <-
+      (fun ctx f (i : Decode.instr) ->
+        let i2 = triple_pre ctx f i in
+        let k = i2.Decode.imm_i in
+        f.stack.(f.sp) <-
+          (if k >= 0 && k < 256 then g i.Decode.imm k else U256.zero);
+        f.sp <- f.sp + 1;
+        f.pc <- i2.Decode.next)
+  in
+  triple_shift 0x1b (fun x n -> U256.shift_left x n);
+  triple_shift 0x1c (fun x n -> U256.shift_right x n);
+  (* PUSH value, PUSH offset, MSTORE *)
+  xtable.(0x300 lor 0x52) <-
+    (fun ctx f (i : Decode.instr) ->
+      let i2 = triple_pre ctx f i in
+      let off = i2.Decode.imm_i in
+      if off < 0 || off >= 0x40000000 then raise (Fail Out_of_gas);
+      charge_mem f off 32;
+      Memory.store_word f.mem off i.Decode.imm;
+      f.pc <- i2.Decode.next)
 
 (* ---- top-level message (used by the transaction processor) ---- *)
 

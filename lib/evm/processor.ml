@@ -9,6 +9,13 @@ type status = Success | Reverted | Invalid of string
 type receipt = {
   status : status;
   gas_used : int;
+  gas_refund : int;
+      (** raw SSTORE-clear refund counter at the end of execution, before
+          the cap — [gas_used] already has the capped refund subtracted.
+          0 for invalid transactions, refund-free specs and failed frames
+          (journal rollback).  The S-EVM template builder needs the raw
+          counter to re-derive the refund under a served transaction's
+          own intrinsic charge. *)
   output : string;
   logs : Env.log list;
   contract_address : Address.t option;  (** for creations *)
@@ -81,6 +88,7 @@ let execute_tx ?engine ?spec ?(prewarm = []) ?trace st (benv : Env.block_env)
     {
       status = Invalid reason;
       gas_used = 0;
+      gas_refund = 0;
       output = "";
       logs = [];
       contract_address = None;
@@ -123,6 +131,7 @@ let execute_tx ?engine ?spec ?(prewarm = []) ?trace st (benv : Env.block_env)
     {
       status = (if result.success then Success else Reverted);
       gas_used;
+      gas_refund = ctx.refund;
       output = result.output;
       logs = List.rev ctx.logs;
       contract_address;

@@ -12,6 +12,11 @@ type status =
 type receipt = {
   status : status;
   gas_used : int;
+  gas_refund : int;
+      (** raw SSTORE-clear refund counter before the cap ([gas_used] is
+          already net of the capped refund); 0 for invalid transactions,
+          refund-free specs and failed frames.  The S-EVM template builder
+          re-derives a served transaction's refund from it. *)
   output : string;  (** return or revert data *)
   logs : Env.log list;
   contract_address : Address.t option;  (** for creations *)

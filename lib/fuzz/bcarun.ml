@@ -1,0 +1,336 @@
+(* Shared harness behind `forerunner analyze` and the @bca CI alias: the
+   soundness oracle for lib/bca's static footprints.
+
+   Every transaction of a scenario is executed by the reference interpreter
+   on a fresh cold-cache statedb with read-set tracking on, and the bca
+   prediction computed *before* execution must cover
+
+     - the runtime touch log (every cache-missing account/code/slot read),
+     - the committed change set (every account/slot actually written).
+
+   The calldata facts get witness re-executions instead (they claim
+   non-dependence, which a footprint check cannot see):
+
+     - [f_reads_selector = false]: flipping a nonzero selector byte must
+       leave the receipt and the committed root byte-identical (the code
+       never looks at calldata[0..3]; the flip preserves the nonzero-byte
+       count, so intrinsic gas is unchanged).
+     - word k not in [f_cf_words] (and not [f_cf_top]): flipping a nonzero
+       byte of ABI word k must not change the control path — executed-step
+       count and status must match (outputs and written values may differ;
+       only control flow is claimed).
+
+   Narrowing rejection: with [Bca.seeded_narrowing] set, the same sweep —
+   in particular the handcrafted [sentinels], one per narrowed domain —
+   must report at least one violation, mirroring `forerunner check`'s
+   seeded-miscompilation contract. *)
+
+open State
+
+type violation = { v_ctx : string; v_detail : string }
+
+type report = {
+  scenarios : int;
+  txs : int;
+  touches_checked : int;  (** runtime touches tested against footprints *)
+  changes_checked : int;  (** committed changes tested against write sets *)
+  wild : int;  (** predictions that collapsed to the wild footprint *)
+  flips : int;  (** calldata-fact witness re-executions *)
+  violations : violation list;
+}
+
+let empty =
+  { scenarios = 0; txs = 0; touches_checked = 0; changes_checked = 0; wild = 0;
+    flips = 0; violations = [] }
+
+let merge a b =
+  {
+    scenarios = a.scenarios + b.scenarios;
+    txs = a.txs + b.txs;
+    touches_checked = a.touches_checked + b.touches_checked;
+    changes_checked = a.changes_checked + b.changes_checked;
+    wild = a.wild + b.wild;
+    flips = a.flips + b.flips;
+    violations = a.violations @ b.violations;
+  }
+
+let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.v_ctx v.v_detail
+
+let obs_checked = Obs.counter "bca.oracle_txs"
+let obs_violations = Obs.counter "bca.oracle_violations"
+let obs_flips = Obs.counter "bca.oracle_flips"
+
+let pp_touch ppf = function
+  | Statedb.T_account a -> Fmt.pf ppf "account %s" (Address.to_hex a)
+  | Statedb.T_code a -> Fmt.pf ppf "code %s" (Address.to_hex a)
+  | Statedb.T_slot (a, k) -> Fmt.pf ppf "slot %s[%s]" (Address.to_hex a) (U256.to_hex k)
+
+(* Flip one nonzero byte of [data] inside [off..off+len), to a different
+   nonzero value — preserving the zero/nonzero status of every byte, hence
+   intrinsic gas and the apstore zeroness classes.  None when the window
+   holds no nonzero byte (a flip would change the intrinsic class). *)
+let flip_nonzero data ~off ~len =
+  let hi = min (off + len) (String.length data) in
+  let rec find i = if i >= hi then None else if data.[i] <> '\000' then Some i else find (i + 1) in
+  match find off with
+  | None -> None
+  | Some i ->
+    let b = Bytes.of_string data in
+    Bytes.set b i (if data.[i] = '\001' then '\002' else '\001');
+    Some (Bytes.to_string b)
+
+(* One interpreter execution on a fresh cold statedb at [root]: receipt,
+   executed-step count, touch log, change set, committed root. *)
+let execute bk ~root ~spec benv tx =
+  let st = Statedb.create bk ~root in
+  Statedb.set_tracking st true;
+  let steps = ref 0 in
+  let sink : Evm.Trace.sink = function
+    | Evm.Trace.Step _ | Evm.Trace.Call_enter _ -> incr steps
+    | Evm.Trace.Call_exit _ -> ()
+  in
+  let mark = Statedb.snapshot st in
+  let receipt = Evm.Processor.execute_tx ~spec ~trace:sink st benv tx in
+  let changes = Statedb.changes_since st mark in
+  let touches = Statedb.touches st in
+  (receipt, !steps, touches, changes, Statedb.commit st)
+
+let receipts_equal (a : Evm.Processor.receipt) (b : Evm.Processor.receipt) =
+  Evm.Processor.status_equal a.status b.status
+  && a.gas_used = b.gas_used
+  && String.equal a.output b.output
+  && List.length a.logs = List.length b.logs
+  && List.for_all2 Evm.Env.log_equal a.logs b.logs
+
+(* Check one transaction against the pre-state at [root]; returns the
+   (single-tx) report and the post-state root to carry forward. *)
+let check_tx ~ctx ~spec bk ~root benv (tx : Evm.Env.tx) : report * string =
+  Obs.incr obs_checked;
+  let st0 = Statedb.create bk ~root in
+  let code_of a =
+    if Evm.Interp.is_precompile a then None
+    else match Statedb.get_code st0 a with "" -> None | c -> Some c
+  in
+  (* predict first, on an untracked view: facts come from code alone *)
+  let pred = Bca.predict_tx ~spec ~code_of ~coinbase:benv.Evm.Env.coinbase tx in
+  let receipt, steps, touches, changes, root' = execute bk ~root ~spec benv tx in
+  let violations = ref [] in
+  let add d = violations := { v_ctx = ctx; v_detail = d } :: !violations in
+  List.iter
+    (fun t ->
+      if not (Bca.covers_touch pred t) then
+        add (Fmt.str "footprint misses runtime read: %a" pp_touch t))
+    touches;
+  List.iter
+    (fun (ch : Statedb.change) ->
+      if not (Bca.covers_change pred ch) then
+        add
+          (Fmt.str "footprint misses runtime write: account %s%s"
+             (Address.to_hex ch.ch_addr)
+             (match ch.ch_slots with
+             | [] -> ""
+             | slots ->
+               Fmt.str " slots [%a]"
+                 Fmt.(list ~sep:comma (fun ppf (k, _) -> Fmt.string ppf (U256.to_hex k)))
+                 slots)))
+    changes;
+  (* calldata-fact witnesses: only meaningful for plain message calls into
+     real code, with an executed baseline and enough gas headroom that a
+     value-dependent dynamic charge cannot tip the flipped run into OOG *)
+  let flips = ref 0 in
+  (match tx.to_ with
+  | Some target
+    when (not (Evm.Interp.is_precompile target))
+         && String.length (Statedb.get_code st0 target) > 0
+         && (match receipt.status with Evm.Processor.Invalid _ -> false | _ -> true)
+         && tx.gas_limit - receipt.gas_used >= 100_000 ->
+    let f =
+      Bca.facts_for ~spec ~hash:(Statedb.get_code_hash st0 target)
+        (Statedb.get_code st0 target)
+    in
+    if not (f.Bca.f_wild || f.Bca.f_cf_top) then begin
+      let len = String.length tx.data in
+      if (not f.Bca.f_reads_selector) && len > 0 then (
+        match flip_nonzero tx.data ~off:0 ~len:(min 4 len) with
+        | None -> ()
+        | Some data' ->
+          incr flips;
+          Obs.incr obs_flips;
+          let r', _, _, _, root_f = execute bk ~root ~spec benv { tx with data = data' } in
+          if not (receipts_equal receipt r' && String.equal root' root_f) then
+            add
+              "selector witness: code analyzed as selector-independent, but \
+               flipping a selector byte changed the receipt or the committed root");
+      let n_words = if len > 4 then (len - 4 + 31) / 32 else 0 in
+      for k = 0 to min (n_words - 1) 7 do
+        if f.Bca.f_cf_words land (1 lsl k) = 0 then (
+          match flip_nonzero tx.data ~off:(4 + (32 * k)) ~len:32 with
+          | None -> ()
+          | Some data' ->
+            incr flips;
+            Obs.incr obs_flips;
+            let r', steps', _, _, _ = execute bk ~root ~spec benv { tx with data = data' } in
+            if steps <> steps' || not (Evm.Processor.status_equal receipt.status r'.status)
+            then
+              add
+                (Fmt.str
+                   "calldata witness: word %d analyzed as control-flow-irrelevant, but \
+                    flipping it changed the path (%d vs %d steps)"
+                   k steps steps'))
+      done
+    end
+  | _ -> ());
+  Obs.add obs_violations (List.length !violations);
+  ( { empty with
+      txs = 1;
+      touches_checked = List.length touches;
+      changes_checked = List.length changes;
+      wild = (if pred.Bca.p_wild then 1 else 0);
+      flips = !flips;
+      violations = List.rev !violations },
+    root' )
+
+let check_scenario ~label (s : Scenario.t) : report =
+  let spec = Scenario.spec_of s in
+  let bk = Statedb.Backend.create () in
+  let root = ref (Scenario.install s bk) in
+  let benv = Scenario.benv in
+  let sum = ref { empty with scenarios = 1 } in
+  List.iteri
+    (fun i tx ->
+      let ctx = Printf.sprintf "%s tx#%d [%s]" label i spec.Spec.name in
+      let r, root' = check_tx ~ctx ~spec bk ~root:!root benv tx in
+      sum := merge !sum r;
+      root := root')
+    (Scenario.txs s);
+  !sum
+
+(* ---- sentinels: one handcrafted probe per narrowable domain ----
+
+   Each is a minimal contract whose soundness hinges on exactly one
+   analysis domain, so the matching [Bca.narrowing] must surface here even
+   if the random sweep happens to dodge it.  Unnarrowed, all four are
+   ordinary positive cases. *)
+
+let sentinel_target = Address.of_int 0xBCA0
+let sentinel_sender = Address.of_int 0xBCA1
+
+type sentinel = { s_name : string; s_code : string; s_data : string }
+
+let abi_word v =
+  let b = Bytes.make 32 '\000' in
+  Bytes.set b 31 (Char.chr v);
+  Bytes.to_string b
+
+let sentinels : sentinel list =
+  let open Evm.Asm in
+  [
+    (* the SSTORE lives only on the JUMPI taken edge (always taken):
+       N_cfg drops taken edges, so the write vanishes from the footprint *)
+    { s_name = "cfg-taken-branch";
+      s_code =
+        assemble
+          ([ push_int 1 ] @ jumpi "w"
+          @ [ op STOP; label "w"; push_int 7; push_int 3; op SSTORE; op STOP ]);
+      s_data = "" };
+    (* the storage key is the DUP1 copy of a pushed constant: N_stack
+       corrupts duplicated values to zero, so the analysis pins slot 0
+       while the runtime writes slot 5 *)
+    { s_name = "stack-dup-key";
+      s_code = assemble [ push_int 5; op (DUP 1); op SSTORE; op STOP ];
+      s_data = "" };
+    (* a plain constant-key SSTORE: N_footprint ignores SSTORE
+       contributions entirely *)
+    { s_name = "footprint-sstore";
+      s_code = assemble [ push_int 9; push_int 2; op SSTORE; op STOP ];
+      s_data = "" };
+    (* control flow branches on ABI word 0 (an exact EQ): N_calldata
+       claims no calldata word reaches control flow, so the harness flips
+       the word and the step counts must diverge *)
+    { s_name = "calldata-eq-branch";
+      s_code =
+        assemble
+          ([ push_int 4; op CALLDATALOAD; push_int 42; op EQ ] @ jumpi "t"
+          @ [ op STOP; label "t"; push_int 1; push_int 0; op SSTORE; op STOP ]);
+      s_data = "\000\000\000\000" ^ abi_word 42 };
+  ]
+
+let check_sentinels () : report =
+  List.fold_left
+    (fun acc s ->
+      let bk = Statedb.Backend.create () in
+      let st = Statedb.create bk ~root:Statedb.empty_root in
+      Statedb.set_code st sentinel_target s.s_code;
+      Statedb.set_balance st sentinel_sender (U256.of_string "1000000000000000000");
+      let root = Statedb.commit st in
+      let tx =
+        { Evm.Env.sender = sentinel_sender; to_ = Some sentinel_target; nonce = 0;
+          value = U256.zero; data = s.s_data; gas_limit = 400_000;
+          gas_price = U256.of_int 1_000_000_000 }
+      in
+      let ctx = Printf.sprintf "sentinel:%s" s.s_name in
+      let r, _ = check_tx ~ctx ~spec:!Spec.current bk ~root Scenario.benv tx in
+      merge acc { r with scenarios = 1 })
+    empty sentinels
+
+(* ---- corpus + generated sweep (mirrors Checkrun.run) ---- *)
+
+type run_result = {
+  report : report;
+  corpus_files : int;
+  corpus_errors : (string * string) list;  (** (file, problem) *)
+}
+
+let check_file path : (report, string) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Scenario.of_string s
+  with
+  | exception exn -> Error ("read error: " ^ Printexc.to_string exn)
+  | Error m -> Error ("parse error: " ^ m)
+  | Ok scenario ->
+    (* fork-pinned entries check there; unpinned ones across every fork *)
+    let runs =
+      match scenario.Scenario.fork with
+      | Some _ -> [ scenario ]
+      | None -> List.map (fun f -> { scenario with Scenario.fork = Some f }) Spec.all_forks
+    in
+    Ok
+      (List.fold_left
+         (fun acc s -> merge acc (check_scenario ~label:(Filename.basename path) s))
+         empty runs)
+
+(* [iters] generated scenarios per fork (so the sweep is a full N-fork
+   matrix), plus the corpus and the sentinels; [narrow] seeds one bca
+   narrowing for the whole run — the rejection contract expects a
+   violation then. *)
+let run ?narrow ~corpus ~seed ~iters () : run_result =
+  Bca.seeded_narrowing := narrow;
+  Fun.protect ~finally:(fun () -> Bca.seeded_narrowing := None) @@ fun () ->
+  let files =
+    if not (Sys.file_exists corpus) then []
+    else
+      Sys.readdir corpus |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+      |> List.map (Filename.concat corpus)
+  in
+  let sum = ref (check_sentinels ()) and errors = ref [] in
+  List.iter
+    (fun f ->
+      match check_file f with
+      | Ok r -> sum := merge !sum r
+      | Error e -> errors := (f, e) :: !errors)
+    files;
+  List.iter
+    (fun fork ->
+      for i = 0 to iters - 1 do
+        let s = { (Driver.generate ~seed i) with Scenario.fork = Some fork } in
+        let label = Printf.sprintf "gen(seed=%d,iter=%d)" seed i in
+        sum := merge !sum (check_scenario ~label s)
+      done)
+    Spec.all_forks;
+  { report = !sum; corpus_files = List.length files; corpus_errors = List.rev !errors }

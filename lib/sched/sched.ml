@@ -51,6 +51,7 @@ type 'r t = {
   idle : Condition.t;
   cells : (string, 'r cell) Hashtbl.t;
   memo : (string, string) Hashtbl.t; (* hash -> dedupe key of latest live submission *)
+  latest : (string, int) Hashtbl.t; (* hash -> seq of newest enqueued submission *)
   results : 'r result Mailbox.t;
   mutable next_seq : int;
   mutable n_queued : int; (* requests sitting in chains *)
@@ -177,6 +178,7 @@ let create ?(capacity = 4096) ~jobs () =
       idle = Condition.create ();
       cells = Hashtbl.create 256;
       memo = Hashtbl.create 256;
+      latest = Hashtbl.create 256;
       results = Mailbox.create ();
       next_seq = 0;
       n_queued = 0;
@@ -226,6 +228,7 @@ let submit ?dedupe_key t ~hash ~root ~priority job =
       t.s_submitted <- t.s_submitted + 1;
       Obs.incr obs_submitted;
       let req = { seq; hash; root; prio = priority; job } in
+      Hashtbl.replace t.latest hash seq;
       publish t req (run_job job);
       t.s_completed <- t.s_completed + 1;
       Obs.incr obs_completed
@@ -244,6 +247,7 @@ let submit ?dedupe_key t ~hash ~root ~priority job =
       t.s_submitted <- t.s_submitted + 1;
       Obs.incr obs_submitted;
       let req = { seq; hash; root; prio = priority; job } in
+      Hashtbl.replace t.latest hash seq;
       let need_push =
         match Hashtbl.find_opt t.cells hash with
         | Some c ->
@@ -281,10 +285,15 @@ let barrier t =
   end
 
 let cancel t hashes =
-  (* The dedupe memo forgets cancelled hashes in both modes (inline mode has
-     nothing queued to drop, but keeping memo behaviour identical across job
-     counts is what preserves jobs=1 ≡ jobs=N outcome parity). *)
-  List.iter (Hashtbl.remove t.memo) hashes;
+  (* The dedupe memo and keep-latest table forget cancelled hashes in both
+     modes (inline mode has nothing queued to drop, but keeping bookkeeping
+     behaviour identical across job counts is what preserves jobs=1 ≡ jobs=N
+     outcome parity). *)
+  List.iter
+    (fun h ->
+      Hashtbl.remove t.memo h;
+      Hashtbl.remove t.latest h)
+    hashes;
   if t.n_jobs > 1 then begin
     Mutex.lock t.mu;
     List.iter
@@ -304,26 +313,37 @@ let cancel t hashes =
     Mutex.unlock t.mu
   end
 
-(* Memo-only bookkeeping: no queue or cell state is touched, so (unlike
+(* Bookkeeping-only: no queue or cell state is touched, so (unlike
    [cancel]) this is safe to call for hashes with live work — although the
-   node only calls it for retired ones.  Taking the mutex in parallel mode
-   mirrors [memo_check]'s locking discipline. *)
+   node only calls it for retired ones.  Both per-hash tables grow
+   monotonically with the set of hashes ever submitted, so both must be
+   dropped here: forgetting only the dedupe memo left the keep-latest
+   entries to leak one per retired transaction, unbounded over a long
+   chain.  Taking the mutex in parallel mode mirrors [memo_check]'s
+   locking discipline. *)
 let forget t hashes =
-  if t.n_jobs <= 1 then List.iter (Hashtbl.remove t.memo) hashes
+  let drop h =
+    Hashtbl.remove t.memo h;
+    Hashtbl.remove t.latest h
+  in
+  if t.n_jobs <= 1 then List.iter drop hashes
   else begin
     Mutex.lock t.mu;
-    List.iter (Hashtbl.remove t.memo) hashes;
+    List.iter drop hashes;
     Mutex.unlock t.mu
   end
 
-let memo_size t =
-  if t.n_jobs <= 1 then Hashtbl.length t.memo
+let sized t tbl =
+  if t.n_jobs <= 1 then Hashtbl.length tbl
   else begin
     Mutex.lock t.mu;
-    let n = Hashtbl.length t.memo in
+    let n = Hashtbl.length tbl in
     Mutex.unlock t.mu;
     n
   end
+
+let memo_size t = sized t t.memo
+let invalidate_size t = sized t t.latest
 
 (* Keep-latest-per-hash pruning.  The old policy dropped every queued job
    whose root differed from the new head, discarding still-valid
@@ -338,7 +358,7 @@ let invalidate t ~root:_ =
     Mutex.lock t.mu;
     let pruned = ref 0 in
     Hashtbl.iter
-      (fun _hash c ->
+      (fun hash c ->
         match c.chain with
         | [] | [ _ ] -> ()
         | chain ->
@@ -347,7 +367,17 @@ let invalidate t ~root:_ =
             | _ :: tl -> last tl
             | [] -> assert false
           in
-          let keep = last chain in
+          (* the keep-latest table names the newest submission explicitly;
+             chains append in submission order, so the fallback (the chain's
+             tail) only differs if that invariant is ever broken *)
+          let keep =
+            match Hashtbl.find_opt t.latest hash with
+            | Some seq -> (
+              match List.find_opt (fun r -> r.seq = seq) chain with
+              | Some r -> r
+              | None -> last chain)
+            | None -> last chain
+          in
           let n = List.length chain - 1 in
           c.chain <- [ keep ];
           t.n_queued <- t.n_queued - n;

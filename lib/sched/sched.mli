@@ -96,19 +96,25 @@ val cancel : 'r t -> string list -> unit
     speculations are moot).  Already-published results are not recalled. *)
 
 val forget : 'r t -> string list -> unit
-(** Drop the dedupe-memo entries for these hashes without touching any
-    queued or running work.  The memo otherwise grows monotonically — one
-    entry per tx hash ever submitted with a [dedupe_key] — so the node
+(** Drop the per-hash bookkeeping — the dedupe-memo entry {e and} the
+    keep-latest entry {!invalidate} consults — for these hashes, without
+    touching any queued or running work.  Both tables otherwise grow
+    monotonically (one entry per tx hash ever submitted), so the node
     calls this at block commit for the hashes it retires (included or
-    stale), bounding the memo to the live pending set.  Safe in both
-    modes and identical across job counts (pure memo bookkeeping), so it
-    preserves jobs=1 ≡ jobs=N parity.  Forgetting a hash that later
-    resubmits merely costs one redundant speculation; it never changes
-    results. *)
+    stale), bounding them to the live pending set.  Safe in both modes
+    and identical across job counts (pure bookkeeping), so it preserves
+    jobs=1 ≡ jobs=N parity.  Forgetting a hash that later resubmits
+    merely costs one redundant speculation; it never changes results. *)
 
 val memo_size : 'r t -> int
 (** Number of entries currently in the dedupe memo (for the bound's
     regression test and leak diagnosis). *)
+
+val invalidate_size : 'r t -> int
+(** Number of per-hash keep-latest entries currently retained (the table
+    {!invalidate} consults to pick each hash's newest submission).  Like
+    {!memo_size}, exists so the {!forget} bound is testable: after a block
+    retires its hashes, both sizes must return to the pending-set size. *)
 
 val invalidate : 'r t -> root:string -> int
 (** Keep-latest-per-hash pruning at a head change to [root]: for every tx

@@ -96,6 +96,9 @@ type tmpl = {
   t_value : I.reg;
   t_nonce : I.reg;
   t_gasprice : I.reg;
+  t_gaslimit : I.reg;
+  t_intrinsic : I.reg; (* intrinsic gas of the served calldata *)
+  t_gas_used : I.reg; (* served receipt's recomputed gas_used *)
   t_words : I.reg array; (* calldata word k = bytes [4+32k, 4+32k+32) *)
   t_inputs : I.input_src array;
   t_skeys : (string, (I.operand * U256.t) list ref) Hashtbl.t;
@@ -185,9 +188,21 @@ let emit b ins =
    Shapes a template cannot serve soundly are rejected up front: creations
    (the created address depends on the sender), precompile targets (their
    output is folded from concrete calldata), invalid receipts (the
-   preamble guards assume a valid sender context) and non-empty prewarm
+   preamble guards assume a valid sender context), non-empty prewarm
    hints (warmth guards must pin the cold entry state every served
-   transaction shares). *)
+   transaction shares), traces that consumed their whole gas envelope
+   (their gas_used is limit-dependent, not path-determined) and traces
+   whose refund hit the cap (the raw counter cannot be recovered, so the
+   served refund cannot be recomputed).
+
+   Gas accounting is lifted, not pinned: the served limit and intrinsic
+   charge live in input registers, the preamble guards the traced
+   execution envelope (served limit - intrinsic >= traced limit -
+   intrinsic, the monotone-gas condition under which the traced path
+   replays exactly), and the receipt's gas_used is recomputed per serve
+   via [In_gas_used].  GAS opcodes still bake the traced word as an
+   unguarded constant — sound only when lib/apstore's key keeps such
+   code fully pinned (lib/bca's uses-gas fact). *)
 let init_template b (receipt : Evm.Processor.receipt) =
   let tx = b.tx in
   (match receipt.status with
@@ -208,11 +223,26 @@ let init_template b (receipt : Evm.Processor.receipt) =
   let t_value = mk I.In_value tx.value in
   let t_nonce = mk I.In_nonce (U256.of_int tx.nonce) in
   let t_gasprice = mk I.In_gas_price tx.gas_price in
+  let intrinsic = Spec.intrinsic_gas b.spec ~is_create:false tx.data in
+  let g_refund = receipt.gas_refund in
+  let pre_refund = receipt.gas_used + g_refund in
+  if g_refund > pre_refund / b.spec.Spec.refund_cap_divisor then
+    raise (Unsupported "template: refund-capped trace");
+  if pre_refund >= tx.gas_limit then
+    raise (Unsupported "template: all gas consumed");
+  let t_gaslimit = mk I.In_gas_limit (U256.of_int tx.gas_limit) in
+  let t_intrinsic = mk I.In_intrinsic_gas (U256.of_int intrinsic) in
+  let t_gas_used =
+    mk
+      (I.In_gas_used { g_exec = pre_refund - intrinsic; g_refund })
+      (U256.of_int receipt.gas_used)
+  in
   let len = String.length tx.data in
   let n_words = if len > 4 then (len - 4 + 31) / 32 else 0 in
   let t_words = Array.make n_words 0 in
   for k = 0 to n_words - 1 do
-    t_words.(k) <- mk (I.In_calldata_word k) (I.input_value tx (I.In_calldata_word k))
+    t_words.(k) <-
+      mk (I.In_calldata_word k) (I.input_value ~spec:b.spec tx (I.In_calldata_word k))
   done;
   b.tmpl <-
     Some
@@ -221,6 +251,9 @@ let init_template b (receipt : Evm.Processor.receipt) =
         t_value;
         t_nonce;
         t_gasprice;
+        t_gaslimit;
+        t_intrinsic;
+        t_gas_used;
         t_words;
         t_inputs = Array.of_list (List.rev !inputs);
         t_skeys = Hashtbl.create 8;
@@ -1023,20 +1056,31 @@ let emit_writes b (receipt : Evm.Processor.receipt) ~extra_writes benv_coinbase_
   | Success | Reverted ->
     let tx = b.tx in
     let gas_left = tx.gas_limit - receipt.gas_used in
-    (* gas quantities are pinned by the template key (gas limit, calldata
-       shape), so refund and fee stay products of a constant quantity and
-       the — possibly register-held — gas price *)
+    (* in template mode limit, price and gas_used are all register-held,
+       so the refund and the miner fee are products of registers; ordinary
+       paths bake the traced constants *)
     let gasprice_op =
       match b.tmpl with Some t -> I.Reg t.t_gasprice | None -> I.Const tx.gas_price
     in
-    let gas_cost n =
-      let traced = U256.mul (U256.of_int n) tx.gas_price in
+    let refund_op, fee_op =
       match b.tmpl with
-      | None -> I.Const traced
-      | Some _ -> compute b I.C_mul [| I.Const (U256.of_int n); gasprice_op |] traced
+      | None ->
+        ( I.Const (U256.mul (U256.of_int gas_left) tx.gas_price),
+          I.Const (U256.mul (U256.of_int receipt.gas_used) tx.gas_price) )
+      | Some t ->
+        let left =
+          compute b I.C_sub
+            [| I.Reg t.t_gaslimit; I.Reg t.t_gas_used |]
+            (U256.of_int gas_left)
+        in
+        ( compute b I.C_mul [| left; gasprice_op |]
+            (U256.mul (U256.of_int gas_left) tx.gas_price),
+          compute b I.C_mul
+            [| I.Reg t.t_gas_used; gasprice_op |]
+            (U256.mul (U256.of_int receipt.gas_used) tx.gas_price) )
     in
     (* refund of unused gas *)
-    balance_delta b tx.sender ~is_add:true (gas_cost gas_left);
+    balance_delta b tx.sender ~is_add:true refund_op;
     let nonce_write =
       match b.tmpl with
       | None -> I.W_nonce_set (tx.sender, tx.nonce + 1)
@@ -1110,7 +1154,7 @@ let emit_writes b (receipt : Evm.Processor.receipt) ~extra_writes benv_coinbase_
     List.iter (fun (a, topics, data) -> add (I.W_log (a, topics, data))) (List.rev b.world.logs);
     (* miner fee last: coinbase is a context value, read not guarded *)
     let cb = env_read b I.R_coinbase benv_coinbase_traced in
-    add (I.W_balance_add (cb, gas_cost receipt.gas_used));
+    add (I.W_balance_add (cb, fee_op));
     List.rev !writes
 
 (* ---- main entry ---- *)
@@ -1174,6 +1218,11 @@ let build ?spec ?(prewarm = []) ?(template = false) (tx : Evm.Env.tx)
           writes;
           status = receipt.status;
           gas_used = receipt.gas_used;
+          gas_used_src =
+            (match b.tmpl with
+            | Some t -> Some (I.Reg t.t_gas_used)
+            | None -> None);
+          gas_refund = receipt.gas_refund;
           output = output_pieces;
           reg_count = b.next_reg;
           reg_values = Array.sub b.reg_vals 0 b.next_reg;
@@ -1194,10 +1243,10 @@ let build ?spec ?(prewarm = []) ?(template = false) (tx : Evm.Env.tx)
         match b.tmpl with
         | None -> (I.Const upfront, I.Const purchase_traced)
         | Some t ->
-          (* gas limit is template-key-pinned; price and value are inputs *)
+          (* limit, price and value are all inputs *)
           let m =
             compute b I.C_mul
-              [| I.Const (U256.of_int tx.gas_limit); I.Reg t.t_gasprice |]
+              [| I.Reg t.t_gaslimit; I.Reg t.t_gasprice |]
               purchase_traced
           in
           (compute b I.C_add [| m; I.Reg t.t_value |] upfront, m)
@@ -1205,6 +1254,29 @@ let build ?spec ?(prewarm = []) ?(template = false) (tx : Evm.Env.tx)
       let insufficient = U256.lt receipt.sender_balance_before upfront in
       let lt = compute b I.C_lt [| bal_op; upfront_op |] (I.bool_word insufficient) in
       guard b lt (I.bool_word insufficient);
+      (match b.tmpl with
+      | None -> ()
+      | Some t ->
+        (* intrinsic validity: the served limit covers its own intrinsic
+           charge (a served short limit would be an Invalid transaction,
+           which this Success/Reverted path cannot represent) *)
+        let invalid_gas =
+          compute b I.C_lt [| I.Reg t.t_gaslimit; I.Reg t.t_intrinsic |] U256.zero
+        in
+        guard b invalid_gas U256.zero;
+        (* gas envelope: served limit - intrinsic >= traced limit -
+           intrinsic, so at every step of the replayed path the remaining
+           gas is no smaller than during tracing — no new out-of-gas, and
+           with GAS-free code no behavioral difference either *)
+        let intrinsic = Spec.intrinsic_gas b.spec ~is_create:false tx.data in
+        let env_traced = U256.of_int (tx.gas_limit - intrinsic) in
+        let env_op =
+          compute b I.C_sub [| I.Reg t.t_gaslimit; I.Reg t.t_intrinsic |] env_traced
+        in
+        let short =
+          compute b I.C_lt [| env_op; I.Const env_traced |] U256.zero
+        in
+        guard b short U256.zero);
       match invalid_reason with
       | Some _ -> finish_path [] (* insufficient funds or intrinsic gas *)
       | None ->

@@ -83,23 +83,44 @@ type write =
    constants to {e input registers}: registers 0..k-1 of the path are
    pre-seeded from the transaction being served, before any instruction
    runs.  [input_src] says where each one comes from.  Gas limit and the
-   calldata intrinsic class are deliberately NOT inputs — they are pinned
-   into the template key so [gas_used] stays an exact constant. *)
+   calldata intrinsic class are lifted too ([In_gas_limit],
+   [In_intrinsic_gas], [In_gas_used]): the traced execution envelope is
+   guarded in the preamble and the served receipt's [gas_used] is
+   recomputed from the class-invariant execution gas, so the template key
+   no longer has to pin the exact gas limit or calldata byte mix — except
+   for code that executes GAS, which lib/apstore detects statically
+   (lib/bca) and keeps fully pinned. *)
 
 type input_src =
   | In_sender  (** [tx.sender] as a u256 word *)
   | In_value  (** [tx.value] *)
   | In_nonce  (** [tx.nonce] *)
   | In_gas_price  (** [tx.gas_price] *)
+  | In_gas_limit  (** [tx.gas_limit] *)
+  | In_intrinsic_gas
+      (** [Spec.intrinsic_gas] of the served transaction's calldata — a
+          message-call charge, so templates (never creations) only *)
+  | In_gas_used of { g_exec : int; g_refund : int }
+      (** the served receipt's [gas_used], recomputed from the traced
+          path's calldata-class-invariant quantities: [g_exec] is the
+          post-intrinsic execution charge, [g_refund] the raw (uncapped)
+          refund counter.  Value = pre - min(g_refund, pre / divisor)
+          where pre = intrinsic' + g_exec under the serving spec *)
   | In_calldata_word of int
       (** the 32-byte big-endian word of [tx.data] at byte offset [4+32k]
           (ABI argument [k]), zero-padded past the end *)
 
-let input_value (tx : Evm.Env.tx) = function
+let input_value ~(spec : Spec.t) (tx : Evm.Env.tx) = function
   | In_sender -> Address.to_u256 tx.sender
   | In_value -> tx.value
   | In_nonce -> U256.of_int tx.nonce
   | In_gas_price -> tx.gas_price
+  | In_gas_limit -> U256.of_int tx.gas_limit
+  | In_intrinsic_gas ->
+    U256.of_int (Spec.intrinsic_gas spec ~is_create:false tx.data)
+  | In_gas_used { g_exec; g_refund } ->
+    let pre = Spec.intrinsic_gas spec ~is_create:false tx.data + g_exec in
+    U256.of_int (pre - min g_refund (pre / spec.Spec.refund_cap_divisor))
   | In_calldata_word k ->
     let off = 4 + (32 * k) in
     let len = String.length tx.data in
@@ -114,6 +135,10 @@ let pp_input ppf = function
   | In_value -> Fmt.string ppf "value"
   | In_nonce -> Fmt.string ppf "nonce"
   | In_gas_price -> Fmt.string ppf "gas_price"
+  | In_gas_limit -> Fmt.string ppf "gas_limit"
+  | In_intrinsic_gas -> Fmt.string ppf "intrinsic_gas"
+  | In_gas_used { g_exec; g_refund } ->
+    Fmt.pf ppf "gas_used[exec=%d,refund=%d]" g_exec g_refund
   | In_calldata_word k -> Fmt.pf ppf "calldata[%d]" k
 
 (* Per-path synthesis statistics, feeding Fig. 15 / §5.5. *)
@@ -155,7 +180,14 @@ type path = {
   first_fast : int;  (** index of the first fast-path instruction *)
   writes : write list;
   status : Evm.Processor.status;
-  gas_used : int;
+  gas_used : int;  (** the traced receipt's charge; exact for replays of
+                       the same transaction *)
+  gas_used_src : operand option;
+      (** template paths: the [In_gas_used] register whose serve-time
+          binding is the served receipt's [gas_used] (the baked constant
+          above is only the traced value).  [None] for ordinary paths. *)
+  gas_refund : int;  (** raw (uncapped) refund counter of the traced run,
+                         surfaced into the receipt *)
   output : piece list;
   reg_count : int;
   reg_values : U256.t array;  (** value each register took during tracing *)

@@ -184,7 +184,7 @@ let run ?spec ?(prewarm = []) (p : I.path) st benv (tx : Evm.Env.tx) : outcome =
   else
   let warm = Evm.Processor.entry_warm tx prewarm in
   let regs = Array.make (max p.reg_count 1) U256.zero in
-  Array.iteri (fun i src -> regs.(i) <- I.input_value tx src) p.inputs;
+  Array.iteri (fun i src -> regs.(i) <- I.input_value ~spec tx src) p.inputs;
   match Array.iteri (step ~warm st benv regs) p.instrs with
   | exception Guard_failed v -> Violated v
   | () ->
@@ -192,10 +192,19 @@ let run ?spec ?(prewarm = []) (p : I.path) st benv (tx : Evm.Env.tx) : outcome =
     let sender_nonce_before = Statedb.get_nonce st tx.Evm.Env.sender in
     let logs = ref [] in
     List.iter (apply_write st regs logs) p.writes;
+    let gas_used =
+      match p.gas_used_src with
+      | None -> p.gas_used
+      | Some op -> (
+        match U256.to_int_opt (match op with I.Const v -> v | I.Reg r -> regs.(r)) with
+        | Some g -> g
+        | None -> p.gas_used)
+    in
     Replayed
       {
         Evm.Processor.status = p.status;
-        gas_used = p.gas_used;
+        gas_used;
+        gas_refund = p.gas_refund;
         output = I.bytes_of_pieces regs p.output;
         logs = List.rev !logs;
         contract_address = None;

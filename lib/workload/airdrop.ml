@@ -1,15 +1,18 @@
 (* Airdrop-storm traffic: a crowd of distinct senders all calling
    `transfer(to, amount)` on one ERC-20 contract.  Every transaction is
-   structurally identical — same target, selector, calldata length,
-   nonzero-byte count, value zeroness and gas limit — so the whole storm
-   maps to a single lib/apstore template key while the caller-varying
-   fields (sender, recipient, amount, nonce, gas price) exercise the
-   template's lifted input registers.
+   structurally identical — same target, selector, calldata length and
+   value zeroness — so the whole storm maps to a single lib/apstore
+   template key while the caller-varying fields (sender, recipient,
+   amount, nonce, gas price, gas limit) exercise the template's lifted
+   input registers.
 
-   Key stability is deliberate: recipients are drawn with all-nonzero
-   address bytes and amounts with exactly two nonzero bytes, keeping the
-   nonzero-calldata-byte count (part of the key, because it prices the
-   intrinsic gas) constant across the storm. *)
+   Gas limits are deliberately heterogeneous: with gas accounting lifted
+   into input registers (and the ERC-20 free of GAS opcodes, so lib/bca
+   lets the key drop the gas pins), one template built from a
+   minimum-envelope trace serves every limit level.  Recipients are drawn
+   with all-nonzero address bytes so the template's sender/recipient
+   balance-slot aliasing guards stay satisfied, and amounts keep the
+   branch-relevant amount word nonzero (its zeroness is key-pinned). *)
 
 open State
 
@@ -22,7 +25,11 @@ type t = {
 }
 
 let sender_base = 0x500000
+
+(* The storm's smallest limit — templates traced at this envelope serve
+   every other level (the builder's envelope guard is monotone). *)
 let gas_limit = 60_000
+let gas_limit_levels = [| 60_000; 66_000; 72_000; 84_000 |]
 
 let create ?(n_senders = 256) ~seed ~token () =
   {
@@ -84,7 +91,7 @@ let tx t : Evm.Env.tx =
     nonce = next_nonce t sender;
     value = U256.zero;
     data = Contracts.Erc20.transfer_call ~to_:(fresh_recipient t) ~amount:(fresh_amount t);
-    gas_limit;
+    gas_limit = gas_limit_levels.(Random.State.int t.rng (Array.length gas_limit_levels));
     gas_price =
       U256.of_int
         (1_000_000_000

@@ -1,8 +1,9 @@
 (** Airdrop-storm traffic for the lib/apstore template cache: many distinct
     senders each calling [transfer] on one ERC-20 contract, with calldata
     shaped so every transaction in the storm shares a single template key
-    (constant length, selector, nonzero-byte count, value zeroness and gas
-    limit) while sender, recipient, amount, nonce and gas price all vary. *)
+    (constant length, selector, value zeroness, nonzero branch-relevant
+    amount word) while sender, recipient, amount, nonce, gas price and gas
+    limit all vary — the gas fields ride the lifted input registers. *)
 
 open State
 
@@ -13,8 +14,13 @@ val create : ?n_senders:int -> seed:int -> token:Address.t -> unit -> t
     [0x500000], disjoint from [Population]'s users/observers). *)
 
 val gas_limit : int
-(** The fixed gas limit every storm transaction carries (part of the
-    template key). *)
+(** The storm's smallest gas limit: a template traced at this envelope
+    serves every level in {!gas_limit_levels} (the builder's envelope
+    guard accepts any served limit at least as generous). *)
+
+val gas_limit_levels : int array
+(** The heterogeneous per-transaction limits {!tx} draws from;
+    [gas_limit_levels.(0) = gas_limit] is the minimum. *)
 
 val genesis : t -> Statedb.Backend.t -> string
 (** Standalone genesis: install the ERC-20 at [token], fund every sender

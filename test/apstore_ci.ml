@@ -58,26 +58,50 @@ let key_tests () =
   let a = Workload.Airdrop.tx storm and b = Workload.Airdrop.tx storm in
   check (not (Address.equal a.sender b.sender)) "fixture: distinct senders";
   check (String.equal (key a) (key b)) "same call shape must share one key";
+  (* gas accounting is lifted into input registers and the ERC-20 never
+     executes GAS, so neither the exact limit nor the calldata byte mix
+     (intrinsic class) is pinned any more — both perturbations share *)
   check
-    (not (String.equal (key a) (key { b with gas_limit = b.gas_limit + 1 })))
-    "gas limit is part of the key";
+    (String.equal (key a) (key { b with gas_limit = b.gas_limit + 1 }))
+    "gas limit must not be pinned for GAS-free code";
+  (* flip a nonzero amount byte to zero: same length, different intrinsic
+     class, amount word still nonzero — shares too *)
+  let zeroed = Bytes.of_string b.data in
+  Bytes.set zeroed (String.length b.data - 1) '\000';
+  check
+    (String.equal (key a) (key { b with data = Bytes.to_string zeroed }))
+    "nonzero-byte count must not be pinned for GAS-free code";
   check
     (not (String.equal (key a) (key { b with value = U256.one })))
     "value zeroness is part of the key";
   check
     (not (String.equal (key a) (key { b with data = b.data ^ "\000" })))
     "calldata length is part of the key";
-  (* flip a nonzero amount byte to zero: same length, different count *)
-  let zeroed = Bytes.of_string b.data in
-  Bytes.set zeroed (String.length b.data - 1) '\000';
+  (* zero the WHOLE amount word: the transfer branches on it (lib/bca's
+     control-flow-relevant word fact), so its zeroness is pinned *)
+  let zero_amount = Bytes.of_string b.data in
+  Bytes.fill zero_amount 36 (Bytes.length zero_amount - 36) '\000';
   check
-    (not (String.equal (key a) (key { b with data = Bytes.to_string zeroed })))
-    "nonzero-byte count is part of the key";
+    (not (String.equal (key a) (key { b with data = Bytes.to_string zero_amount })))
+    "branch-relevant calldata word zeroness is part of the key";
   let resel = Bytes.of_string b.data in
   Bytes.set resel 0 '\xff';
   check
     (not (String.equal (key a) (key { b with data = Bytes.to_string resel })))
-    "selector is part of the key";
+    "selector is part of the key (the dispatcher reads calldata[0..3])";
+  (* a target whose code executes GAS keeps the full legacy gas pins *)
+  let gassy = Address.of_int 0x9A55 in
+  let stg = Statedb.create bk ~root in
+  Contracts.Deploy.install_code stg gassy "\x5a\x50\x00" (* GAS; POP; STOP *);
+  let gkey tx =
+    match Apstore.key_of_tx stg spec tx with
+    | Some k -> k
+    | None -> fail "gassy target has no template key"
+  in
+  let g = { a with to_ = Some gassy } in
+  check
+    (not (String.equal (gkey g) (gkey { g with gas_limit = g.gas_limit + 1 })))
+    "gas limit stays pinned for GAS-using code";
   let other_spec = Spec.resolve Spec.Berlin in
   check (other_spec.Spec.id <> spec.Spec.id) "fixture: different fork id";
   (match Apstore.key_of_tx st other_spec b with
@@ -170,8 +194,14 @@ let receipts_agree ~what (a : Evm.Processor.receipt) (b : Evm.Processor.receipt)
 
 let oracle_tests () =
   let storm, bk, root = make_storm () in
-  (* the template: ONE transaction's trace, inputs lifted *)
-  let seed_tx = Workload.Airdrop.tx storm in
+  (* the template: ONE transaction's trace, inputs lifted.  Pin the seed to
+     the storm's minimum gas limit so the envelope guard (served limit -
+     intrinsic >= traced) admits every heterogeneous-limit serve — the 96
+     perturbed transactions then exercise the recomputed per-serve
+     gas_used across all limit levels. *)
+  let seed_tx =
+    { (Workload.Airdrop.tx storm) with gas_limit = Workload.Airdrop.gas_limit }
+  in
   let template =
     let st = Statedb.create bk ~root in
     let snap = Statedb.snapshot st in

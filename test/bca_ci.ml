@@ -1,0 +1,88 @@
+(* The @bca alias: the soundness battery for lib/bca's static analysis.
+
+   1. Positive sweep: the four sentinels, the whole corpus, and 200
+      generated scenarios per fork must show ZERO footprint violations —
+      every runtime touch and committed change inside the static
+      prediction, every calldata-independence claim surviving its witness
+      flip (Fuzz.Bcarun).
+   2. Narrowing rejection: each seeded [Bca.narrowing] makes exactly one
+      domain unsound, and the same sweep (sentinels included) must then
+      report at least one violation — the mirror of `forerunner check`'s
+      seeded-miscompilation contract.
+   3. 4-domain analysis-cache hammer: concurrent [Bca.facts_for] calls —
+      with one domain repeatedly clearing the cache to force racing
+      re-analyses — must always return facts identical to the
+      single-threaded reference. *)
+
+let seed = 42
+let iters_per_fork = 200
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let positive_sweep () =
+  let r = Fuzz.Bcarun.run ~corpus:"corpus" ~seed ~iters:iters_per_fork () in
+  List.iter (fun (f, e) -> Printf.printf "bca-ci: corpus error %s: %s\n" f e) r.corpus_errors;
+  let s = r.report in
+  Printf.printf
+    "bca-ci: %d scenarios (%d corpus files, %d/fork generated x %d forks), %d txs: %d \
+     touches + %d changes covered, %d wild, %d witness flips\n%!"
+    s.scenarios r.corpus_files iters_per_fork Spec.n_forks s.txs s.touches_checked
+    s.changes_checked s.wild s.flips;
+  List.iter (fun v -> Fmt.pr "bca-ci: VIOLATION %a@." Fuzz.Bcarun.pp_violation v) s.violations;
+  if s.violations <> [] then
+    fail "bca-ci: SOUNDNESS FAILURE: %d footprint violation(s)" (List.length s.violations);
+  if r.corpus_errors <> [] then fail "bca-ci: unreadable corpus entries";
+  if s.touches_checked = 0 || s.changes_checked = 0 || s.flips = 0 then
+    fail "bca-ci: sweep checked nothing (touches=%d changes=%d flips=%d)" s.touches_checked
+      s.changes_checked s.flips
+
+let narrowing_rejections () =
+  List.iter
+    (fun n ->
+      (* a small sweep suffices: the sentinels are built to trip each
+         narrowed domain deterministically *)
+      let r = Fuzz.Bcarun.run ~narrow:n ~corpus:"corpus" ~seed ~iters:2 () in
+      let name = Bca.narrowing_name n in
+      if r.report.violations = [] then
+        fail "bca-ci: NARROWING %s NOT REJECTED: sweep reported zero violations" name;
+      Printf.printf "bca-ci: narrowing %-9s rejected (%d violation(s), e.g. %s)\n%!" name
+        (List.length r.report.violations)
+        (match r.report.violations with v :: _ -> v.v_ctx | [] -> assert false))
+    [ Bca.N_cfg; Bca.N_stack; Bca.N_footprint; Bca.N_calldata ];
+  if !Bca.seeded_narrowing <> None then
+    fail "bca-ci: narrowing leaked out of the rejection runs"
+
+let cache_hammer () =
+  let codes =
+    List.concat_map
+      (fun i ->
+        let s = Fuzz.Driver.generate ~seed:7 i in
+        List.map (Fuzz.Scenario.compile s) s.Fuzz.Scenario.contracts)
+      [ 0; 1; 2; 3 ]
+  in
+  let spec = Spec.resolve Spec.Istanbul in
+  Bca.clear_cache ();
+  let reference = List.map (fun c -> Bca.facts_for ~spec c) codes in
+  let mismatches = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 50 do
+              if d = 0 then Bca.clear_cache ();
+              List.iter2
+                (fun c r -> if Bca.facts_for ~spec c <> r then Atomic.incr mismatches)
+                codes reference
+            done))
+  in
+  List.iter Domain.join domains;
+  if Atomic.get mismatches > 0 then
+    fail "bca-ci: CACHE HAMMER: %d facts mismatches under 4-domain contention"
+      (Atomic.get mismatches);
+  Printf.printf "bca-ci: 4-domain analysis-cache hammer holds (%d codes x 200 lookups)\n%!"
+    (List.length codes)
+
+let () =
+  positive_sweep ();
+  narrowing_rejections ();
+  cache_hammer ();
+  print_string "bca-ci: all passes green\n"

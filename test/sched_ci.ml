@@ -102,11 +102,53 @@ let keep_latest_regression () =
     fail "sched-ci: KEEP-LATEST REGRESSION: requeued=%d, expected %d" st.Sched.requeued
       (hashes * (per_hash - 1))
 
+(* Bookkeeping bound: submitting under a hash populates BOTH per-hash
+   tables (dedupe memo + keep-latest entry); [forget] must empty both.
+   The broken version dropped only the memo, leaking one keep-latest
+   entry per retired transaction forever. *)
+let forget_bound_regression ~jobs =
+  let s : int Sched.t = Sched.create ~jobs () in
+  let n = 24 in
+  let hashes = List.init n (Printf.sprintf "tx%d") in
+  List.iter
+    (fun hash ->
+      Sched.submit s ~dedupe_key:"ctx" ~hash ~root:"r" ~priority:(U256.of_int 1)
+        (fun () -> 0))
+    hashes;
+  Sched.barrier s;
+  ignore (Sched.drain s : int Sched.result list);
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  if Sched.memo_size s <> n then
+    fail "sched-ci: FORGET-BOUND REGRESSION (jobs=%d): memo_size=%d, expected %d" jobs
+      (Sched.memo_size s) n;
+  if Sched.invalidate_size s <> n then
+    fail "sched-ci: FORGET-BOUND REGRESSION (jobs=%d): invalidate_size=%d, expected %d"
+      jobs (Sched.invalidate_size s) n;
+  (* retire half the block: both tables shrink to the survivors, exactly *)
+  let retired, live = (List.filteri (fun i _ -> i < n / 2) hashes, n - (n / 2)) in
+  Sched.forget s retired;
+  if Sched.memo_size s <> live then
+    fail "sched-ci: FORGET-BOUND REGRESSION (jobs=%d): memo_size=%d after forget, expected %d"
+      jobs (Sched.memo_size s) live;
+  if Sched.invalidate_size s <> live then
+    fail
+      "sched-ci: FORGET-BOUND REGRESSION (jobs=%d): invalidate_size=%d after forget, expected %d (keep-latest leak)"
+      jobs
+      (Sched.invalidate_size s)
+      live;
+  Sched.forget s hashes;
+  if Sched.memo_size s <> 0 || Sched.invalidate_size s <> 0 then
+    fail "sched-ci: FORGET-BOUND REGRESSION (jobs=%d): tables not empty after full forget"
+      jobs;
+  Sched.shutdown s
+
 let () =
   dedupe_regression ~jobs:1;
   dedupe_regression ~jobs:4;
   keep_latest_regression ();
-  print_string "sched-ci: dedupe and keep-latest policies hold (jobs=1 and jobs=4)\n";
+  forget_bound_regression ~jobs:1;
+  forget_bound_regression ~jobs:4;
+  print_string "sched-ci: dedupe, keep-latest and forget-bound policies hold (jobs=1 and jobs=4)\n";
   let failures, n = Fuzz.Parallel.check_corpus ~jobs "corpus" in
   Printf.printf "sched-ci: corpus %d/%d scenarios parallel-deterministic\n%!"
     (n - List.length failures)

@@ -31,6 +31,8 @@ let good_path =
     writes = [ I.W_storage (addr, U256.one, I.Reg 1) ];
     status = Evm.Processor.Success;
     gas_used = 21_000;
+    gas_used_src = None;
+    gas_refund = 0;
     output = [];
     reg_count = 2;
     reg_values = [| u 5; u 6 |];
@@ -40,7 +42,9 @@ let good_path =
   }
 
 let leaf ?(writes = []) () =
-  P.Leaf { fast = []; writes; status = Evm.Processor.Success; gas_used = 0; output = [] }
+  P.Leaf
+    { fast = []; writes; status = Evm.Processor.Success; gas_used = 0;
+      gas_used_src = None; gas_refund = 0; output = [] }
 
 let program ~reg_count roots =
   { P.roots; reg_count; n_paths = List.length roots; n_futures = 1; shortcut_count = 0;

@@ -20,6 +20,8 @@ let mk_path ~guard_value =
     writes = [ I.W_storage (addr, U256.one, I.Reg 1) ];
     status = Evm.Processor.Success;
     gas_used = 21_000;
+    gas_used_src = None;
+    gas_refund = 0;
     output = [];
     reg_count = 2;
     reg_values = [| guard_value; U256.add guard_value (u 1) |];
@@ -112,6 +114,8 @@ let structure_tests =
             writes = [ I.W_storage (addr, U256.one, I.Reg 3) ];
             status = Evm.Processor.Success;
             gas_used = 21_000;
+            gas_used_src = None;
+            gas_refund = 0;
             output = [];
             reg_count = 4;
             reg_values;

@@ -1,0 +1,73 @@
+(* lib/bca in the alcotest suite: the qcheck soundness property (static
+   footprint ⊇ runtime touch log, across every hardfork) on generated
+   scenarios, plus one negative case per analysis domain — each seeded
+   [Bca.narrowing] must trip its matching sentinel.  The heavyweight
+   corpus + 200-per-fork sweep lives in bca_ci (`dune build @bca`); this
+   suite keeps a lighter property inside `dune test`. *)
+
+let checkb = Alcotest.(check bool)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ---- positive property: generated scenarios are sound on all forks ---- *)
+
+let arb_iter = QCheck.int_range 0 500
+
+let footprint_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"footprint covers touch log on every fork" arb_iter
+       (fun i ->
+         List.for_all
+           (fun fork ->
+             let s =
+               { (Fuzz.Driver.generate ~seed:97 i) with Fuzz.Scenario.fork = Some fork }
+             in
+             let label = Printf.sprintf "qcheck(iter=%d)" i in
+             let r = Fuzz.Bcarun.check_scenario ~label s in
+             if r.violations <> [] then
+               QCheck.Test.fail_reportf "iter %d [%s]: %a" i (Spec.fork_name fork)
+                 Fuzz.Bcarun.pp_violation (List.hd r.violations)
+             else true)
+           Spec.all_forks))
+
+(* ---- negative cases: each narrowing must trip its sentinel ---- *)
+
+let sentinel_of = function
+  | Bca.N_cfg -> "cfg-taken-branch"
+  | Bca.N_stack -> "stack-dup-key"
+  | Bca.N_footprint -> "footprint-sstore"
+  | Bca.N_calldata -> "calldata-eq-branch"
+
+let narrowing_tripped n () =
+  Fun.protect
+    ~finally:(fun () -> Bca.seeded_narrowing := None)
+    (fun () ->
+      Bca.seeded_narrowing := Some n;
+      let r = Fuzz.Bcarun.check_sentinels () in
+      let name = Bca.narrowing_name n and want = sentinel_of n in
+      checkb
+        (Printf.sprintf "narrowing %s yields violations" name)
+        true (r.violations <> []);
+      let contains hay sub =
+        let n = String.length hay and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub hay i m = sub || go (i + 1)) in
+        go 0
+      in
+      let in_ctx sub (v : Fuzz.Bcarun.violation) = contains v.v_ctx sub in
+      checkb
+        (Printf.sprintf "narrowing %s trips sentinel %s" name want)
+        true
+        (List.exists (in_ctx want) r.violations))
+
+let narrowing_does_not_leak () =
+  checkb "no narrowing active after the negative cases" true (!Bca.seeded_narrowing = None);
+  let r = Fuzz.Bcarun.check_sentinels () in
+  checkb "sentinels are clean without a narrowing" true (r.violations = [])
+
+let suite =
+  [ footprint_sound;
+    t "negative: cfg narrowing caught" (narrowing_tripped Bca.N_cfg);
+    t "negative: stack narrowing caught" (narrowing_tripped Bca.N_stack);
+    t "negative: footprint narrowing caught" (narrowing_tripped Bca.N_footprint);
+    t "negative: calldata narrowing caught" (narrowing_tripped Bca.N_calldata);
+    t "narrowing flag does not leak" narrowing_does_not_leak ]

@@ -107,6 +107,43 @@ let all_bytes_per_fork () =
       done)
     Spec.all_forks
 
+(* The packed [meta] word must agree with the unpacked scalars for every
+   decoded instruction, on every fork: the untraced hot loop reads only
+   [meta], so a packing-width regression (a charge overflowing its 15-bit
+   field, a fused xop losing its high bits) would silently corrupt
+   dispatch rather than fail a bounds check.  Two streams: the full byte
+   sweep (every opcode class, max static charges) and a fusion-shaped
+   sequence (PUSH-PUSH-op / DUP1-op candidates, so xop ids above 0xFF
+   exercise the full 10-bit field when the certifier is linked). *)
+let meta_packing () =
+  let codes =
+    [ ("all-bytes", String.init 256 Char.chr);
+      (* PUSH1 5; PUSH1 3; ADD; PUSH1 0; MSTORE; DUP1; ADD; STOP *)
+      ("fused", "\x60\x05\x60\x03\x01\x60\x00\x52\x80\x01\x00") ]
+  in
+  List.iter
+    (fun f ->
+      let spec = Spec.resolve f in
+      List.iter
+        (fun (name, code) ->
+          let prog = Decode.decode ~spec code in
+          Array.iteri
+            (fun pc (i : Decode.instr) ->
+              let m = i.Decode.meta in
+              let chk what expect got =
+                Alcotest.(check int)
+                  (Printf.sprintf "%s/%s pc %d: %s" spec.Spec.name name pc what)
+                  expect got
+              in
+              chk "meta_xop" i.Decode.xop (Decode.meta_xop m);
+              chk "meta_stack_in" i.Decode.stack_in (Decode.meta_stack_in m);
+              chk "meta_max_sp" (min i.Decode.max_sp 2047) (Decode.meta_max_sp m);
+              chk "meta_static_gas" i.Decode.static_gas (Decode.meta_static_gas m);
+              chk "meta_steps" i.Decode.steps (Decode.meta_steps m))
+            prog.Decode.instrs)
+        codes)
+    Spec.all_forks
+
 (* The columns genuinely differ where the forks say they do: a quick
    cross-fork triangulation so the per-fork sweep can never silently run
    five identical tables. *)
@@ -145,4 +182,5 @@ let suite =
     t "selfdestruct class" selfdestruct_class;
     t "all 256 bytes" all_bytes;
     t "all 256 bytes x all forks" all_bytes_per_fork;
+    t "meta packing matches unpacked scalars x all forks" meta_packing;
     t "fork columns differ where declared" fork_columns_differ ]

@@ -28,4 +28,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite);
-      ("analysis", Test_analysis.suite) ]
+      ("analysis", Test_analysis.suite);
+      ("bca", Test_bca.suite) ]

@@ -320,6 +320,8 @@ let cross_fork_rejection () =
       writes = [];
       status = Evm.Processor.Success;
       gas_used = 21000;
+      gas_used_src = None;
+      gas_refund = 0;
       output = [];
       reg_count = 0;
       reg_values = [||];
